@@ -1,0 +1,255 @@
+//! The AFZ composable core-sets (Aghamolaei–Farhadi–Zarrabi-Zadeh,
+//! CCCG 2015), reimplemented from the paper as the CPPU authors did.
+
+use diversity_core::local_search::{local_search_clique, GainMode, LocalSearchOptions};
+use diversity_core::{gmm_default, seq, Problem, Solution};
+use diversity_mapreduce::runtime::MapReduceRuntime;
+use diversity_mapreduce::{MrOutcome, MrStats, Partitions};
+use metric::Metric;
+
+/// Statistics of one AFZ core-set construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AfzCoresetStats {
+    /// Local-search swaps executed (0 for the GMM-based remote-edge
+    /// construction).
+    pub swaps: usize,
+    /// Whether the local search converged before its swap cap.
+    pub converged: bool,
+}
+
+/// AFZ per-partition core-set for **remote-clique**: the `k` points of
+/// a single-swap local optimum of the sum-of-pairwise-distances
+/// objective, seeded from the partition's first `k` points (the CCCG
+/// paper's initialization is arbitrary; a fixed seed keeps runs
+/// deterministic).
+///
+/// Each improvement sweep costs `Θ(k·(n−k))` distance evaluations and
+/// the number of sweeps is not polynomially bounded — the superlinear
+/// behaviour Table 4 exposes. `max_swaps` caps runaway instances; the
+/// cap and whether it was hit are reported.
+pub fn afz_clique_coreset<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    max_swaps: usize,
+    gain_mode: GainMode,
+) -> (Vec<usize>, AfzCoresetStats) {
+    let k = k.min(points.len());
+    if k == 0 {
+        return (Vec::new(), AfzCoresetStats::default());
+    }
+    let init: Vec<usize> = (0..k).collect();
+    let out = local_search_clique(
+        points,
+        metric,
+        &init,
+        &LocalSearchOptions {
+            max_swaps,
+            min_relative_gain: 0.0,
+            gain_mode,
+        },
+    );
+    (
+        out.solution.indices,
+        AfzCoresetStats {
+            swaps: out.swaps,
+            converged: out.converged,
+        },
+    )
+}
+
+/// AFZ per-partition core-set for **remote-edge**: `GMM(S_i, k)` — as
+/// the paper notes, "for remote-edge, AFZ is equivalent to CPPU with
+/// k' = k".
+pub fn afz_edge_coreset<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+    gmm_default(points, metric, k.min(points.len())).selected
+}
+
+/// Outcome of an AFZ MapReduce run, with the baseline's construction
+/// statistics attached.
+#[derive(Clone, Debug)]
+pub struct AfzOutcome {
+    /// The MapReduce result (solution in global indices + round stats).
+    pub mr: MrOutcome,
+    /// Total local-search swaps across reducers.
+    pub total_swaps: usize,
+    /// Number of reducers whose local search hit the swap cap.
+    pub capped_reducers: usize,
+}
+
+/// The AFZ 2-round MapReduce algorithm for remote-edge or remote-clique
+/// (the two problems Section 7.3 compares): round 1 builds the AFZ
+/// core-set on each partition, round 2 unions and runs the same
+/// sequential algorithm CPPU uses.
+///
+/// # Panics
+/// Panics if `problem` is not remote-edge or remote-clique, or on empty
+/// input / `k == 0`.
+pub fn afz_two_round<P, M>(
+    problem: Problem,
+    partitions: &Partitions<P>,
+    metric: &M,
+    k: usize,
+    max_swaps_per_reducer: usize,
+    gain_mode: GainMode,
+    runtime: &MapReduceRuntime,
+) -> AfzOutcome
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    assert!(
+        matches!(problem, Problem::RemoteEdge | Problem::RemoteClique),
+        "AFZ comparison covers remote-edge and remote-clique"
+    );
+    assert!(k > 0, "k must be positive");
+    assert!(partitions.total_points() > 0, "empty input");
+
+    let mut stats = MrStats::default();
+
+    let (round1_out, round1_stats) = runtime.run_round(
+        "round1:afz-coreset",
+        &partitions.parts,
+        |_, part: &Vec<P>| {
+            if part.is_empty() {
+                return (Vec::new(), AfzCoresetStats::default());
+            }
+            match problem {
+                Problem::RemoteEdge => {
+                    (afz_edge_coreset(part, metric, k), AfzCoresetStats::default())
+                }
+                _ => afz_clique_coreset(part, metric, k, max_swaps_per_reducer, gain_mode),
+            }
+        },
+        Vec::len,
+        |(cs, _)| cs.len(),
+    );
+    stats.rounds.push(round1_stats);
+
+    let total_swaps: usize = round1_out.iter().map(|(_, s)| s.swaps).sum();
+    let capped_reducers = round1_out
+        .iter()
+        .filter(|(cs, s)| !cs.is_empty() && !s.converged)
+        .count();
+
+    let mut union_points: Vec<P> = Vec::new();
+    let mut union_globals: Vec<usize> = Vec::new();
+    for (part_id, (locals, _)) in round1_out.iter().enumerate() {
+        for &local in locals {
+            union_points.push(partitions.parts[part_id][local].clone());
+            union_globals.push(partitions.global_indices[part_id][local]);
+        }
+    }
+
+    let union_input = vec![(union_points, union_globals)];
+    let (mut round2_out, round2_stats) = runtime.run_round(
+        "round2:solve",
+        &union_input,
+        |_, (points, globals): &(Vec<P>, Vec<usize>)| {
+            let local = seq::solve(problem, points, metric, k);
+            Solution {
+                indices: local.indices.iter().map(|&i| globals[i]).collect(),
+                value: local.value,
+            }
+        },
+        |(points, _)| points.len(),
+        |sol| sol.indices.len(),
+    );
+    stats.rounds.push(round2_stats);
+
+    AfzOutcome {
+        mr: MrOutcome {
+            solution: round2_out.pop().expect("single reducer"),
+            stats,
+        },
+        total_swaps,
+        capped_reducers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversity_mapreduce::partition::split_round_robin;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    fn rt() -> MapReduceRuntime {
+        MapReduceRuntime::with_threads(4)
+    }
+
+    #[test]
+    fn clique_coreset_is_locally_optimal() {
+        let pts = line(&[0.0, 0.1, 0.2, 50.0, 100.0]);
+        let (cs, stats) = afz_clique_coreset(&pts, &Euclidean, 2, 1000, GainMode::Incremental);
+        assert!(stats.converged);
+        let mut s = cs.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 4], "local search must find the extremes");
+    }
+
+    #[test]
+    fn edge_coreset_is_gmm_prefix() {
+        let pts = line(&[0.0, 4.0, 9.0, 10.0]);
+        let cs = afz_edge_coreset(&pts, &Euclidean, 2);
+        assert_eq!(cs, vec![0, 3]);
+    }
+
+    #[test]
+    fn afz_two_round_clique_produces_k_points() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 43) % 151) as f64).collect();
+        let points = line(&xs);
+        let parts = split_round_robin(points.clone(), 4);
+        let out = afz_two_round(Problem::RemoteClique, &parts, &Euclidean, 4, 10_000, GainMode::Incremental, &rt());
+        assert_eq!(out.mr.solution.indices.len(), 4);
+        assert!(out.total_swaps > 0, "local search should move from the seed");
+        assert_eq!(out.capped_reducers, 0);
+        let direct = diversity_core::eval::evaluate_subset(
+            Problem::RemoteClique,
+            &points,
+            &Euclidean,
+            &out.mr.solution.indices,
+        );
+        assert!((out.mr.solution.value - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn afz_edge_equals_cppu_with_k_prime_k() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 29) % 211) as f64).collect();
+        let points = line(&xs);
+        let parts = split_round_robin(points, 5);
+        let afz = afz_two_round(Problem::RemoteEdge, &parts, &Euclidean, 6, 0, GainMode::Incremental, &rt());
+        let cppu = diversity_mapreduce::two_round::two_round(
+            Problem::RemoteEdge,
+            &parts,
+            &Euclidean,
+            6,
+            6,
+            &rt(),
+        );
+        assert_eq!(afz.mr.solution.value, cppu.solution.value);
+    }
+
+    #[test]
+    fn swap_cap_reported() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 977) as f64).collect();
+        let points = line(&xs);
+        let parts = split_round_robin(points, 2);
+        let out = afz_two_round(Problem::RemoteClique, &parts, &Euclidean, 8, 1, GainMode::Incremental, &rt());
+        // With a cap of one swap per reducer the searches cannot
+        // converge on this instance.
+        assert!(out.capped_reducers > 0);
+        assert_eq!(out.mr.solution.indices.len(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsupported_problem() {
+        let points = line(&[0.0, 1.0, 2.0]);
+        let parts = split_round_robin(points, 1);
+        let _ = afz_two_round(Problem::RemoteTree, &parts, &Euclidean, 2, 10, GainMode::Incremental, &rt());
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation (ours): core-sets vs uniform random sampling.
+//!
+//! A natural question about any core-set technique: would a uniform
+//! sample of the same size do just as well? For *sum*-type objectives
+//! random samples are serviceable, but for the *min*-type remote-edge
+//! objective they are systematically bad — the optimum hinges on a few
+//! extreme points a uniform sample almost surely misses, which is
+//! precisely why the paper plants its sphere points and why GMM-style
+//! farthest-point core-sets exist. This harness quantifies the gap at
+//! equal memory.
+
+use diversity_bench::{fmt_ratio, reference_value, scaled, Table};
+use diversity_core::{pipeline, seq, Problem};
+use diversity_datasets::sphere_shell;
+use metric::{Euclidean, VecPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform_sample(points: &[VecPoint], size: usize, seed: u64) -> Vec<VecPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..size)
+        .map(|_| points[rng.gen_range(0..points.len())].clone())
+        .collect()
+}
+
+fn main() {
+    let n = scaled(100_000);
+    let k = 16;
+    let (points, _) = sphere_shell(n, k, 3, 1234);
+    println!("ablation: GMM core-set vs uniform sample at equal memory, n={n}, k={k}");
+
+    let mut table = Table::new(
+        "Sampling ablation — approximation ratio at equal summary size (remote-edge / remote-clique)",
+        &["summary size", "GMM r-edge", "sample r-edge", "GMM r-clique", "sample r-clique"],
+    );
+    let edge_ref = reference_value(Problem::RemoteEdge, &points, &Euclidean, k, None);
+    let clique_ref = reference_value(Problem::RemoteClique, &points, &Euclidean, k, None);
+    for &size in &[2 * k, 8 * k, 32 * k] {
+        // Core-set route. For remote-clique the core-set is the kernel
+        // plus up to k−1 delegates per kernel point, so an equal-memory
+        // comparison uses kernel size ≈ size / k.
+        let cs_edge =
+            pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, size);
+        let k_prime_clique = (size / k).max(k);
+        let cs_clique = pipeline::coreset_then_solve(
+            Problem::RemoteClique,
+            &points,
+            &Euclidean,
+            k,
+            k_prime_clique,
+        );
+        // Sampling route: solve on a uniform sample of the same size.
+        let sample = uniform_sample(&points, size, 99);
+        let s_edge = seq::solve(Problem::RemoteEdge, &sample, &Euclidean, k);
+        let s_clique = seq::solve(Problem::RemoteClique, &sample, &Euclidean, k);
+
+        table.row(vec![
+            size.to_string(),
+            fmt_ratio(edge_ref, cs_edge.value),
+            fmt_ratio(edge_ref, s_edge.value),
+            fmt_ratio(clique_ref, cs_clique.value),
+            fmt_ratio(clique_ref, s_clique.value),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nexpected shape: for remote-edge the sample ratios stay far \
+         above the core-set's at every size (extremes are missed); for \
+         remote-clique sampling is closer but still dominated."
+    );
+}

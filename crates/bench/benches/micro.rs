@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the core primitives: distance kernels,
+//! GMM iterations, SMM push, matching selection, objective evaluators.
+//!
+//! These are not paper experiments; they guard the constants the
+//! experiment harnesses depend on (e.g. the per-point cost of the
+//! streaming kernel that Figure 3 measures end-to-end).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use diversity_core::{eval, gmm_default, seq, Problem};
+use diversity_datasets::{musixmatch_like, sphere_shell, BagOfWordsConfig};
+use diversity_streaming::Smm;
+use metric::{CosineDistance, DistanceMatrix, Euclidean, Metric};
+
+fn bench_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance");
+    let (p3, _) = sphere_shell(2, 1, 3, 1);
+    g.bench_function("euclidean_3d", |b| {
+        b.iter(|| black_box(Euclidean.distance(&p3[0], &p3[1])))
+    });
+    let (p32, _) = sphere_shell(2, 1, 32, 1);
+    g.bench_function("euclidean_32d", |b| {
+        b.iter(|| black_box(Euclidean.distance(&p32[0], &p32[1])))
+    });
+    let docs = musixmatch_like(2, 7, &BagOfWordsConfig::default());
+    g.bench_function("cosine_sparse", |b| {
+        b.iter(|| black_box(CosineDistance.distance(&docs[0], &docs[1])))
+    });
+    g.finish();
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmm");
+    for &n in &[1_000usize, 10_000] {
+        let (points, _) = sphere_shell(n, 8, 3, 3);
+        g.bench_with_input(BenchmarkId::new("k32", n), &points, |b, pts| {
+            b.iter(|| black_box(gmm_default(pts, &Euclidean, 32).selected.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_smm_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smm_push");
+    let (points, _) = sphere_shell(20_000, 8, 3, 5);
+    for &k_prime in &[16usize, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("stream20k", k_prime),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    let mut s = Smm::new(Euclidean, 8, k_prime);
+                    for p in pts {
+                        s.push(p.clone());
+                    }
+                    black_box(s.finish().coreset.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_seq_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential");
+    let (points, _) = sphere_shell(1_024, 8, 3, 9);
+    g.bench_function("matching_k16_n1024", |b| {
+        b.iter(|| black_box(seq::solve(Problem::RemoteClique, &points, &Euclidean, 16).value))
+    });
+    g.bench_function("gmm_select_k16_n1024", |b| {
+        b.iter(|| black_box(seq::solve(Problem::RemoteEdge, &points, &Euclidean, 16).value))
+    });
+    g.finish();
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate");
+    let (points, _) = sphere_shell(64, 8, 3, 11);
+    let dm = DistanceMatrix::build(&points, &Euclidean);
+    g.bench_function("remote_clique_64", |b| {
+        b.iter(|| black_box(eval::evaluate(Problem::RemoteClique, &dm)))
+    });
+    g.bench_function("mst_64", |b| {
+        b.iter(|| black_box(eval::evaluate(Problem::RemoteTree, &dm)))
+    });
+    g.bench_function("tsp_2opt_64", |b| {
+        b.iter(|| black_box(eval::evaluate(Problem::RemoteCycle, &dm)))
+    });
+    g.bench_function("bipartition_ls_64", |b| {
+        b.iter(|| black_box(eval::evaluate(Problem::RemoteBipartition, &dm)))
+    });
+    let (small, _) = sphere_shell(12, 4, 3, 13);
+    let dm_small = DistanceMatrix::build(&small, &Euclidean);
+    g.bench_function("tsp_held_karp_12", |b| {
+        b.iter(|| black_box(eval::tsp_held_karp(&dm_small)))
+    });
+    g.bench_function("bipartition_exact_12", |b| {
+        b.iter(|| black_box(eval::bipartition_exact(&dm_small)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_gmm,
+    bench_smm_push,
+    bench_seq_solvers,
+    bench_evaluators
+);
+criterion_main!(benches);

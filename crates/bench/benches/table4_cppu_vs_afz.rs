@@ -1,0 +1,141 @@
+//! Table 4: CPPU (this paper's MapReduce algorithm) vs AFZ
+//! (Aghamolaei et al.) on remote-clique — approximation ratio and
+//! running time.
+//!
+//! Paper setup: 4 million points in R², 16 reducers, `k ∈ {4, 6, 8}`,
+//! CPPU with `k' = 128`; ratios relative to the best solution found.
+//!
+//! Paper's reported shape (Table 4): comparable or better quality for
+//! CPPU, and CPPU ≥ 3 orders of magnitude faster (AFZ's local search
+//! is superlinear). At bench scale the speed gap shrinks with n —
+//! expect one to two orders here; EXPERIMENTS.md records the scaling.
+
+use diversity_baselines::afz::afz_two_round;
+use diversity_bench::{fmt_ratio, fmt_secs, scaled, Table};
+use diversity_core::local_search::GainMode;
+use diversity_core::Problem;
+use diversity_datasets::sphere_shell;
+use diversity_mapreduce::partition::split_random;
+use diversity_mapreduce::two_round::two_round;
+use diversity_mapreduce::MapReduceRuntime;
+use metric::Euclidean;
+
+fn main() {
+    // AFZ's superlinear local search needs large partitions to show its
+    // cost (the paper uses 4M points / 250k per reducer); the default
+    // here keeps partitions at 50k. Raise DIVMAX_SCALE to approach the
+    // paper's regime.
+    let n = scaled(800_000); // paper: 4,000,000
+    let ell = 16;
+    let k_prime = 128;
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let rt = MapReduceRuntime::with_threads(host_threads);
+    println!(
+        "table4: CPPU vs AFZ, remote-clique, sphere-shell R^2, n={n}, {ell} reducers. \
+         Times are simulated parallel times (per-round critical paths)."
+    );
+
+    // Two AFZ variants: `naive` rescans the objective per candidate
+    // swap (the straightforward implementation, whose cost regime
+    // matches the paper's measured comparator), `inc` uses incremental
+    // gain sums (an optimization the CCCG paper does not describe).
+    let mut table = Table::new(
+        "Table 4 — approximation ratio and running time, CPPU vs AFZ (remote-clique)",
+        &[
+            "k",
+            "AFZ ratio",
+            "CPPU ratio",
+            "AFZ naive",
+            "AFZ inc",
+            "CPPU time",
+            "AFZ swaps",
+        ],
+    );
+    for &k in &[4usize, 6, 8] {
+        let (points, _) = sphere_shell(n, k, 2, 555 + k as u64);
+        let parts = split_random(points.clone(), ell, 77);
+
+        let cppu = two_round(Problem::RemoteClique, &parts, &Euclidean, k, k_prime, &rt);
+        let afz_inc = afz_two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            k,
+            1_000_000,
+            GainMode::Incremental,
+            &rt,
+        );
+        let afz_naive = afz_two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            k,
+            1_000_000,
+            GainMode::Rescan,
+            &rt,
+        );
+
+        // Reference = best value seen by any algorithm (the paper
+        // normalizes by the best solution found across runs).
+        let reference = cppu
+            .solution
+            .value
+            .max(afz_inc.mr.solution.value)
+            .max(afz_naive.mr.solution.value);
+        table.row(vec![
+            k.to_string(),
+            fmt_ratio(reference, afz_naive.mr.solution.value),
+            fmt_ratio(reference, cppu.solution.value),
+            fmt_secs(afz_naive.mr.stats.simulated_wall().as_secs_f64()),
+            fmt_secs(afz_inc.mr.stats.simulated_wall().as_secs_f64()),
+            fmt_secs(cppu.stats.simulated_wall().as_secs_f64()),
+            afz_naive.total_swaps.to_string(),
+        ]);
+    }
+    table.print();
+
+    // The crossover trend: AFZ's cost grows superlinearly in the
+    // partition size (sweep cost × swap count both grow with n), while
+    // CPPU's round-1 is linear and its round-2 has *constant* size
+    // (ℓ·k·k'), so its simulated time flattens. The paper's
+    // three-orders gap is this trend evaluated at 250k-point
+    // partitions.
+    let k = 8;
+    let mut scalingt = Table::new(
+        "Table 4 (companion) — time scaling with n at k=8 (simulated parallel time)",
+        &["n", "AFZ naive", "AFZ swaps", "CPPU", "CPPU r2 share"],
+    );
+    for &nn in &[n / 8, n / 4, n / 2, n] {
+        let (points, _) = sphere_shell(nn, k, 2, 4321);
+        let parts = split_random(points.clone(), ell, 77);
+        let cppu = two_round(Problem::RemoteClique, &parts, &Euclidean, k, k_prime, &rt);
+        let afz = afz_two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            k,
+            1_000_000,
+            GainMode::Rescan,
+            &rt,
+        );
+        let cppu_total = cppu.stats.simulated_wall().as_secs_f64();
+        let r2 = cppu.stats.rounds[1].critical_path.as_secs_f64();
+        scalingt.row(vec![
+            nn.to_string(),
+            fmt_secs(afz.mr.stats.simulated_wall().as_secs_f64()),
+            afz.total_swaps.to_string(),
+            fmt_secs(cppu_total),
+            format!("{:.0}%", 100.0 * r2 / cppu_total.max(1e-12)),
+        ]);
+    }
+    scalingt.print();
+    println!(
+        "\npaper shape: CPPU ratio ≤ AFZ ratio; CPPU far faster than the \
+         naive AFZ at cluster scale, the gap widening superlinearly in \
+         partition size (paper: ~1.2s vs 800–4,600s at n = 4M — three \
+         orders of magnitude; our 1-core laptop scale sits before the \
+         crossover, which the companion table's growth rates expose). \
+         The 'AFZ inc' column shows how much of that gap an \
+         incremental-gain implementation would close."
+    );
+}

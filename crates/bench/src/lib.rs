@@ -1,0 +1,178 @@
+//! Shared harness utilities for the experiment benches.
+//!
+//! Every `benches/*.rs` target (one per table/figure of the paper) uses
+//! these helpers for: environment-based scaling, paper-style table
+//! printing, and reference-solution computation.
+//!
+//! ## Scaling
+//!
+//! The paper's experiments run up to 1.6 billion points on a 16-node
+//! cluster; the defaults here are laptop-sized. Scale with:
+//!
+//! * `DIVMAX_SCALE` — float multiplier applied to every dataset size
+//!   (e.g. `DIVMAX_SCALE=10 cargo bench` for a 10× run);
+//! * `DIVMAX_TRIALS` — number of repetitions averaged per cell
+//!   (default 3; the paper averages ≥ 10).
+
+use diversity_core::{pipeline, Problem};
+use diversity_mapreduce::partition::split_random;
+use diversity_mapreduce::two_round::two_round;
+use diversity_mapreduce::MapReduceRuntime;
+use metric::Metric;
+use std::time::Instant;
+
+/// Applies `DIVMAX_SCALE` to a default dataset size.
+pub fn scaled(default_n: usize) -> usize {
+    let scale = std::env::var("DIVMAX_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    ((default_n as f64) * scale).max(1.0) as usize
+}
+
+/// Number of trials per experimental cell (`DIVMAX_TRIALS`, default 3).
+pub fn trials() -> usize {
+    std::env::var("DIVMAX_TRIALS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// A paper-style results table, printed as aligned plain text (the
+/// same rows/series the paper's figures plot).
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("\n### {}", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            out
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Computes the reference ("best known") value the paper normalizes
+/// ratios by: "the best solution found by many runs of our MapReduce
+/// algorithm with maximum parallelism and large local memory", plus —
+/// where the caller knows one — a planted lower bound.
+///
+/// Runs the 2-round algorithm with ℓ = 16 and a generous `k' = 8k`
+/// across three seeds, plus a single-machine core-set run, and returns
+/// the best value seen.
+pub fn reference_value<P, M>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    planted: Option<f64>,
+) -> f64
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    let rt = MapReduceRuntime::default();
+    let k_prime = 8 * k;
+    let mut best = planted.unwrap_or(f64::NEG_INFINITY);
+    for seed in [11u64, 22, 33] {
+        let parts = split_random(points.to_vec(), 16, seed);
+        let out = two_round(problem, &parts, metric, k, k_prime, &rt);
+        best = best.max(out.solution.value);
+    }
+    let single = pipeline::coreset_then_solve(problem, points, metric, k, k_prime);
+    best.max(single.value)
+}
+
+/// Formats a ratio for table cells.
+pub fn fmt_ratio(reference: f64, value: f64) -> String {
+    if value <= 0.0 {
+        return "inf".to_string();
+    }
+    format!("{:.3}", reference / value)
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_default_is_identity() {
+        // (assumes DIVMAX_SCALE unset in the test environment)
+        if std::env::var("DIVMAX_SCALE").is_err() {
+            assert_eq!(scaled(1000), 1000);
+        }
+    }
+
+    #[test]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["only-one".into()])
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(2.0, 1.0), "2.000");
+        assert_eq!(fmt_ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+    }
+}

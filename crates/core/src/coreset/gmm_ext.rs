@@ -1,0 +1,146 @@
+//! GMM-EXT (Algorithm 1 of the paper): kernel plus delegates.
+
+use crate::gmm::gmm_default;
+use metric::Metric;
+
+/// Output of [`gmm_ext`].
+#[derive(Clone, Debug)]
+pub struct GmmExtOutcome {
+    /// The `min(k', n)` kernel indices `T' = GMM(S, k')`, in insertion
+    /// order.
+    pub kernel: Vec<usize>,
+    /// The full core-set `T = ∪ E_j`: for each kernel point `c_j`, `c_j`
+    /// itself plus up to `k−1` delegates from its cluster `C_j`.
+    /// Kernel-first within each cluster, clusters in kernel order.
+    pub coreset: Vec<usize>,
+    /// `clusters[j]` lists the members of `E_j` (including `c_j`,
+    /// first). `coreset` is the concatenation of these.
+    pub clusters: Vec<Vec<usize>>,
+    /// The kernel's range `r_{T'} = max_p d(p, T')` — the `δ` within
+    /// which every point has its cluster's kernel point.
+    pub radius: f64,
+}
+
+/// Algorithm 1: `GMM-EXT(S, k, k')`.
+///
+/// Runs `GMM(S, k')` to get the kernel `T' = {c_1, .., c_k'}`, forms the
+/// clusters `C_j = {p : c_j is p's nearest kernel point, ties to the
+/// smallest j}`, and augments each kernel point with up to
+/// `min(|C_j|−1, k−1)` arbitrary delegates from its cluster (we take
+/// them in input order, which keeps runs deterministic — the paper
+/// allows any choice).
+///
+/// The union over the subsets of a partition of the outputs of this
+/// procedure is a `(1+ε)`-composable core-set for remote-clique,
+/// remote-star, remote-bipartition and remote-tree when
+/// `k' = (16/ε')^D · k` (Theorem 5).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0` or `k_prime == 0`.
+pub fn gmm_ext<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+) -> GmmExtOutcome {
+    assert!(k > 0, "k must be positive");
+    let outcome = gmm_default(points, metric, k_prime);
+    let radius = outcome.radius();
+    let kernel = outcome.selected;
+
+    // Gather each cluster's members (kernel point first, then others in
+    // input order, truncated to k delegates total per cluster).
+    let mut clusters: Vec<Vec<usize>> = kernel.iter().map(|&c| vec![c]).collect();
+    for (i, &cj) in outcome.assignment.iter().enumerate() {
+        if kernel[cj] == i {
+            continue; // the kernel point itself is already first
+        }
+        let cluster = &mut clusters[cj];
+        if cluster.len() < k {
+            cluster.push(i);
+        }
+    }
+    let coreset: Vec<usize> = clusters.iter().flatten().copied().collect();
+    GmmExtOutcome {
+        kernel,
+        coreset,
+        clusters,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn delegates_come_from_own_cluster() {
+        // Two tight groups; k'=2 kernels land one per group.
+        let pts = line(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let out = gmm_ext(&pts, &Euclidean, 3, 2);
+        assert_eq!(out.kernel.len(), 2);
+        for (j, cluster) in out.clusters.iter().enumerate() {
+            let c = out.kernel[j];
+            for &m in cluster {
+                assert!(
+                    Euclidean.distance(&pts[m], &pts[c]) <= out.radius + 1e-12,
+                    "member outside cluster radius"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_capped_at_k() {
+        let pts = line(&[0.0, 0.1, 0.2, 0.3, 0.4, 10.0]);
+        let out = gmm_ext(&pts, &Euclidean, 3, 2);
+        for cluster in &out.clusters {
+            assert!(cluster.len() <= 3);
+        }
+        // The big cluster has 5 members but only 3 may be kept.
+        assert!(out.clusters.iter().any(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn coreset_contains_kernel_and_no_duplicates() {
+        let pts = line(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = gmm_ext(&pts, &Euclidean, 2, 3);
+        for &c in &out.kernel {
+            assert!(out.coreset.contains(&c));
+        }
+        let mut sorted = out.coreset.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.coreset.len(), "duplicate in coreset");
+    }
+
+    #[test]
+    fn coreset_size_bounded_by_k_times_kernel() {
+        let pts = line(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        let out = gmm_ext(&pts, &Euclidean, 4, 5);
+        assert!(out.coreset.len() <= 4 * 5);
+        assert!(out.coreset.len() >= out.kernel.len());
+    }
+
+    #[test]
+    fn k_prime_larger_than_n_takes_everything_as_kernel() {
+        let pts = line(&[0.0, 1.0, 2.0]);
+        let out = gmm_ext(&pts, &Euclidean, 2, 10);
+        assert_eq!(out.kernel.len(), 3);
+        assert_eq!(out.coreset.len(), 3);
+        assert_eq!(out.radius, 0.0);
+    }
+
+    #[test]
+    fn k_one_keeps_only_kernel() {
+        // k = 1 means zero delegates per cluster.
+        let pts = line(&[0.0, 0.1, 5.0, 5.1]);
+        let out = gmm_ext(&pts, &Euclidean, 1, 2);
+        assert_eq!(out.coreset.len(), out.kernel.len());
+    }
+}

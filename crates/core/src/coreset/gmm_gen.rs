@@ -1,0 +1,120 @@
+//! GMM-GEN (Section 6.2): generalized core-sets with multiplicities.
+
+use crate::generalized::{GenPair, GeneralizedCoreset};
+use crate::gmm::gmm_default;
+use metric::Metric;
+
+/// Output of [`gmm_gen`].
+#[derive(Clone, Debug)]
+pub struct GmmGenOutcome {
+    /// The generalized core-set: one pair `(c_j, m_j)` per kernel point,
+    /// where `m_j = min(|C_j|, k)` is the delegate count GMM-EXT would
+    /// have materialized. `s(T) = k'` while `m(T) ≤ k·k'`.
+    pub coreset: GeneralizedCoreset,
+    /// The kernel's range `r_{T'}` — the instantiation `δ`: every point
+    /// of the input is within this distance of its cluster's kernel
+    /// point, so delegates can later be found within `δ` of each kernel
+    /// point (Theorem 10's round 3).
+    pub radius: f64,
+}
+
+/// `GMM-GEN(S, k, k')`: like GMM-EXT, but returns per-kernel delegate
+/// *counts* instead of delegate points, shrinking the core-set from
+/// `O(k·k')` to `O(k')` at the cost of a later instantiation pass.
+///
+/// With `k' = (16α/ε')^D · k`, this is a `β`-composable *generalized*
+/// core-set for remote-clique/star/bipartition/tree with
+/// `1/β = 1 − ε'/(2α)` (Lemma 8).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0` or `k_prime == 0`.
+pub fn gmm_gen<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+) -> GmmGenOutcome {
+    assert!(k > 0, "k must be positive");
+    let outcome = gmm_default(points, metric, k_prime);
+    let radius = outcome.radius();
+    let kernel = outcome.selected;
+
+    let mut counts = vec![0usize; kernel.len()];
+    for &cj in &outcome.assignment {
+        if counts[cj] < k {
+            counts[cj] += 1;
+        }
+    }
+    let pairs = kernel
+        .iter()
+        .zip(counts.iter())
+        .map(|(&index, &multiplicity)| GenPair {
+            index,
+            multiplicity,
+        })
+        .collect();
+    GmmGenOutcome {
+        coreset: GeneralizedCoreset::new(pairs),
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn counts_match_gmm_ext_cluster_sizes() {
+        let pts = line(&[0.0, 0.1, 0.2, 0.3, 10.0, 10.1]);
+        let k = 3;
+        let k_prime = 2;
+        let gen = gmm_gen(&pts, &Euclidean, k, k_prime);
+        let ext = super::super::gmm_ext(&pts, &Euclidean, k, k_prime);
+        assert_eq!(gen.coreset.size(), ext.kernel.len());
+        // Pairs are sorted by point index, clusters by kernel insertion
+        // order — match them through the kernel index.
+        for (j, cluster) in ext.clusters.iter().enumerate() {
+            let pair = gen
+                .coreset
+                .pairs()
+                .iter()
+                .find(|p| p.index == ext.kernel[j])
+                .expect("kernel point in coreset");
+            assert_eq!(pair.multiplicity, cluster.len());
+        }
+        assert_eq!(gen.radius, ext.radius);
+    }
+
+    #[test]
+    fn expanded_size_bounded_by_k_times_kernel() {
+        let pts = line(&(0..30).map(|i| (i as f64) * 0.5).collect::<Vec<_>>());
+        let gen = gmm_gen(&pts, &Euclidean, 4, 5);
+        assert_eq!(gen.coreset.size(), 5);
+        assert!(gen.coreset.expanded_size() <= 20);
+        assert!(gen.coreset.expanded_size() >= 5);
+    }
+
+    #[test]
+    fn multiplicities_are_positive() {
+        let pts = line(&[0.0, 1.0, 2.0, 3.0]);
+        let gen = gmm_gen(&pts, &Euclidean, 2, 3);
+        // Every kernel point is in its own cluster, so m_j >= 1.
+        assert!(gen.coreset.pairs().iter().all(|p| p.multiplicity >= 1));
+    }
+
+    #[test]
+    fn total_multiplicity_covers_k_when_enough_points() {
+        let pts = line(&(0..20).map(|i| i as f64).collect::<Vec<_>>());
+        let gen = gmm_gen(&pts, &Euclidean, 6, 3);
+        assert!(
+            gen.coreset.expanded_size() >= 6,
+            "m(T) = {} < k",
+            gen.coreset.expanded_size()
+        );
+    }
+}

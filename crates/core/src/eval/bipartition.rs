@@ -1,0 +1,233 @@
+//! Minimum balanced-cut weight (the remote-bipartition objective).
+//!
+//! `div(S') = min_{Q⊂S', |Q|=⌊k/2⌋} Σ_{q∈Q, z∈S'\Q} d(q,z)` — itself an
+//! NP-hard quantity. Exact enumeration (Gosper's-hack subset iteration)
+//! covers the sizes used in tests and small experiments; a
+//! Kernighan–Lin-style swap local search with deterministic multi-start
+//! handles larger `k`.
+
+use metric::DistanceMatrix;
+
+/// Largest subset size evaluated exactly through [`super::evaluate`]:
+/// `C(20,10) ≈ 1.8·10⁵` cuts, each `O(k)` incremental — milliseconds.
+pub const BIPARTITION_EXACT_MAX: usize = 20;
+
+/// Exact minimum balanced-cut weight by enumerating all
+/// `C(k, ⌊k/2⌋)` bipartitions. Returns 0 for fewer than 2 points.
+///
+/// # Panics
+/// Panics if `dm.len() > 26` (combinatorial explosion guard).
+pub fn bipartition_exact(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    assert!(n <= 26, "exact bipartition beyond n=26 is infeasible");
+    let q = n / 2;
+
+    // Row sums let us compute a cut as Σ_{i∈Q} row(i) − 2·within(Q).
+    let row: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| dm.get(i, j)).sum())
+        .collect();
+
+    let mut best = f64::INFINITY;
+    // When n is even, Q and its complement give the same cut; pinning
+    // point 0 into Q halves the enumeration.
+    let pin_zero = n.is_multiple_of(2);
+    let mut mask: u64 = (1 << q) - 1; // smallest mask with q bits
+    let limit: u64 = 1 << n;
+    while mask < limit {
+        if !pin_zero || mask & 1 == 1 {
+            let mut rowsum = 0.0;
+            let mut within = 0.0;
+            let mut members = [0usize; 13];
+            let mut cnt = 0;
+            let mut m = mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                rowsum += row[i];
+                for &p in &members[..cnt] {
+                    within += dm.get(i, p);
+                }
+                members[cnt] = i;
+                cnt += 1;
+                m &= m - 1;
+            }
+            let cut = rowsum - 2.0 * within;
+            if cut < best {
+                best = cut;
+            }
+        }
+        mask = next_same_popcount(mask);
+    }
+    best
+}
+
+/// Gosper's hack: the next integer with the same population count.
+fn next_same_popcount(v: u64) -> u64 {
+    let c = v & v.wrapping_neg();
+    let r = v + c;
+    if c == 0 {
+        return u64::MAX;
+    }
+    (((r ^ v) >> 2) / c) | r
+}
+
+/// Heuristic minimum balanced cut: swap-based local search from several
+/// deterministic starting splits; each sweep tries all `Q × (S'\Q)`
+/// swaps with `O(1)` incremental deltas and applies the best
+/// improvement. Returns 0 for fewer than 2 points.
+pub fn bipartition_local_search(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let q = n / 2;
+    let mut best = f64::INFINITY;
+    // Three deterministic starts: prefix, interleaved, suffix.
+    for variant in 0..3u64 {
+        let mut in_q = vec![false; n];
+        match variant {
+            0 => (0..q).for_each(|i| in_q[i] = true),
+            1 => (0..n).filter(|i| i % 2 == 0).take(q).for_each(|i| in_q[i] = true),
+            _ => (n - q..n).for_each(|i| in_q[i] = true),
+        }
+        best = best.min(local_search_from(dm, &mut in_q));
+    }
+    best
+}
+
+fn local_search_from(dm: &DistanceMatrix, in_q: &mut [bool]) -> f64 {
+    let n = dm.len();
+    // conn_q[i] = Σ_{j∈Q} d(i,j); conn_r[i] = Σ_{j∉Q} d(i,j).
+    let mut conn_q = vec![0.0; n];
+    let mut conn_r = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if in_q[j] {
+                conn_q[i] += dm.get(i, j);
+            } else {
+                conn_r[i] += dm.get(i, j);
+            }
+        }
+    }
+    let mut cut: f64 = (0..n).filter(|&i| in_q[i]).map(|i| conn_r[i]).sum();
+
+    const MAX_SWEEPS: usize = 200;
+    for _ in 0..MAX_SWEEPS {
+        // Best single swap (q ∈ Q) <-> (z ∉ Q):
+        // Δcut = (conn_q[q] − conn_r[q]) + (conn_r[z] − conn_q[z]) + 2 d(q,z).
+        let mut best_delta = -1e-12;
+        let mut best_pair = None;
+        for qi in 0..n {
+            if !in_q[qi] {
+                continue;
+            }
+            let base = conn_q[qi] - conn_r[qi];
+            for zi in 0..n {
+                if in_q[zi] {
+                    continue;
+                }
+                let delta = base + (conn_r[zi] - conn_q[zi]) + 2.0 * dm.get(qi, zi);
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_pair = Some((qi, zi));
+                }
+            }
+        }
+        let Some((qi, zi)) = best_pair else { break };
+        // Apply the swap and refresh the incremental sums.
+        in_q[qi] = false;
+        in_q[zi] = true;
+        cut += best_delta;
+        for i in 0..n {
+            if i != qi {
+                let d = dm.get(i, qi);
+                conn_q[i] -= d;
+                conn_r[i] += d;
+            }
+            if i != zi {
+                let d = dm.get(i, zi);
+                conn_q[i] += d;
+                conn_r[i] -= d;
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn dm(xs: &[[f64; 2]]) -> DistanceMatrix {
+        let pts: Vec<VecPoint> = xs.iter().map(|&p| VecPoint::from(p)).collect();
+        DistanceMatrix::build(&pts, &Euclidean)
+    }
+
+    #[test]
+    fn two_clusters_min_cut_mixes_them() {
+        // {0, 0.1} and {10, 10.1}: separating the clusters cuts all
+        // four long edges (cost 40); the *minimum* balanced cut puts
+        // one point of each cluster on each side, cutting only two long
+        // edges: d(0,3)+d(2,1)+d(0,1)+d(2,3) = 10.1+9.9+0.1+0.1 = 20.2.
+        let m = dm(&[[0.0, 0.0], [0.1, 0.0], [10.0, 0.0], [10.1, 0.0]]);
+        let exact = bipartition_exact(&m);
+        assert!((exact - 20.2).abs() < 1e-9, "got {exact}");
+    }
+
+    #[test]
+    fn odd_cardinality_uses_floor() {
+        // 3 points on a line: |Q| = 1; min cut = min_i Σ_{j≠i} d(i,j).
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]]);
+        // Q={0}: 1+3=4; Q={1}: 1+2=3; Q={2}: 3+2=5.
+        assert_eq!(bipartition_exact(&m), 3.0);
+    }
+
+    #[test]
+    fn local_search_matches_exact_on_small_instances() {
+        let pts: Vec<[f64; 2]> = (0..10)
+            .map(|i| {
+                let x = ((i * 29 + 3) % 13) as f64;
+                let y = ((i * 41 + 5) % 11) as f64;
+                [x, y]
+            })
+            .collect();
+        let m = dm(&pts);
+        let exact = bipartition_exact(&m);
+        let heur = bipartition_local_search(&m);
+        assert!(heur >= exact - 1e-9, "heuristic below exact");
+        assert!(
+            heur <= exact * 1.05 + 1e-9,
+            "local search far off: {heur} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(bipartition_exact(&dm(&[])), 0.0);
+        assert_eq!(bipartition_exact(&dm(&[[1.0, 1.0]])), 0.0);
+        assert_eq!(bipartition_local_search(&dm(&[[1.0, 1.0]])), 0.0);
+        let two = dm(&[[0.0, 0.0], [2.0, 0.0]]);
+        assert_eq!(bipartition_exact(&two), 2.0);
+        assert_eq!(bipartition_local_search(&two), 2.0);
+    }
+
+    #[test]
+    fn gosper_iterates_all_3_choose_2() {
+        let mut mask = 0b011u64;
+        let mut seen = vec![mask];
+        loop {
+            mask = next_same_popcount(mask);
+            if mask >= 1 << 3 {
+                break;
+            }
+            seen.push(mask);
+        }
+        assert_eq!(seen, vec![0b011, 0b101, 0b110]);
+    }
+}

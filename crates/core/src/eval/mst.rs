@@ -1,0 +1,81 @@
+//! Minimum spanning tree weight (the remote-tree objective).
+
+use metric::DistanceMatrix;
+
+/// Weight of a minimum spanning tree of the complete graph on the
+/// matrix's points (Prim's algorithm, `O(k²)` — optimal for dense
+/// graphs). Returns 0 for fewer than two points.
+pub fn mst_weight(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    best[0] = 0.0;
+    let mut total = 0.0;
+    for _ in 0..n {
+        // Cheapest fringe vertex.
+        let mut u = usize::MAX;
+        let mut ud = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best[v] < ud {
+                u = v;
+                ud = best[v];
+            }
+        }
+        debug_assert_ne!(u, usize::MAX, "graph is complete, fringe never empty");
+        in_tree[u] = true;
+        total += ud;
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = dm.get(u, v);
+                if d < best[v] {
+                    best[v] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn dm(points: &[[f64; 2]]) -> DistanceMatrix {
+        let pts: Vec<VecPoint> = points.iter().map(|&p| VecPoint::from(p)).collect();
+        DistanceMatrix::build(&pts, &Euclidean)
+    }
+
+    #[test]
+    fn path_graph() {
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]]);
+        assert_eq!(mst_weight(&m), 3.0);
+    }
+
+    #[test]
+    fn unit_square_mst_is_three_edges() {
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]);
+        assert_eq!(mst_weight(&m), 3.0);
+    }
+
+    #[test]
+    fn star_shape_prefers_center() {
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]]);
+        assert_eq!(mst_weight(&m), 3.0);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert_eq!(mst_weight(&dm(&[])), 0.0);
+        assert_eq!(mst_weight(&dm(&[[5.0, 5.0]])), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_contribute_zero() {
+        let m = dm(&[[0.0, 0.0], [0.0, 0.0], [2.0, 0.0]]);
+        assert_eq!(mst_weight(&m), 2.0);
+    }
+}

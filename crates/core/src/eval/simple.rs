@@ -1,0 +1,69 @@
+//! The three objectives with closed-form `O(k²)` evaluation.
+
+use metric::DistanceMatrix;
+
+/// remote-edge: `min_{p,q∈S'} d(p,q)`. Returns `+∞` for fewer than two
+/// points (the empty minimum), matching `div_k`'s monotonicity needs.
+pub fn remote_edge(dm: &DistanceMatrix) -> f64 {
+    dm.min_pairwise()
+}
+
+/// remote-clique: `Σ_{{p,q}⊆S'} d(p,q)` over unordered pairs.
+pub fn remote_clique(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    let mut sum = 0.0;
+    for i in 1..n {
+        for j in 0..i {
+            sum += dm.get(i, j);
+        }
+    }
+    sum
+}
+
+/// remote-star: `min_{c∈S'} Σ_{q∈S'\{c}} d(c,q)`. Returns 0 for fewer
+/// than two points.
+pub fn remote_star(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|c| (0..n).filter(|&q| q != c).map(|q| dm.get(c, q)).sum::<f64>())
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn dm(xs: &[f64]) -> DistanceMatrix {
+        let pts: Vec<VecPoint> = xs.iter().map(|&x| VecPoint::from([x])).collect();
+        DistanceMatrix::build(&pts, &Euclidean)
+    }
+
+    #[test]
+    fn edge_is_min_gap() {
+        assert_eq!(remote_edge(&dm(&[0.0, 3.0, 4.0, 10.0])), 1.0);
+    }
+
+    #[test]
+    fn clique_sums_all_pairs() {
+        // pairs of {0,1,3}: 1 + 3 + 2 = 6
+        assert_eq!(remote_clique(&dm(&[0.0, 1.0, 3.0])), 6.0);
+    }
+
+    #[test]
+    fn star_picks_best_center() {
+        // centers of {0,1,3}: 0 -> 4, 1 -> 3, 3 -> 5; min = 3.
+        assert_eq!(remote_star(&dm(&[0.0, 1.0, 3.0])), 3.0);
+    }
+
+    #[test]
+    fn degenerate_sets() {
+        assert_eq!(remote_edge(&dm(&[1.0])), f64::INFINITY);
+        assert_eq!(remote_clique(&dm(&[1.0])), 0.0);
+        assert_eq!(remote_star(&dm(&[1.0])), 0.0);
+        assert_eq!(remote_star(&dm(&[])), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimum Hamiltonian-cycle weight (the remote-cycle objective).
+//!
+//! Evaluating `w(TSP(S'))` is itself NP-hard. For the subset sizes where
+//! the experiments need exact values we run Held–Karp; above that a
+//! nearest-neighbour construction polished by 2-opt provides a
+//! deterministic upper bound (the classical tour heuristics; with the
+//! triangle inequality NN is within `O(log k)` and 2-opt within `O(√k)`
+//! of optimal, far tighter in practice).
+
+use metric::DistanceMatrix;
+
+/// Largest subset size evaluated exactly by [`tsp_held_karp`] when
+/// dispatched through [`super::evaluate`]. `2^14 · 14²` subproblems is
+/// a few milliseconds; growth beyond that is exponential.
+pub const TSP_EXACT_MAX: usize = 14;
+
+/// Exact minimum tour weight via Held–Karp dynamic programming.
+/// `O(2^k · k²)` time, `O(2^k · k)` memory.
+///
+/// Degenerate sizes: 0 or 1 point → 0; 2 points → twice their distance
+/// (out-and-back "tour"), so the value stays monotone in the inputs.
+///
+/// # Panics
+/// Panics if `dm.len() > 24` (memory guard; use [`tsp_nn_2opt`]).
+pub fn tsp_held_karp(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    if n == 2 {
+        return 2.0 * dm.get(0, 1);
+    }
+    assert!(n <= 24, "Held–Karp beyond n=24 is infeasible; use tsp_nn_2opt");
+
+    // dp[mask][j]: cheapest path visiting exactly `mask` (a subset of
+    // 1..n, vertex 0 implicit start), ending at j.
+    let full = 1usize << (n - 1);
+    let mut dp = vec![f64::INFINITY; full * (n - 1)];
+    for j in 0..n - 1 {
+        dp[(1 << j) * (n - 1) + j] = dm.get(0, j + 1);
+    }
+    for mask in 1..full {
+        for j in 0..n - 1 {
+            if mask & (1 << j) == 0 {
+                continue;
+            }
+            let cur = dp[mask * (n - 1) + j];
+            if !cur.is_finite() {
+                continue;
+            }
+            for nxt in 0..n - 1 {
+                if mask & (1 << nxt) != 0 {
+                    continue;
+                }
+                let nmask = mask | (1 << nxt);
+                let cand = cur + dm.get(j + 1, nxt + 1);
+                let slot = &mut dp[nmask * (n - 1) + nxt];
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    for j in 0..n - 1 {
+        let v = dp[(full - 1) * (n - 1) + j] + dm.get(j + 1, 0);
+        if v < best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Heuristic tour weight: best nearest-neighbour tour over a few
+/// deterministic starts, improved by 2-opt to a local optimum.
+/// `O(k²)` per NN start, `O(k²)` per 2-opt sweep.
+pub fn tsp_nn_2opt(dm: &DistanceMatrix) -> f64 {
+    let n = dm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    if n == 2 {
+        return 2.0 * dm.get(0, 1);
+    }
+    let starts = [0, n / 3, (2 * n) / 3];
+    let mut best = f64::INFINITY;
+    for &s in &starts {
+        let mut tour = nearest_neighbour_tour(dm, s);
+        two_opt(dm, &mut tour);
+        best = best.min(tour_weight(dm, &tour));
+    }
+    best
+}
+
+fn nearest_neighbour_tour(dm: &DistanceMatrix, start: usize) -> Vec<usize> {
+    let n = dm.len();
+    let mut visited = vec![false; n];
+    let mut tour = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    tour.push(cur);
+    for _ in 1..n {
+        let mut nxt = usize::MAX;
+        let mut nd = f64::INFINITY;
+        for v in 0..n {
+            if !visited[v] {
+                let d = dm.get(cur, v);
+                if d < nd {
+                    nd = d;
+                    nxt = v;
+                }
+            }
+        }
+        visited[nxt] = true;
+        tour.push(nxt);
+        cur = nxt;
+    }
+    tour
+}
+
+fn tour_weight(dm: &DistanceMatrix, tour: &[usize]) -> f64 {
+    let n = tour.len();
+    (0..n).map(|i| dm.get(tour[i], tour[(i + 1) % n])).sum()
+}
+
+/// First-improvement 2-opt until a local optimum (bounded sweeps to
+/// guarantee termination under floating-point noise).
+fn two_opt(dm: &DistanceMatrix, tour: &mut [usize]) {
+    let n = tour.len();
+    const MAX_SWEEPS: usize = 64;
+    for _ in 0..MAX_SWEEPS {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            for j in i + 2..n {
+                // Reversing tour[i+1..=j] replaces edges (i,i+1),(j,j+1)
+                // with (i,j),(i+1,j+1).
+                let a = tour[i];
+                let b = tour[i + 1];
+                let c = tour[j];
+                let d = tour[(j + 1) % n];
+                if a == d {
+                    continue; // same edge (wrap-around degenerate case)
+                }
+                let delta = dm.get(a, c) + dm.get(b, d) - dm.get(a, b) - dm.get(c, d);
+                if delta < -1e-12 {
+                    tour[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn dm(points: &[[f64; 2]]) -> DistanceMatrix {
+        let pts: Vec<VecPoint> = points.iter().map(|&p| VecPoint::from(p)).collect();
+        DistanceMatrix::build(&pts, &Euclidean)
+    }
+
+    #[test]
+    fn square_tour() {
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]);
+        assert_eq!(tsp_held_karp(&m), 4.0);
+        assert_eq!(tsp_nn_2opt(&m), 4.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(tsp_held_karp(&dm(&[])), 0.0);
+        assert_eq!(tsp_held_karp(&dm(&[[1.0, 1.0]])), 0.0);
+        assert_eq!(tsp_held_karp(&dm(&[[0.0, 0.0], [3.0, 4.0]])), 10.0);
+        assert_eq!(tsp_nn_2opt(&dm(&[[0.0, 0.0], [3.0, 4.0]])), 10.0);
+    }
+
+    #[test]
+    fn heuristic_upper_bounds_exact() {
+        // Deterministic "random-ish" 10-point instance.
+        let pts: Vec<[f64; 2]> = (0..10)
+            .map(|i| {
+                let x = ((i * 37 + 11) % 17) as f64;
+                let y = ((i * 53 + 7) % 23) as f64;
+                [x, y]
+            })
+            .collect();
+        let m = dm(&pts);
+        let exact = tsp_held_karp(&m);
+        let heur = tsp_nn_2opt(&m);
+        assert!(heur >= exact - 1e-9, "heuristic {heur} below exact {exact}");
+        assert!(heur <= 1.25 * exact, "2-opt unusually bad: {heur} vs {exact}");
+    }
+
+    #[test]
+    fn collinear_points_tour_is_twice_span() {
+        let m = dm(&[[0.0, 0.0], [1.0, 0.0], [4.0, 0.0], [9.0, 0.0]]);
+        assert_eq!(tsp_held_karp(&m), 18.0);
+        assert_eq!(tsp_nn_2opt(&m), 18.0);
+    }
+}

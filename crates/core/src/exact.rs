@@ -1,0 +1,142 @@
+//! Brute-force exact `div_k` by subset enumeration.
+//!
+//! Exponential (`C(n,k)` subsets) — usable only on tiny instances, where
+//! it anchors the property tests for the core-set guarantees: a
+//! `(1+ε)`-core-set `T` of `S` must satisfy
+//! `div_k(T) ≥ div_k(S)/(1+ε)`, and both sides are computable exactly
+//! here.
+
+use crate::eval::evaluate;
+use crate::{Problem, Solution};
+use metric::{DistanceMatrix, Metric};
+
+/// Computes `div_k(S) = max_{|S'|=k} div(S')` exactly by enumerating all
+/// `C(n,k)` subsets. Inner objective evaluation also uses the exact
+/// evaluators (sizes here are tiny by necessity).
+///
+/// # Panics
+/// Panics if `k == 0`, `k > n`, or `C(n,k)` exceeds 10⁷ subsets.
+pub fn divk_exact<P, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+) -> Solution {
+    let n = points.len();
+    assert!(k > 0 && k <= n, "need 0 < k <= n (k={k}, n={n})");
+    assert!(
+        binomial(n, k) <= 10_000_000,
+        "C({n},{k}) too large for brute force"
+    );
+    let dm = DistanceMatrix::build(points, metric);
+
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best: Vec<usize> = Vec::new();
+    let mut subset: Vec<usize> = (0..k).collect();
+    loop {
+        let sub_dm =
+            DistanceMatrix::from_fn(k, |i, j| dm.get(subset[i], subset[j]));
+        let v = evaluate(problem, &sub_dm);
+        if v > best_value {
+            best_value = v;
+            best = subset.clone();
+        }
+        if !next_combination(&mut subset, n) {
+            break;
+        }
+    }
+    Solution {
+        indices: best,
+        value: best_value,
+    }
+}
+
+/// Advances `subset` (sorted combination of `0..n`) to the next
+/// combination in lexicographic order; returns `false` after the last.
+fn next_combination(subset: &mut [usize], n: usize) -> bool {
+    let k = subset.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if subset[i] < n - (k - i) {
+            subset[i] += 1;
+            for j in i + 1..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn remote_edge_picks_spread_points() {
+        let pts = line(&[0.0, 1.0, 2.0, 10.0]);
+        let sol = divk_exact(Problem::RemoteEdge, &pts, &Euclidean, 2);
+        assert_eq!(sol.indices, vec![0, 3]);
+        assert_eq!(sol.value, 10.0);
+    }
+
+    #[test]
+    fn remote_edge_three_of_five() {
+        let pts = line(&[0.0, 1.0, 5.0, 6.0, 10.0]);
+        let sol = divk_exact(Problem::RemoteEdge, &pts, &Euclidean, 3);
+        // Best triple is {0, 5, 10}: min gap 4 (vs {0,6,10}: 4... both
+        // give 4; enumeration order decides; value must be 4 and wait:
+        // {0,5,10} min gap 5. {0,6,10}: gaps 6 and 4 -> 4. So optimum 5.
+        assert_eq!(sol.value, 5.0);
+        assert_eq!(sol.indices, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn remote_clique_maximizes_sum() {
+        let pts = line(&[0.0, 4.0, 5.0, 10.0]);
+        let sol = divk_exact(Problem::RemoteClique, &pts, &Euclidean, 3);
+        // {0,4,10}: 4+10+6=20; {0,5,10}: 5+10+5=20; {4,5,10}: 1+6+5=12;
+        // {0,4,5}: 4+5+1=10. Max 20.
+        assert_eq!(sol.value, 20.0);
+    }
+
+    #[test]
+    fn k_equals_n_returns_whole_set() {
+        let pts = line(&[0.0, 3.0, 7.0]);
+        let sol = divk_exact(Problem::RemoteTree, &pts, &Euclidean, 3);
+        assert_eq!(sol.indices, vec![0, 1, 2]);
+        assert_eq!(sol.value, 7.0);
+    }
+
+    #[test]
+    fn combination_iterator_counts() {
+        let mut c = vec![0usize, 1];
+        let mut count = 1;
+        while next_combination(&mut c, 5) {
+            count += 1;
+        }
+        assert_eq!(count, 10); // C(5,2)
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_huge_instances() {
+        let pts = line(&(0..60).map(|i| i as f64).collect::<Vec<_>>());
+        let _ = divk_exact(Problem::RemoteEdge, &pts, &Euclidean, 30);
+    }
+}

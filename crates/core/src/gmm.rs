@@ -1,0 +1,215 @@
+//! GMM: the Gonzalez farthest-point traversal.
+//!
+//! `GMM(S, k)` greedily grows a set `T`, starting from an arbitrary
+//! point and repeatedly adding the point of `S \ T` farthest from `T`.
+//! Classical facts the paper builds on (Section 3):
+//!
+//! * `r_T ≤ 2 r*_k` — 2-approximation for k-center (Gonzalez'85);
+//! * the *anticover* property `r_T ≤ ρ_T`: every prefix's range is at
+//!   most its farness, because each added point was at distance ≥ the
+//!   current radius from all previous ones;
+//! * hence `r*_k ≤ ρ*_k` (Fact 1), tying the k-center range to the
+//!   remote-edge optimum;
+//! * the k-prefix of a GMM run is a 2-approximation for remote-edge, and
+//!   (Halldórsson et al.'99) a 4- and 3-approximation for remote-tree
+//!   and remote-cycle respectively.
+//!
+//! The implementation is the standard `O(n·k)` one: maintain each
+//! point's distance to the nearest selected center and scan for the
+//! maximum.
+
+use metric::{argmax, Metric};
+
+/// The result of a farthest-point traversal.
+#[derive(Clone, Debug)]
+pub struct GmmOutcome {
+    /// Selected point indices, in insertion order. `selected[0]` is the
+    /// starting point.
+    pub selected: Vec<usize>,
+    /// `insertion_dist[j]` = distance from `selected[j]` to
+    /// `{selected[0..j]}` at the moment of insertion (`d_j` in Lemma 5's
+    /// notation). `insertion_dist[0] = f64::INFINITY`. This sequence is
+    /// non-increasing, and for every prefix `T(j)`:
+    /// `r_T(j) ≤ insertion_dist[j] ≤ ρ_T(j)`.
+    pub insertion_dist: Vec<f64>,
+    /// For every input point, the index *into `selected`* of its nearest
+    /// selected center (ties to the earliest-inserted center, matching
+    /// Algorithm 1's cluster definition `C_j`).
+    pub assignment: Vec<usize>,
+    /// For every input point, its distance to the nearest selected
+    /// center. `max(dist_to_centers)` is the range `r_T` of the final
+    /// selection.
+    pub dist_to_centers: Vec<f64>,
+}
+
+impl GmmOutcome {
+    /// The range `r_T = max_{p∈S} d(p, T)` of the final selection.
+    pub fn radius(&self) -> f64 {
+        self.dist_to_centers.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Runs the farthest-point traversal from `points[start]`, selecting
+/// `min(k, n)` points. `O(n·k)` distance evaluations, `O(n)` memory.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `start >= points.len()`.
+pub fn gmm<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) -> GmmOutcome {
+    let n = points.len();
+    assert!(n > 0, "GMM requires a non-empty input");
+    assert!(k > 0, "GMM requires k > 0");
+    assert!(start < n, "start index out of range");
+    let k = k.min(n);
+
+    let mut selected = Vec::with_capacity(k);
+    let mut insertion_dist = Vec::with_capacity(k);
+    let mut assignment = vec![0usize; n];
+    let mut dist_to_centers = vec![f64::INFINITY; n];
+
+    let mut next = start;
+    let mut next_dist = f64::INFINITY;
+    for _ in 0..k {
+        let c = next;
+        selected.push(c);
+        insertion_dist.push(next_dist);
+        let cj = selected.len() - 1;
+        // Relax distances against the new center. Strict `<` keeps ties
+        // assigned to the earliest center, as Algorithm 1 requires.
+        for (i, p) in points.iter().enumerate() {
+            let d = metric.distance(p, &points[c]);
+            if d < dist_to_centers[i] {
+                dist_to_centers[i] = d;
+                assignment[i] = cj;
+            }
+        }
+        // Farthest point becomes the next candidate.
+        let far = argmax(&dist_to_centers).expect("non-empty input");
+        next = far;
+        next_dist = dist_to_centers[far];
+    }
+
+    GmmOutcome {
+        selected,
+        insertion_dist,
+        assignment,
+        dist_to_centers,
+    }
+}
+
+/// Convenience wrapper: GMM started from index 0 (the paper lets the
+/// initial point be arbitrary; a fixed start keeps runs deterministic).
+pub fn gmm_default<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> GmmOutcome {
+    gmm(points, metric, k, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn selects_extremes_first() {
+        let pts = line(&[0.0, 1.0, 2.0, 3.0, 10.0]);
+        let out = gmm(&pts, &Euclidean, 3, 0);
+        assert_eq!(out.selected[0], 0);
+        assert_eq!(out.selected[1], 4, "farthest from 0 is 10.0");
+        // Next farthest from {0, 10} is 3.0 (index 3) at distance 3... no:
+        // distances to {0,10}: 1->1, 2->2, 3->3; point 3 wins.
+        assert_eq!(out.selected[2], 3);
+    }
+
+    #[test]
+    fn insertion_distances_non_increasing() {
+        let pts = line(&[0.0, 5.0, 9.0, 12.0, 13.0, 20.0]);
+        let out = gmm(&pts, &Euclidean, 6, 0);
+        for w in out.insertion_dist.windows(2) {
+            assert!(w[0] >= w[1], "insertion distances must not increase");
+        }
+    }
+
+    #[test]
+    fn anticover_property_on_every_prefix() {
+        // r_T(j) <= d_j <= rho_T(j) for every prefix T(j), j >= 2.
+        let pts = line(&[0.0, 2.0, 3.0, 7.0, 8.5, 11.0, 20.0, 21.5]);
+        let out = gmm(&pts, &Euclidean, 8, 0);
+        for j in 2..=out.selected.len() {
+            let prefix: Vec<VecPoint> =
+                out.selected[..j].iter().map(|&i| pts[i].clone()).collect();
+            let d_j = out.insertion_dist[j - 1];
+            // range of the prefix
+            let r = pts
+                .iter()
+                .map(|p| Euclidean.distance_to_set(p, &prefix))
+                .fold(0.0, f64::max);
+            // farness of the prefix
+            let mut rho = f64::INFINITY;
+            for a in 0..j {
+                for b in 0..j {
+                    if a != b {
+                        rho = rho.min(Euclidean.distance(&prefix[a], &prefix[b]));
+                    }
+                }
+            }
+            assert!(r <= d_j + 1e-12, "range {r} > d_j {d_j} at prefix {j}");
+            assert!(d_j <= rho + 1e-12, "d_j {d_j} > farness {rho} at prefix {j}");
+        }
+    }
+
+    #[test]
+    fn two_approximation_for_k_center() {
+        // Optimal 2-center range for {0, 1, 10, 11} is 0.5; GMM must be
+        // within factor 2.
+        let pts = line(&[0.0, 1.0, 10.0, 11.0]);
+        let out = gmm(&pts, &Euclidean, 2, 0);
+        assert!(out.radius() <= 2.0 * 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn k_geq_n_selects_everything() {
+        let pts = line(&[0.0, 1.0, 2.0]);
+        let out = gmm(&pts, &Euclidean, 10, 0);
+        assert_eq!(out.selected.len(), 3);
+        assert_eq!(out.radius(), 0.0);
+    }
+
+    #[test]
+    fn assignment_points_to_nearest_center() {
+        let pts = line(&[0.0, 1.0, 9.0, 10.0]);
+        let out = gmm(&pts, &Euclidean, 2, 0);
+        // Centers are 0.0 and 10.0; 1.0 -> center 0, 9.0 -> center 1.
+        let c0 = out.selected[0];
+        let c1 = out.selected[1];
+        assert_eq!((c0, c1), (0, 3));
+        assert_eq!(out.assignment[1], 0);
+        assert_eq!(out.assignment[2], 1);
+        assert_eq!(out.dist_to_centers[1], 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let pts = line(&[1.0, 1.0, 1.0, 5.0]);
+        let out = gmm(&pts, &Euclidean, 4, 0);
+        assert_eq!(out.selected.len(), 4);
+        // After the two distinct locations are taken, remaining
+        // insertions happen at distance 0.
+        assert_eq!(out.insertion_dist[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_input() {
+        let _ = gmm::<VecPoint, _>(&[], &Euclidean, 1, 0);
+    }
+
+    #[test]
+    fn deterministic_given_start() {
+        let pts = line(&[3.0, 1.0, 4.0, 1.5, 9.0, 2.6]);
+        let a = gmm(&pts, &Euclidean, 4, 2);
+        let b = gmm(&pts, &Euclidean, 4, 2);
+        assert_eq!(a.selected, b.selected);
+    }
+}

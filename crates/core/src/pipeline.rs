@@ -1,0 +1,134 @@
+//! The core-set → sequential-algorithm composition.
+//!
+//! Both the streaming algorithm (Theorem 3) and the MapReduce algorithm
+//! (Theorem 6) end the same way: a core-set `T` sits in one machine's
+//! memory and the best sequential algorithm runs on it. This module is
+//! that final step, used directly for single-machine runs and reused by
+//! the `diversity-streaming` and `diversity-mapreduce` crates.
+
+use crate::coreset::{gmm_coreset, gmm_ext};
+use crate::{seq, Problem, Solution};
+use metric::Metric;
+
+/// Extracts the problem-appropriate core-set from `points`
+/// (`GMM` for remote-edge/cycle, `GMM-EXT` for the injective-proxy
+/// problems) with kernel size `k_prime`, then runs the sequential
+/// `α`-approximation on the core-set. Returns a solution whose indices
+/// refer to the *original* `points` slice.
+///
+/// This single-machine pipeline is the `ℓ = 1` special case of the
+/// MapReduce algorithm; with a theory-driven `k_prime`
+/// ([`crate::coreset::theoretical_kernel_size`]) it is an
+/// `(α+ε)`-approximation on bounded-doubling-dimension inputs.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `k_prime < k`.
+pub fn coreset_then_solve<P: Clone, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+) -> Solution {
+    assert!(k_prime >= k, "k' must be at least k (k'={k_prime}, k={k})");
+    let coreset_indices = extract_coreset(problem, points, metric, k, k_prime);
+    solve_on_subset(problem, points, metric, k, &coreset_indices)
+}
+
+/// Extracts the problem-appropriate core-set (indices into `points`).
+pub fn extract_coreset<P, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+) -> Vec<usize> {
+    if problem.needs_injective_proxy() {
+        gmm_ext(points, metric, k, k_prime).coreset
+    } else {
+        gmm_coreset(points, metric, k_prime)
+    }
+}
+
+/// Runs the sequential algorithm on the subset `candidate_indices` of
+/// `points`, translating the result back to original indices.
+pub fn solve_on_subset<P: Clone, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    candidate_indices: &[usize],
+) -> Solution {
+    let subset: Vec<P> = candidate_indices
+        .iter()
+        .map(|&i| points[i].clone())
+        .collect();
+    let local = seq::solve(problem, &subset, metric, k);
+    Solution {
+        indices: local
+            .indices
+            .iter()
+            .map(|&i| candidate_indices[i])
+            .collect(),
+        value: local.value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn indices_refer_to_original_slice() {
+        let pts = line(&[0.0, 0.2, 0.4, 5.0, 9.6, 9.8, 10.0]);
+        let sol = coreset_then_solve(Problem::RemoteEdge, &pts, &Euclidean, 3, 5);
+        assert_eq!(sol.len(), 3);
+        assert!(sol.indices.iter().all(|&i| i < pts.len()));
+        // The solution's value must equal the evaluation of the returned
+        // indices in the original point set.
+        let direct = crate::eval::evaluate_subset(
+            Problem::RemoteEdge,
+            &pts,
+            &Euclidean,
+            &sol.indices,
+        );
+        assert_eq!(sol.value, direct);
+    }
+
+    #[test]
+    fn coreset_equal_to_input_recovers_sequential() {
+        let pts = line(&[0.0, 1.0, 3.5, 7.0, 11.0]);
+        let via_coreset = coreset_then_solve(Problem::RemoteClique, &pts, &Euclidean, 3, 5);
+        let direct = seq::solve(Problem::RemoteClique, &pts, &Euclidean, 3);
+        assert_eq!(via_coreset.value, direct.value);
+    }
+
+    #[test]
+    fn extract_uses_delegates_only_when_needed() {
+        let pts = line(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let plain = extract_coreset(Problem::RemoteEdge, &pts, &Euclidean, 3, 2);
+        let ext = extract_coreset(Problem::RemoteClique, &pts, &Euclidean, 3, 2);
+        assert_eq!(plain.len(), 2, "kernel only");
+        assert!(ext.len() > 2, "kernel plus delegates");
+    }
+
+    #[test]
+    fn larger_kernel_never_hurts_remote_edge_here() {
+        let pts = line(&(0..50).map(|i| (i as f64).sqrt() * 3.0).collect::<Vec<_>>());
+        let small = coreset_then_solve(Problem::RemoteEdge, &pts, &Euclidean, 4, 4);
+        let large = coreset_then_solve(Problem::RemoteEdge, &pts, &Euclidean, 4, 16);
+        assert!(large.value >= small.value - 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_prime_below_k() {
+        let pts = line(&[0.0, 1.0, 2.0]);
+        let _ = coreset_then_solve(Problem::RemoteEdge, &pts, &Euclidean, 3, 2);
+    }
+}

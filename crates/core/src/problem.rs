@@ -1,0 +1,156 @@
+//! The six diversity-maximization problems (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A diversity objective from Table 1 of the paper.
+///
+/// Each problem asks for a `k`-subset `S'` of the input maximizing
+/// `div(S')`; they differ in `div`:
+///
+/// | variant            | `div(S')`                                   |
+/// |--------------------|----------------------------------------------|
+/// | `RemoteEdge`       | minimum pairwise distance                    |
+/// | `RemoteClique`     | sum of pairwise distances                    |
+/// | `RemoteStar`       | min over centers `c` of `Σ d(c, q)`          |
+/// | `RemoteBipartition`| min weight of a balanced cut of `S'`         |
+/// | `RemoteTree`       | weight of a minimum spanning tree of `S'`    |
+/// | `RemoteCycle`      | weight of a minimum TSP tour of `S'`         |
+///
+/// All six are NP-hard in general metric spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Problem {
+    RemoteEdge,
+    RemoteClique,
+    RemoteStar,
+    RemoteBipartition,
+    RemoteTree,
+    RemoteCycle,
+}
+
+impl Problem {
+    /// All six problems, in Table 1 order.
+    pub const ALL: [Problem; 6] = [
+        Problem::RemoteEdge,
+        Problem::RemoteClique,
+        Problem::RemoteStar,
+        Problem::RemoteBipartition,
+        Problem::RemoteTree,
+        Problem::RemoteCycle,
+    ];
+
+    /// The approximation factor `α` of the best known polynomial-time,
+    /// linear-space sequential algorithm (Table 1, last column):
+    /// remote-edge 2 [Tamir'91], remote-clique 2 [Hassin et al.'97],
+    /// remote-star 2 and remote-bipartition 3 [Chandra–Halldórsson'01],
+    /// remote-tree 4 and remote-cycle 3 [Halldórsson et al.'99].
+    pub fn alpha(self) -> f64 {
+        match self {
+            Problem::RemoteEdge => 2.0,
+            Problem::RemoteClique => 2.0,
+            Problem::RemoteStar => 2.0,
+            Problem::RemoteBipartition => 3.0,
+            Problem::RemoteTree => 4.0,
+            Problem::RemoteCycle => 3.0,
+        }
+    }
+
+    /// Whether the core-set proxy function must be *injective*
+    /// (Lemma 2) — true for the four "sum-like" objectives, false for
+    /// remote-edge and remote-cycle (Lemma 1). Injective problems need
+    /// the delegate-augmented core-sets (`GMM-EXT` / `SMM-EXT` /
+    /// generalized core-sets); the others get away with plain kernels.
+    pub fn needs_injective_proxy(self) -> bool {
+        !matches!(self, Problem::RemoteEdge | Problem::RemoteCycle)
+    }
+
+    /// Core-set kernel-size multiplier: the paper's Lemmas use
+    /// `k' = (8/ε')^D·k` for remote-edge/cycle (Lemma 5) and
+    /// `k' = (16/ε')^D·k` for the other four (Lemma 6) in the MapReduce
+    /// setting; the streaming bounds double these (Lemmas 3–4). This
+    /// constant is the lemma's base (8 or 16) for the MR setting.
+    pub fn kernel_base(self) -> f64 {
+        if self.needs_injective_proxy() {
+            16.0
+        } else {
+            8.0
+        }
+    }
+
+    /// Short lowercase name used in experiment tables
+    /// (`r-edge`, `r-clique`, ...).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Problem::RemoteEdge => "r-edge",
+            Problem::RemoteClique => "r-clique",
+            Problem::RemoteStar => "r-star",
+            Problem::RemoteBipartition => "r-bipartition",
+            Problem::RemoteTree => "r-tree",
+            Problem::RemoteCycle => "r-cycle",
+        }
+    }
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A solution to a diversity problem: indices into the input slice plus
+/// the objective value of the selected subset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Indices of the selected points in the input ordering.
+    pub indices: Vec<usize>,
+    /// `div(selected)` under the problem's objective.
+    pub value: f64,
+}
+
+impl Solution {
+    /// Number of selected points.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` if no points were selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphas_match_table_1() {
+        assert_eq!(Problem::RemoteEdge.alpha(), 2.0);
+        assert_eq!(Problem::RemoteClique.alpha(), 2.0);
+        assert_eq!(Problem::RemoteStar.alpha(), 2.0);
+        assert_eq!(Problem::RemoteBipartition.alpha(), 3.0);
+        assert_eq!(Problem::RemoteTree.alpha(), 4.0);
+        assert_eq!(Problem::RemoteCycle.alpha(), 3.0);
+    }
+
+    #[test]
+    fn injectivity_partition_matches_lemmas() {
+        assert!(!Problem::RemoteEdge.needs_injective_proxy());
+        assert!(!Problem::RemoteCycle.needs_injective_proxy());
+        assert!(Problem::RemoteClique.needs_injective_proxy());
+        assert!(Problem::RemoteStar.needs_injective_proxy());
+        assert!(Problem::RemoteBipartition.needs_injective_proxy());
+        assert!(Problem::RemoteTree.needs_injective_proxy());
+    }
+
+    #[test]
+    fn all_lists_six_distinct_problems() {
+        let mut names: Vec<&str> = Problem::ALL.iter().map(|p| p.short_name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn display_uses_short_name() {
+        assert_eq!(Problem::RemoteTree.to_string(), "r-tree");
+    }
+}

@@ -1,0 +1,90 @@
+//! GMM-prefix selection: the sequential algorithm for remote-edge,
+//! remote-tree, and remote-cycle.
+//!
+//! Selecting the `k`-prefix of a farthest-point traversal is:
+//!
+//! * a 2-approximation for remote-edge — the classical max-min
+//!   dispersion bound (Tamir'91; Ravi–Rosenkrantz–Tayi);
+//! * a 4-approximation for remote-tree and a 3-approximation for
+//!   remote-cycle (Halldórsson–Iwano–Katoh–Tokuyama'99).
+
+use crate::gmm::gmm_default;
+use metric::Metric;
+
+/// Selects `min(k, n)` indices by farthest-point traversal.
+pub fn select<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+    gmm_default(points, metric, k).selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    #[test]
+    fn selects_the_spread_triple() {
+        let pts: Vec<VecPoint> = [0.0, 0.1, 0.2, 5.0, 9.9, 10.0]
+            .iter()
+            .map(|&x| VecPoint::from([x]))
+            .collect();
+        let mut sel = select(&pts, &Euclidean, 3);
+        sel.sort_unstable();
+        // 0.0, 5.0, 10.0 (indices 0, 3, 5) is the natural GMM outcome.
+        assert_eq!(sel, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn remote_tree_factor_on_small_exact_instances() {
+        // 4-approximation check against brute force.
+        for seed in 0..6u64 {
+            let pts: Vec<VecPoint> = (0..10)
+                .map(|i| {
+                    let x = (((i * 7919 + seed as usize * 13) % 97) as f64) / 9.0;
+                    let y = (((i * 104729 + seed as usize * 29) % 89) as f64) / 8.0;
+                    VecPoint::from([x, y])
+                })
+                .collect();
+            let sel = select(&pts, &Euclidean, 4);
+            let val = crate::eval::evaluate_subset(
+                crate::Problem::RemoteTree,
+                &pts,
+                &Euclidean,
+                &sel,
+            );
+            let exact =
+                crate::exact::divk_exact(crate::Problem::RemoteTree, &pts, &Euclidean, 4);
+            assert!(
+                val >= exact.value / 4.0 - 1e-9,
+                "seed {seed}: {val} < {}/4",
+                exact.value
+            );
+        }
+    }
+
+    #[test]
+    fn remote_cycle_factor_on_small_exact_instances() {
+        for seed in 0..6u64 {
+            let pts: Vec<VecPoint> = (0..9)
+                .map(|i| {
+                    let x = (((i * 31 + seed as usize * 17) % 61) as f64) / 6.0;
+                    let y = (((i * 73 + seed as usize * 41) % 53) as f64) / 5.0;
+                    VecPoint::from([x, y])
+                })
+                .collect();
+            let sel = select(&pts, &Euclidean, 4);
+            let val = crate::eval::evaluate_subset(
+                crate::Problem::RemoteCycle,
+                &pts,
+                &Euclidean,
+                &sel,
+            );
+            let exact =
+                crate::exact::divk_exact(crate::Problem::RemoteCycle, &pts, &Euclidean, 4);
+            assert!(
+                val >= exact.value / 3.0 - 1e-9,
+                "seed {seed}: {val} < {}/3",
+                exact.value
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Greedy maximum-weight matching selection: the sequential algorithm
+//! for remote-clique, remote-star, and remote-bipartition.
+//!
+//! Repeatedly take the farthest remaining pair and add both endpoints
+//! until `k` points are selected; for odd `k`, the last point is the one
+//! farthest from the current selection (any point preserves the proof;
+//! the farthest is the natural deterministic choice). This is
+//! Hassin–Rubinstein–Tamir's 2-approximation for remote-clique, and
+//! Chandra–Halldórsson analyze the same matching-based scheme into a
+//! 2-approximation for remote-star and 3-approximation for
+//! remote-bipartition.
+//!
+//! Complexity: `⌈k/2⌉` scans of all pairs, i.e. `O(k·n²)` distance
+//! evaluations. For inputs up to [`MATRIX_CACHE_MAX`] points the pair
+//! distances are materialized once (`O(n²)` memory) so repeated scans
+//! are lookups; above that distances are recomputed on the fly to keep
+//! memory linear — exactly the linear-space regime Table 1 assumes.
+
+use metric::{DistanceMatrix, Metric};
+
+/// Largest input size for which the full distance matrix is cached
+/// (`4096² / 2` f64s ≈ 67 MB).
+pub const MATRIX_CACHE_MAX: usize = 4096;
+
+/// Selects `min(k, n)` indices by greedy farthest-pair matching.
+pub fn select<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+    let n = points.len();
+    let k = k.min(n);
+    if n <= MATRIX_CACHE_MAX {
+        let dm = DistanceMatrix::build(points, metric);
+        select_with(n, k, |i, j| dm.get(i, j))
+    } else {
+        select_with(n, k, |i, j| metric.distance(&points[i], &points[j]))
+    }
+}
+
+fn select_with(n: usize, k: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<usize> {
+    let mut available = vec![true; n];
+    let mut selected = Vec::with_capacity(k);
+    while selected.len() + 2 <= k {
+        // Farthest available pair.
+        let (mut bu, mut bv, mut bd) = (usize::MAX, usize::MAX, f64::NEG_INFINITY);
+        for u in 0..n {
+            if !available[u] {
+                continue;
+            }
+            for v in u + 1..n {
+                if !available[v] {
+                    continue;
+                }
+                let d = dist(u, v);
+                if d > bd {
+                    bd = d;
+                    bu = u;
+                    bv = v;
+                }
+            }
+        }
+        debug_assert_ne!(bu, usize::MAX);
+        available[bu] = false;
+        available[bv] = false;
+        selected.push(bu);
+        selected.push(bv);
+    }
+    if selected.len() < k {
+        // Odd k: farthest remaining point from the selection (or the
+        // first available one if the selection is empty, i.e. k = 1).
+        let (mut best, mut bd) = (usize::MAX, f64::NEG_INFINITY);
+        for u in 0..n {
+            if !available[u] {
+                continue;
+            }
+            let d = selected
+                .iter()
+                .map(|&s| dist(u, s))
+                .fold(f64::INFINITY, f64::min);
+            let d = if selected.is_empty() { 0.0 } else { d };
+            if d > bd || best == usize::MAX {
+                bd = d;
+                best = u;
+            }
+        }
+        selected.push(best);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn first_pair_is_the_diameter() {
+        let pts = line(&[0.0, 2.0, 7.0, 10.0]);
+        let sel = select(&pts, &Euclidean, 2);
+        let mut s = sel.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 3]);
+    }
+
+    #[test]
+    fn two_pairs_do_not_reuse_points() {
+        let pts = line(&[0.0, 1.0, 9.0, 10.0]);
+        let mut sel = select(&pts, &Euclidean, 4);
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn odd_k_adds_farthest_extra() {
+        let pts = line(&[0.0, 5.0, 10.0]);
+        let mut sel = select(&pts, &Euclidean, 3);
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_selects_single_point() {
+        let pts = line(&[3.0, 4.0]);
+        let sel = select(&pts, &Euclidean, 1);
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn no_duplicates_for_all_k() {
+        let pts = line(&[0.0, 1.0, 2.0, 3.5, 5.0, 8.0, 13.0]);
+        for k in 1..=7 {
+            let mut sel = select(&pts, &Euclidean, k);
+            assert_eq!(sel.len(), k);
+            sel.sort_unstable();
+            sel.dedup();
+            assert_eq!(sel.len(), k, "duplicates at k={k}");
+        }
+    }
+
+    #[test]
+    fn matrix_and_on_the_fly_paths_agree() {
+        let pts = line(&[0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
+        let cached = select(&pts, &Euclidean, 4);
+        let direct = select_with(pts.len(), 4, |i, j| {
+            Euclidean.distance(&pts[i], &pts[j])
+        });
+        assert_eq!(cached, direct);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sequential `α`-approximation algorithms (Table 1's last column).
+//!
+//! These are the algorithms `A` plugged into Theorems 3 and 6: after a
+//! core-set `T` is extracted (in one streaming pass or one MapReduce
+//! round), `A` runs on `T` in memory and its approximation factor `α`
+//! combines with the core-set's `(1+ε)` loss into the final `α+ε`.
+//!
+//! As the paper notes (Section 6), all six are "essentially based on
+//! either finding a maximal matching or running GMM on the input set":
+//!
+//! * remote-edge (α=2), remote-tree (α=4), remote-cycle (α=3): the
+//!   `k`-prefix of a GMM run ([`gmm_based`]);
+//! * remote-clique (α=2), remote-star (α=2), remote-bipartition (α=3):
+//!   greedy maximum-weight matching ([`matching`]).
+
+pub mod gmm_based;
+pub mod matching;
+
+use crate::eval::evaluate_subset;
+use crate::{Problem, Solution};
+use metric::Metric;
+
+/// Runs the best-known sequential approximation algorithm for `problem`
+/// on `points`, returning `min(k, n)` indices and the objective value of
+/// the selected subset.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn solve<P, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+) -> Solution {
+    assert!(!points.is_empty(), "cannot solve on an empty input");
+    assert!(k > 0, "k must be positive");
+    let indices = match problem {
+        Problem::RemoteEdge | Problem::RemoteTree | Problem::RemoteCycle => {
+            gmm_based::select(points, metric, k)
+        }
+        Problem::RemoteClique | Problem::RemoteStar | Problem::RemoteBipartition => {
+            matching::select(points, metric, k)
+        }
+    };
+    let value = evaluate_subset(problem, points, metric, &indices);
+    Solution { indices, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn line(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn each_problem_returns_k_indices() {
+        let pts = line(&[0.0, 1.0, 2.5, 4.0, 7.0, 11.0, 13.0]);
+        for problem in Problem::ALL {
+            let sol = solve(problem, &pts, &Euclidean, 4);
+            assert_eq!(sol.len(), 4, "{problem}");
+            let mut sorted = sol.indices.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "{problem}: duplicate indices");
+            assert!(sol.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_truncates() {
+        let pts = line(&[0.0, 5.0]);
+        let sol = solve(Problem::RemoteClique, &pts, &Euclidean, 10);
+        assert_eq!(sol.len(), 2);
+    }
+
+    /// The 2-approximation guarantee for remote-edge, checked against
+    /// brute force on a deterministic instance family.
+    #[test]
+    fn remote_edge_within_factor_two_of_exact() {
+        for seed in 0..8u64 {
+            let xs: Vec<f64> = (0..12)
+                .map(|i| (((i as u64 * 2654435761 + seed * 97) % 1000) as f64) / 10.0)
+                .collect();
+            let pts = line(&xs);
+            let approx = solve(Problem::RemoteEdge, &pts, &Euclidean, 4);
+            let exact = crate::exact::divk_exact(Problem::RemoteEdge, &pts, &Euclidean, 4);
+            assert!(
+                approx.value >= exact.value / 2.0 - 1e-9,
+                "seed {seed}: {} < {}/2",
+                approx.value,
+                exact.value
+            );
+        }
+    }
+
+    /// Hassin et al.'s matching algorithm is a 2-approximation for
+    /// remote-clique (even k).
+    #[test]
+    fn remote_clique_within_factor_two_of_exact() {
+        for seed in 0..8u64 {
+            let xs: Vec<f64> = (0..11)
+                .map(|i| (((i as u64 * 40503 + seed * 131) % 500) as f64) / 5.0)
+                .collect();
+            let pts = line(&xs);
+            let approx = solve(Problem::RemoteClique, &pts, &Euclidean, 4);
+            let exact = crate::exact::divk_exact(Problem::RemoteClique, &pts, &Euclidean, 4);
+            assert!(
+                approx.value >= exact.value / 2.0 - 1e-9,
+                "seed {seed}: {} < {}/2",
+                approx.value,
+                exact.value
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests for the core-set machinery, anchored against the
+//! brute-force exact solver on small instances.
+
+use diversity_core::{
+    coreset, eval, exact, generalized, gmm, pipeline, seq, GenPair, GeneralizedCoreset, Problem,
+};
+use metric::{Euclidean, Metric, VecPoint};
+use proptest::prelude::*;
+
+fn small_points() -> impl Strategy<Value = Vec<VecPoint>> {
+    prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 6..14)
+        .prop_map(|v| v.into_iter().map(|(x, y)| VecPoint::from([x, y])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GMM's insertion distances are non-increasing and sandwich the
+    /// prefix range/farness (the anticover property the paper's Fact 1
+    /// rests on).
+    #[test]
+    fn gmm_anticover(points in small_points()) {
+        let out = gmm::gmm_default(&points, &Euclidean, points.len());
+        for w in out.insertion_dist[1..].windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Final radius equals max distance to the selected set.
+        let sel: Vec<VecPoint> = out.selected.iter().map(|&i| points[i].clone()).collect();
+        let r = points
+            .iter()
+            .map(|p| Euclidean.distance_to_set(p, &sel))
+            .fold(0.0, f64::max);
+        prop_assert!((out.radius() - r).abs() < 1e-9);
+    }
+
+    /// Core-set quality: a GMM core-set of size k' >= k can only lose a
+    /// bounded fraction of the optimum; with k' = n it must be exact.
+    /// We check the unconditional guarantee div_k(T) <= div_k(S) and the
+    /// k'=n equality for remote-edge.
+    #[test]
+    fn coreset_value_sandwich(points in small_points()) {
+        let k = 3;
+        let cs = coreset::gmm_coreset(&points, &Euclidean, points.len());
+        let sub: Vec<VecPoint> = cs.iter().map(|&i| points[i].clone()).collect();
+        let full = exact::divk_exact(Problem::RemoteEdge, &points, &Euclidean, k);
+        let on_cs = exact::divk_exact(Problem::RemoteEdge, &sub, &Euclidean, k);
+        prop_assert!(on_cs.value <= full.value + 1e-9);
+        prop_assert!((on_cs.value - full.value).abs() < 1e-9, "k'=n core-set must be lossless");
+    }
+
+    /// The proxy-function property behind Lemma 1: every point of S is
+    /// within the kernel radius of the core-set, so in particular every
+    /// optimal point has a proxy at distance <= radius.
+    #[test]
+    fn coreset_radius_covers_input(points in small_points(), k_prime in 2usize..6) {
+        let out = gmm::gmm_default(&points, &Euclidean, k_prime);
+        let sel: Vec<VecPoint> = out.selected.iter().map(|&i| points[i].clone()).collect();
+        for p in &points {
+            prop_assert!(Euclidean.distance_to_set(p, &sel) <= out.radius() + 1e-9);
+        }
+    }
+
+    /// GMM-EXT delegates stay within the kernel radius of their kernel
+    /// point — the δ used by Lemma 6's injective proxy.
+    #[test]
+    fn gmm_ext_delegates_within_radius(points in small_points(), k in 2usize..5) {
+        let out = coreset::gmm_ext(&points, &Euclidean, k, 3);
+        for (j, cluster) in out.clusters.iter().enumerate() {
+            let c = &points[out.kernel[j]];
+            for &m in cluster {
+                prop_assert!(Euclidean.distance(&points[m], c) <= out.radius + 1e-9);
+            }
+            prop_assert!(cluster.len() <= k);
+        }
+    }
+
+    /// GMM-GEN is the "counted" GMM-EXT: same kernel, multiplicities
+    /// equal cluster sizes (capped at k), m(T) between k' and k·k'.
+    #[test]
+    fn gmm_gen_matches_ext(points in small_points(), k in 2usize..5) {
+        let gen = coreset::gmm_gen(&points, &Euclidean, k, 3);
+        let ext = coreset::gmm_ext(&points, &Euclidean, k, 3);
+        prop_assert_eq!(gen.coreset.size(), ext.kernel.len());
+        // Pairs are sorted by point index; clusters are in kernel
+        // insertion order — match them through the kernel index.
+        for (j, cluster) in ext.clusters.iter().enumerate() {
+            let pair = gen
+                .coreset
+                .pairs()
+                .iter()
+                .find(|p| p.index == ext.kernel[j])
+                .expect("kernel point must appear in generalized core-set");
+            prop_assert_eq!(pair.multiplicity, cluster.len());
+        }
+    }
+
+    /// Composability (Definition 2, checked end-to-end on small
+    /// instances): union of per-part core-sets contains a solution whose
+    /// value is within the sequential factor of the global optimum
+    /// times a modest core-set loss. We check the weaker sound bound
+    /// div_k(union of coresets) <= div_k(S).
+    #[test]
+    fn composable_coreset_never_gains(points in small_points()) {
+        let k = 3;
+        let mid = points.len() / 2;
+        let (a, b) = points.split_at(mid);
+        if a.len() < k || b.len() < k { return Ok(()); }
+        let ca = coreset::gmm_coreset(a, &Euclidean, k);
+        let cb = coreset::gmm_coreset(b, &Euclidean, k);
+        let union: Vec<VecPoint> = ca
+            .iter()
+            .map(|&i| a[i].clone())
+            .chain(cb.iter().map(|&i| b[i].clone()))
+            .collect();
+        let on_union = exact::divk_exact(Problem::RemoteEdge, &union, &Euclidean, k);
+        let global = exact::divk_exact(Problem::RemoteEdge, &points, &Euclidean, k);
+        prop_assert!(on_union.value <= global.value + 1e-9);
+    }
+
+    /// Sequential algorithms respect their α guarantees on exact-sized
+    /// instances, for all six problems.
+    #[test]
+    fn sequential_alpha_guarantees(points in small_points()) {
+        let k = 4;
+        for problem in Problem::ALL {
+            let sol = seq::solve(problem, &points, &Euclidean, k);
+            let best = exact::divk_exact(problem, &points, &Euclidean, k);
+            prop_assert!(
+                sol.value >= best.value / problem.alpha() - 1e-9,
+                "{}: {} < {}/{}", problem, sol.value, best.value, problem.alpha()
+            );
+        }
+    }
+
+    /// solve_multiset returns a coherent subset with expanded size k
+    /// whose generalized diversity is within α of gen-div_k — checked
+    /// against gen-div of the result being <= gen-div of the best
+    /// k-sub-multiset by brute force on tiny cases is expensive; here we
+    /// verify coherence, mass, and value consistency.
+    #[test]
+    fn solve_multiset_invariants(points in small_points(), k in 2usize..6) {
+        let gen = coreset::gmm_gen(&points, &Euclidean, k, 3);
+        if gen.coreset.expanded_size() < k { return Ok(()); }
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique, Problem::RemoteTree] {
+            let sub = generalized::solve_multiset(problem, &points, &Euclidean, &gen.coreset, k);
+            prop_assert!(sub.is_coherent_subset_of(&gen.coreset), "{problem}");
+            prop_assert_eq!(sub.expanded_size(), k);
+            let v = generalized::gen_div(problem, &points, &Euclidean, &sub);
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Lemma 7: div(I(T)) >= gen-div(T) − f(k)·2δ for every
+    /// δ-instantiation, for the four injective problems.
+    #[test]
+    fn lemma7_instantiation_bound(points in small_points(), k in 2usize..5) {
+        let gen = coreset::gmm_gen(&points, &Euclidean, k, 3);
+        if gen.coreset.expanded_size() < k { return Ok(()); }
+        let delta = gen.radius;
+        let all: Vec<usize> = (0..points.len()).collect();
+        for problem in [
+            Problem::RemoteClique,
+            Problem::RemoteStar,
+            Problem::RemoteBipartition,
+            Problem::RemoteTree,
+        ] {
+            let sub = generalized::solve_multiset(problem, &points, &Euclidean, &gen.coreset, k);
+            let inst = generalized::instantiate(&points, &Euclidean, &sub, &all, delta);
+            prop_assert!(inst.achieved_delta <= delta + 1e-9);
+            let div_inst = eval::evaluate_subset(problem, &points, &Euclidean, &inst.indices);
+            let gdiv = generalized::gen_div(problem, &points, &Euclidean, &sub);
+            let f_k = match problem {
+                Problem::RemoteClique => (k * (k - 1) / 2) as f64,
+                Problem::RemoteStar | Problem::RemoteTree => (k - 1) as f64,
+                Problem::RemoteBipartition => ((k / 2) * k.div_ceil(2)) as f64,
+                _ => unreachable!(),
+            };
+            prop_assert!(
+                div_inst >= gdiv - f_k * 2.0 * delta - 1e-9,
+                "{problem}: {div_inst} < {gdiv} − {}", f_k * 2.0 * delta
+            );
+        }
+    }
+
+    /// End-to-end single-machine pipeline achieves (α+ε)-style quality
+    /// on small instances: value within α·(1+1) of optimum is implied;
+    /// we assert the much tighter observed bound α with k'=n (lossless
+    /// core-set).
+    #[test]
+    fn pipeline_with_full_coreset_equals_sequential(points in small_points()) {
+        let k = 3;
+        for problem in Problem::ALL {
+            let via = pipeline::coreset_then_solve(problem, &points, &Euclidean, k, points.len());
+            let direct = seq::solve(problem, &points, &Euclidean, k);
+            prop_assert!((via.value - direct.value).abs() < 1e-9, "{problem}");
+        }
+    }
+
+    /// Coherent-subset relation is a partial order (reflexive,
+    /// antisymmetric on equal masses, transitive).
+    #[test]
+    fn coherence_partial_order(
+        m1 in prop::collection::vec(1usize..4, 3),
+        m2 in prop::collection::vec(1usize..4, 3),
+    ) {
+        let a = GeneralizedCoreset::new(
+            m1.iter().enumerate().map(|(i, &m)| GenPair { index: i, multiplicity: m }).collect(),
+        );
+        let b = GeneralizedCoreset::new(
+            m2.iter().enumerate().map(|(i, &m)| GenPair { index: i, multiplicity: m }).collect(),
+        );
+        prop_assert!(a.is_coherent_subset_of(&a));
+        if a.is_coherent_subset_of(&b) && b.is_coherent_subset_of(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        let min: Vec<GenPair> = (0..3)
+            .map(|i| GenPair { index: i, multiplicity: m1[i].min(m2[i]) })
+            .collect();
+        let c = GeneralizedCoreset::new(min);
+        prop_assert!(c.is_coherent_subset_of(&a));
+        prop_assert!(c.is_coherent_subset_of(&b));
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic bag-of-words corpus standing in for musiXmatch.
+//!
+//! The paper's real-world workload is the musiXmatch lyrics dataset:
+//! 237,662 songs, each the count vector of the 5,000 most frequent
+//! words, filtered to songs with ≥ 10 frequent words (234,363 remain),
+//! compared under cosine distance. The raw data cannot ship with this
+//! repository, so this module generates a corpus with matched geometry:
+//!
+//! * word frequencies follow a Zipf law (as natural-language corpora do),
+//! * document lengths are heavy-tailed,
+//! * per-document word counts decay with word rank within the document,
+//! * documents with fewer than `min_distinct_words` distinct words are
+//!   filtered out, mirroring the paper's preprocessing.
+
+use crate::Zipf;
+use metric::SparseVector;
+use rand::Rng;
+
+/// Configuration for [`musixmatch_like`].
+#[derive(Clone, Debug)]
+pub struct BagOfWordsConfig {
+    /// Vocabulary size (paper: 5,000).
+    pub vocabulary: usize,
+    /// Zipf exponent for word popularity (≈1 for natural language).
+    pub zipf_exponent: f64,
+    /// Minimum distinct words per document; shorter documents are
+    /// filtered (paper: 10).
+    pub min_distinct_words: usize,
+    /// Mean number of distinct words per document before filtering.
+    pub mean_distinct_words: usize,
+    /// Maximum distinct words per document.
+    pub max_distinct_words: usize,
+}
+
+impl Default for BagOfWordsConfig {
+    fn default() -> Self {
+        Self {
+            vocabulary: 5_000,
+            zipf_exponent: 1.05,
+            min_distinct_words: 10,
+            mean_distinct_words: 40,
+            max_distinct_words: 200,
+        }
+    }
+}
+
+/// Generates `n` sparse word-count vectors with musiXmatch-like
+/// statistics (see module docs). Every returned vector has at least
+/// `config.min_distinct_words` nonzero entries, so none is the zero
+/// vector and cosine distance is well defined everywhere.
+///
+/// # Panics
+/// Panics if `config.vocabulary == 0` or
+/// `config.min_distinct_words > config.max_distinct_words` or
+/// `config.min_distinct_words > config.vocabulary`.
+pub fn musixmatch_like(n: usize, seed: u64, config: &BagOfWordsConfig) -> Vec<SparseVector> {
+    assert!(config.vocabulary > 0, "vocabulary must be non-empty");
+    assert!(
+        config.min_distinct_words <= config.max_distinct_words,
+        "min_distinct_words > max_distinct_words"
+    );
+    assert!(
+        config.min_distinct_words <= config.vocabulary,
+        "min_distinct_words exceeds vocabulary"
+    );
+    let mut rng = crate::rng(seed);
+    let word_popularity = Zipf::new(config.vocabulary, config.zipf_exponent);
+    let mut docs = Vec::with_capacity(n);
+    while docs.len() < n {
+        let doc = generate_document(&word_popularity, config, &mut rng);
+        // The paper filters out songs with fewer than 10 frequent
+        // words; duplicates in sampling can shrink a document below the
+        // target, so the filter is load-bearing here too.
+        if doc.nnz() >= config.min_distinct_words {
+            docs.push(doc);
+        }
+    }
+    docs
+}
+
+fn generate_document(
+    popularity: &Zipf,
+    config: &BagOfWordsConfig,
+    rng: &mut impl Rng,
+) -> SparseVector {
+    // Heavy-tailed distinct-word target: geometric-ish around the mean.
+    let spread = config.mean_distinct_words.max(1);
+    let target = config.min_distinct_words
+        + sample_geometric_like(spread.saturating_sub(config.min_distinct_words), rng);
+    let target = target.clamp(config.min_distinct_words, config.max_distinct_words);
+
+    // Sample `target` words by popularity; duplicates merge into counts.
+    // Word counts within a document also decay: each additional
+    // occurrence sampled with probability 1/2, capped for sanity.
+    let mut entries: Vec<(u32, f64)> = Vec::with_capacity(target * 2);
+    for _ in 0..target {
+        let w = popularity.sample(rng) as u32;
+        let mut count = 1.0;
+        while rng.gen::<f64>() < 0.5 && count < 32.0 {
+            count += 1.0;
+        }
+        entries.push((w, count));
+    }
+    SparseVector::new(entries)
+}
+
+/// Geometric-like non-negative integer with the given mean (0 mean → 0).
+fn sample_geometric_like(mean: usize, rng: &mut impl Rng) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    let p = 1.0 / (mean as f64 + 1.0);
+    let mut k = 0usize;
+    while rng.gen::<f64>() > p && k < mean * 20 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{CosineDistance, Metric};
+
+    #[test]
+    fn respects_min_distinct_filter() {
+        let cfg = BagOfWordsConfig::default();
+        let docs = musixmatch_like(200, 1, &cfg);
+        assert_eq!(docs.len(), 200);
+        assert!(docs.iter().all(|d| d.nnz() >= cfg.min_distinct_words));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BagOfWordsConfig::default();
+        assert_eq!(musixmatch_like(50, 9, &cfg), musixmatch_like(50, 9, &cfg));
+    }
+
+    #[test]
+    fn word_ids_stay_in_vocabulary() {
+        let cfg = BagOfWordsConfig {
+            vocabulary: 100,
+            ..Default::default()
+        };
+        for d in musixmatch_like(100, 2, &cfg) {
+            assert!(d.entries().iter().all(|&(w, _)| (w as usize) < 100));
+        }
+    }
+
+    #[test]
+    fn popular_words_dominate() {
+        let cfg = BagOfWordsConfig::default();
+        let docs = musixmatch_like(500, 3, &cfg);
+        let mut df = vec![0usize; cfg.vocabulary];
+        for d in &docs {
+            for &(w, _) in d.entries() {
+                df[w as usize] += 1;
+            }
+        }
+        let head: usize = df[..50].iter().sum();
+        let tail: usize = df[cfg.vocabulary - 50..].iter().sum();
+        assert!(head > tail * 10, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn cosine_distances_are_nondegenerate() {
+        let cfg = BagOfWordsConfig::default();
+        let docs = musixmatch_like(50, 4, &cfg);
+        let mut distances = Vec::new();
+        for i in 0..docs.len() {
+            for j in 0..i {
+                distances.push(CosineDistance.distance(&docs[i], &docs[j]));
+            }
+        }
+        let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+        // Documents share popular words, so they are neither identical
+        // nor mutually orthogonal on average.
+        assert!(mean > 0.3 && mean < 1.6, "mean cosine distance {mean}");
+    }
+
+    #[test]
+    fn counts_are_positive_integers() {
+        let cfg = BagOfWordsConfig::default();
+        for d in musixmatch_like(50, 5, &cfg) {
+            for &(_, v) in d.entries() {
+                assert!(v >= 1.0 && v.fract() == 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Euclidean point-set generators.
+
+use crate::standard_normal;
+use metric::VecPoint;
+use rand::Rng;
+
+/// The paper's synthetic workload: `k` points on the surface of the unit
+/// sphere centered at the origin (guaranteeing a planted set of far-away
+/// points) and `n − k` points uniform in the concentric ball of radius
+/// 0.8.
+///
+/// Returns `(points, planted)` where `planted` holds the indices of the
+/// `k` sphere-surface points — handy as a high-quality reference solution
+/// for remote-edge when computing approximation ratios. The planted
+/// points are shuffled into random positions so streaming order carries
+/// no signal.
+///
+/// # Panics
+/// Panics if `k > n`, `k == 0`, or `dim == 0`.
+pub fn sphere_shell(n: usize, k: usize, dim: usize, seed: u64) -> (Vec<VecPoint>, Vec<usize>) {
+    assert!(k > 0 && k <= n, "need 0 < k <= n (k={k}, n={n})");
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = crate::rng(seed);
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..k {
+        points.push(random_unit_vector(dim, &mut rng));
+    }
+    for _ in k..n {
+        points.push(random_in_ball(dim, 0.8, &mut rng));
+    }
+    // Fisher–Yates over all points, tracking where the planted ones land.
+    let mut position: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        points.swap(i, j);
+        position.swap(i, j);
+    }
+    let mut planted: Vec<usize> = position
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, &orig)| (orig < k).then_some(pos))
+        .collect();
+    planted.sort_unstable();
+    (points, planted)
+}
+
+/// `n` points uniform in the unit cube `[0, 1]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> Vec<VecPoint> {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = crate::rng(seed);
+    (0..n)
+        .map(|_| VecPoint::new((0..dim).map(|_| rng.gen::<f64>()).collect()))
+        .collect()
+}
+
+/// `n` points from `centers` isotropic Gaussian blobs with standard
+/// deviation `std`, centers uniform in `[0, 1]^dim`, points assigned to
+/// blobs round-robin so cluster sizes are balanced.
+pub fn gaussian_clusters(
+    n: usize,
+    centers: usize,
+    dim: usize,
+    std: f64,
+    seed: u64,
+) -> Vec<VecPoint> {
+    assert!(centers > 0, "need at least one center");
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = crate::rng(seed);
+    let mus: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let mu = &mus[i % centers];
+            VecPoint::new(
+                mu.iter()
+                    .map(|&m| m + std * standard_normal(&mut rng))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The integer lattice `{0, .., side-1}^dim` (useful for exact
+/// doubling-dimension reasoning in tests). Produces `side^dim` points.
+pub fn grid(side: usize, dim: usize) -> Vec<VecPoint> {
+    assert!(dim > 0, "dimension must be positive");
+    let n = side.pow(dim as u32);
+    let mut out = Vec::with_capacity(n);
+    for mut idx in 0..n {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push((idx % side) as f64);
+            idx /= side;
+        }
+        out.push(VecPoint::new(coords));
+    }
+    out
+}
+
+/// Uniform random direction: normalized vector of iid standard normals.
+fn random_unit_vector(dim: usize, rng: &mut impl Rng) -> VecPoint {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            return VecPoint::new(v.into_iter().map(|x| x / norm).collect());
+        }
+    }
+}
+
+/// Uniform point in the origin-centered ball of the given radius:
+/// uniform direction scaled by `radius · U^(1/dim)`.
+fn random_in_ball(dim: usize, radius: f64, rng: &mut impl Rng) -> VecPoint {
+    let dir = random_unit_vector(dim, rng);
+    let r = radius * rng.gen::<f64>().powf(1.0 / dim as f64);
+    VecPoint::new(dir.coords().iter().map(|&c| c * r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_shell_geometry() {
+        let (points, planted) = sphere_shell(1000, 16, 3, 99);
+        assert_eq!(points.len(), 1000);
+        assert_eq!(planted.len(), 16);
+        for (i, p) in points.iter().enumerate() {
+            let norm = p.norm();
+            if planted.binary_search(&i).is_ok() {
+                assert!((norm - 1.0).abs() < 1e-9, "planted point not on sphere");
+            } else {
+                assert!(norm <= 0.8 + 1e-9, "bulk point outside 0.8-ball: {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_shell_deterministic() {
+        let (a, pa) = sphere_shell(100, 4, 2, 5);
+        let (b, pb) = sphere_shell(100, 4, 2, 5);
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn sphere_shell_different_seeds_differ() {
+        let (a, _) = sphere_shell(50, 4, 2, 1);
+        let (b, _) = sphere_shell(50, 4, 2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sphere_shell_all_planted() {
+        let (points, planted) = sphere_shell(8, 8, 3, 0);
+        assert_eq!(planted, (0..8).collect::<Vec<_>>());
+        for p in &points {
+            assert!((p.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sphere_shell_rejects_k_gt_n() {
+        let _ = sphere_shell(5, 6, 2, 0);
+    }
+
+    #[test]
+    fn uniform_cube_bounds() {
+        for p in uniform_cube(500, 4, 3) {
+            assert!(p.coords().iter().all(|&c| (0.0..1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn gaussian_clusters_count_and_dim() {
+        let pts = gaussian_clusters(100, 5, 3, 0.01, 7);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.dim() == 3));
+    }
+
+    #[test]
+    fn grid_is_lattice() {
+        let g = grid(3, 2);
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&VecPoint::from([2.0, 2.0])));
+        assert!(g.contains(&VecPoint::from([0.0, 1.0])));
+    }
+
+    #[test]
+    fn ball_radius_distribution_fills_volume() {
+        // With radius ∝ U^(1/d) the median norm should be near
+        // 0.8 · 0.5^(1/3) ≈ 0.635 for d=3, not 0.4 (which a naive
+        // uniform-radius sampler would give).
+        let mut rng = crate::rng(11);
+        let mut norms: Vec<f64> = (0..4000)
+            .map(|_| random_in_ball(3, 0.8, &mut rng).norm())
+            .collect();
+        norms.sort_by(f64::total_cmp);
+        let median = norms[norms.len() / 2];
+        assert!((median - 0.635).abs() < 0.02, "median {median}");
+    }
+}

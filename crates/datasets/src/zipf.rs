@@ -1,0 +1,117 @@
+//! Seeded Zipf sampler.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ 1 / (r+1)^s`.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table with
+/// binary search — `O(n)` setup, `O(log n)` per sample, exact (no
+/// rejection), deterministic given the caller's RNG.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if there are no ranks (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let u = rng.gen::<f64>() * total;
+        // partition_point returns the first index with cumulative > u.
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        (self.cumulative[rank] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let sum: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // r indexes both pmf() and counts
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = crate::rng(3);
+        let n = 50_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let expected = z.pmf(r) * n as f64;
+            let got = counts[r] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+                "rank {r}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = crate::rng(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # diversity
+//!
+//! Facade crate for the diversity-maximization stack — a Rust
+//! implementation of *"MapReduce and Streaming Algorithms for Diversity
+//! Maximization in Metric Spaces of Bounded Doubling Dimension"*
+//! (Ceccarello, Pietracaprina, Pucci, Upfal — PVLDB 2017).
+//!
+//! One `use diversity::prelude::*` brings in the whole public API:
+//!
+//! * [`metric`] — metric spaces (points, distances, doubling-dimension
+//!   tools);
+//! * [`core`] — the six diversity objectives, GMM/GMM-EXT/GMM-GEN
+//!   core-sets, generalized core-sets, sequential algorithms;
+//! * [`streaming`] — 1-pass (SMM / SMM-EXT) and 2-pass (SMM-GEN)
+//!   streaming algorithms;
+//! * [`mapreduce`] — the simulated MapReduce runtime and the 2-round /
+//!   randomized / 3-round / recursive algorithms;
+//! * [`datasets`] — the paper's workload generators;
+//! * [`baselines`] — the AFZ and IMMM comparators.
+//!
+//! ```
+//! use diversity::prelude::*;
+//!
+//! // 1000 points: 8 planted on the unit sphere, the rest in a ball.
+//! let (points, _) = datasets::sphere_shell(1000, 8, 3, 42);
+//!
+//! // Streaming: one pass, memory independent of n.
+//! let stream_sol = streaming::pipeline::one_pass(
+//!     Problem::RemoteEdge, Euclidean, 8, 32, points.iter().cloned());
+//!
+//! // MapReduce: 2 rounds over 4 simulated reducers.
+//! let parts = mapreduce::partition::split_random(points, 4, 7);
+//! let rt = mapreduce::MapReduceRuntime::with_threads(4);
+//! let mr_sol = mapreduce::two_round::two_round(
+//!     Problem::RemoteEdge, &parts, &Euclidean, 8, 32, &rt);
+//!
+//! assert_eq!(stream_sol.points.len(), 8);
+//! assert_eq!(mr_sol.solution.indices.len(), 8);
+//! ```
+
+pub use diversity_baselines as baselines;
+pub use diversity_core as core;
+pub use diversity_datasets as datasets;
+pub use diversity_mapreduce as mapreduce;
+pub use diversity_streaming as streaming;
+pub use metric;
+
+/// The commonly needed names in one import.
+pub mod prelude {
+    pub use crate::{baselines, datasets, mapreduce, streaming};
+    pub use diversity_core::{
+        eval, exact, pipeline, seq, GenPair, GeneralizedCoreset, Problem, Solution,
+    };
+    pub use metric::{
+        CosineDistance, DistanceMatrix, Euclidean, Jaccard, Manhattan, Metric, SparseVector,
+        VecPoint,
+    };
+}

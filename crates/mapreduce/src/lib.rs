@@ -1,0 +1,55 @@
+//! # diversity-mapreduce
+//!
+//! A simulated MapReduce runtime and the paper's MapReduce diversity
+//! maximization algorithms (Sections 5 and 6.2).
+//!
+//! ## Why a simulator
+//!
+//! The paper's evaluation runs on Spark over a 16-machine cluster; the
+//! algorithms themselves, however, are *coordination-free within a
+//! round*: round 1 computes an independent core-set per partition,
+//! round 2 unions them on one reducer. Everything the paper measures —
+//! approximation quality as a function of `(k', parallelism,
+//! partitioning)`, per-reducer memory, per-round work — is a property
+//! of the algorithm, not of Spark. This crate therefore executes
+//! reducers on real OS threads inside one process, with explicit
+//! bookkeeping of what a distributed run would ship and hold:
+//! [`runtime::RoundStats`] records per-round maximum local residency
+//! (`M_L`), aggregate memory (`M_T`), and wall-clock time.
+//!
+//! ## Algorithms
+//!
+//! * [`two_round`] — Theorem 6: round 1 `GMM`/`GMM-EXT` per partition,
+//!   round 2 union + sequential algorithm.
+//! * [`randomized`] — Theorem 7: random partitioning lets each cluster
+//!   keep only `Θ(max{log n, k/ℓ})` delegates instead of `k`.
+//! * [`three_round`] — Theorem 10: `GMM-GEN` generalized core-sets,
+//!   multiset solve, then a third instantiation round.
+//! * [`recursive`] — Theorem 8: recursively shrink the union until it
+//!   fits the local memory budget.
+//!
+//! Partitioning strategies (round-robin, seeded random, and the
+//! adversarial sorted-chunk partitioning of Section 7.2) live in
+//! [`partition`].
+
+pub mod partition;
+pub mod randomized;
+pub mod recursive;
+pub mod runtime;
+pub mod three_round;
+pub mod two_round;
+
+pub use partition::Partitions;
+pub use runtime::{MapReduceRuntime, MrStats, RoundStats};
+
+use diversity_core::Solution;
+
+/// Result of a MapReduce diversity run: the solution (indices into the
+/// original input) plus per-round execution statistics.
+#[derive(Clone, Debug)]
+pub struct MrOutcome {
+    /// Solution with indices into the caller's original point slice.
+    pub solution: Solution,
+    /// Per-round statistics (memory, shuffle, wall time).
+    pub stats: MrStats,
+}

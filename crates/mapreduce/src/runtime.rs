@@ -1,0 +1,248 @@
+//! The simulated MapReduce runtime: parallel rounds + accounting.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Execution statistics for one MapReduce round.
+#[derive(Clone, Debug)]
+pub struct RoundStats {
+    /// Human-readable round label (e.g. `"round1:coreset"`).
+    pub name: String,
+    /// Number of logical reducers in the round.
+    pub reducers: usize,
+    /// Largest number of points resident in a single reducer — the
+    /// quantity the paper's `M_L` bounds govern.
+    pub max_local_points: usize,
+    /// Total points across all reducers (`M_T` is linear in this).
+    pub total_points: usize,
+    /// Points shipped out of the round (shuffle volume into the next).
+    pub emitted_points: usize,
+    /// Wall-clock time of the round on the host machine.
+    pub wall: Duration,
+    /// Simulated parallel time: the slowest single reducer's execution
+    /// time (the round's critical path). On a machine with fewer cores
+    /// than simulated processors this — not `wall` — is the faithful
+    /// model of a real cluster round, since every reducer's own work
+    /// is measured independently.
+    pub critical_path: Duration,
+}
+
+/// Accumulated statistics for a full MapReduce job.
+#[derive(Clone, Debug, Default)]
+pub struct MrStats {
+    /// One entry per executed round, in order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl MrStats {
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The job's `M_L`: the worst per-reducer residency over all rounds.
+    pub fn max_local_points(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_local_points).max().unwrap_or(0)
+    }
+
+    /// Total wall-clock time across rounds.
+    pub fn total_wall(&self) -> Duration {
+        self.rounds.iter().map(|r| r.wall).sum()
+    }
+
+    /// Total simulated parallel time: the sum of per-round critical
+    /// paths — what a cluster with one node per reducer would take,
+    /// regardless of how many cores the simulating host has.
+    pub fn simulated_wall(&self) -> Duration {
+        self.rounds.iter().map(|r| r.critical_path).sum()
+    }
+}
+
+/// The runtime: a bound on concurrently executing reducer threads.
+///
+/// Logical reducers may exceed `threads`; they are then multiplexed,
+/// exactly as more Spark partitions than cores would be. With
+/// `threads = p` and balanced partitions the wall-clock of a round
+/// matches a `p`-processor cluster up to constants — the basis of the
+/// Figure 5 scalability experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct MapReduceRuntime {
+    /// Maximum number of OS threads running reducers at once.
+    pub threads: usize,
+}
+
+impl Default for MapReduceRuntime {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl MapReduceRuntime {
+    /// A runtime simulating `p` processors.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        Self { threads }
+    }
+
+    /// Executes one round: applies `reducer(i, &inputs[i])` to every
+    /// logical reducer `i`, at most [`Self::threads`] concurrently, and
+    /// returns the outputs in reducer order plus the round's stats.
+    ///
+    /// `measure_emitted` converts an output to its shuffle size in
+    /// points.
+    pub fn run_round<I, R>(
+        &self,
+        name: &str,
+        inputs: &[I],
+        reducer: impl Fn(usize, &I) -> R + Sync,
+        measure_input: impl Fn(&I) -> usize,
+        measure_emitted: impl Fn(&R) -> usize,
+    ) -> (Vec<R>, RoundStats)
+    where
+        I: Sync,
+        R: Send,
+    {
+        let n = inputs.len();
+        let start = Instant::now();
+        let results: Mutex<Vec<Option<(R, Duration)>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let reducer_start = Instant::now();
+                    let out = reducer(i, &inputs[i]);
+                    let took = reducer_start.elapsed();
+                    results.lock()[i] = Some((out, took));
+                });
+            }
+        });
+
+        let mut critical_path = Duration::ZERO;
+        let outputs: Vec<R> = results
+            .into_inner()
+            .into_iter()
+            .map(|r| {
+                let (out, took) = r.expect("reducer completed");
+                critical_path = critical_path.max(took);
+                out
+            })
+            .collect();
+        let wall = start.elapsed();
+        let local_sizes: Vec<usize> = inputs.iter().map(&measure_input).collect();
+        let stats = RoundStats {
+            name: name.to_string(),
+            reducers: n,
+            max_local_points: local_sizes.iter().copied().max().unwrap_or(0),
+            total_points: local_sizes.iter().sum(),
+            emitted_points: outputs.iter().map(&measure_emitted).sum(),
+            wall,
+            critical_path,
+        };
+        (outputs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_preserves_reducer_order() {
+        let rt = MapReduceRuntime::with_threads(4);
+        let inputs: Vec<Vec<u32>> = (0..16).map(|i| vec![i as u32; i + 1]).collect();
+        let (out, stats) = rt.run_round(
+            "test",
+            &inputs,
+            |i, input| (i, input.len()),
+            Vec::len,
+            |_| 1,
+        );
+        for (i, &(idx, len)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(len, i + 1);
+        }
+        assert_eq!(stats.reducers, 16);
+        assert_eq!(stats.max_local_points, 16);
+        assert_eq!(stats.total_points, (1..=16).sum::<usize>());
+        assert_eq!(stats.emitted_points, 16);
+    }
+
+    #[test]
+    fn more_logical_reducers_than_threads() {
+        let rt = MapReduceRuntime::with_threads(2);
+        let inputs: Vec<u64> = (0..100).collect();
+        let (out, _) = rt.run_round("test", &inputs, |_, &x| x * 2, |_| 1, |_| 0);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_round() {
+        let rt = MapReduceRuntime::with_threads(2);
+        let inputs: Vec<u64> = vec![];
+        let (out, stats) = rt.run_round("test", &inputs, |_, &x| x, |_| 1, |_| 1);
+        assert!(out.is_empty());
+        assert_eq!(stats.max_local_points, 0);
+    }
+
+    #[test]
+    fn reducers_actually_run_in_parallel() {
+        use std::sync::atomic::AtomicUsize;
+        let rt = MapReduceRuntime::with_threads(4);
+        let inputs: Vec<u64> = (0..4).collect();
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        rt.run_round(
+            "test",
+            &inputs,
+            |_, _| {
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+            },
+            |_| 1,
+            |_| 0,
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "expected at least 2 concurrent reducers"
+        );
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut stats = MrStats::default();
+        stats.rounds.push(RoundStats {
+            name: "a".into(),
+            reducers: 2,
+            max_local_points: 10,
+            total_points: 15,
+            emitted_points: 4,
+            wall: Duration::from_millis(5),
+            critical_path: Duration::from_millis(4),
+        });
+        stats.rounds.push(RoundStats {
+            name: "b".into(),
+            reducers: 1,
+            max_local_points: 4,
+            total_points: 4,
+            emitted_points: 2,
+            wall: Duration::from_millis(7),
+            critical_path: Duration::from_millis(6),
+        });
+        assert_eq!(stats.num_rounds(), 2);
+        assert_eq!(stats.max_local_points(), 10);
+        assert_eq!(stats.total_wall(), Duration::from_millis(12));
+        assert_eq!(stats.simulated_wall(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the partitioning layer and the MR pipelines.
+
+use diversity_core::Problem;
+use diversity_mapreduce::partition::{split_random, split_round_robin, split_sorted_by};
+use diversity_mapreduce::two_round::two_round;
+use diversity_mapreduce::MapReduceRuntime;
+use metric::{Euclidean, VecPoint};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<VecPoint>> {
+    prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 12..80)
+        .prop_map(|v| v.into_iter().map(|(x, y)| VecPoint::from([x, y])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every partitioner is a bijection: each input index appears in
+    /// exactly one part, and parts[i][j] equals the original point at
+    /// global_indices[i][j].
+    #[test]
+    fn partitioners_are_bijections(
+        points in points_strategy(),
+        ell in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let n = points.len();
+        for parts in [
+            split_round_robin(points.clone(), ell),
+            split_random(points.clone(), ell, seed),
+            split_sorted_by(points.clone(), ell, |p| p.coords()[0]),
+        ] {
+            prop_assert_eq!(parts.len(), ell);
+            prop_assert_eq!(parts.total_points(), n);
+            let mut seen: Vec<usize> =
+                parts.global_indices.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+            for (part, globals) in parts.parts.iter().zip(parts.global_indices.iter()) {
+                for (local, &g) in globals.iter().enumerate() {
+                    prop_assert_eq!(&part[local], &points[g]);
+                }
+            }
+        }
+    }
+
+    /// Round-robin is balanced within 1 point.
+    #[test]
+    fn round_robin_balance(points in points_strategy(), ell in 1usize..7) {
+        let parts = split_round_robin(points, ell);
+        let sizes: Vec<usize> = parts.parts.iter().map(Vec::len).collect();
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Sorted-chunk parts occupy disjoint key ranges.
+    #[test]
+    fn sorted_chunks_are_range_disjoint(points in points_strategy(), ell in 1usize..5) {
+        let parts = split_sorted_by(points, ell, |p| p.coords()[0]);
+        let ranges: Vec<Option<(f64, f64)>> = parts
+            .parts
+            .iter()
+            .map(|part| {
+                let keys: Vec<f64> = part.iter().map(|p| p.coords()[0]).collect();
+                if keys.is_empty() {
+                    None
+                } else {
+                    Some((
+                        keys.iter().copied().fold(f64::INFINITY, f64::min),
+                        keys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    ))
+                }
+            })
+            .collect();
+        for w in ranges.windows(2) {
+            if let (Some((_, hi)), Some((lo, _))) = (w[0], w[1]) {
+                prop_assert!(hi <= lo + 1e-12, "chunk ranges overlap: {hi} > {lo}");
+            }
+        }
+    }
+
+    /// The MR solution value equals the direct evaluation of its
+    /// returned global indices (index bookkeeping is sound), for any
+    /// partitioner and any problem.
+    #[test]
+    fn mr_value_consistent_with_indices(
+        points in points_strategy(),
+        ell in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let k = 3;
+        let rt = MapReduceRuntime::with_threads(2);
+        let parts = split_random(points.clone(), ell, seed);
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique, Problem::RemoteTree] {
+            let out = two_round(problem, &parts, &Euclidean, k, 2 * k, &rt);
+            prop_assert_eq!(out.solution.indices.len(), k);
+            let direct = diversity_core::eval::evaluate_subset(
+                problem,
+                &points,
+                &Euclidean,
+                &out.solution.indices,
+            );
+            prop_assert!((out.solution.value - direct).abs() < 1e-9, "{problem}");
+        }
+    }
+
+    /// Partitioning never changes the best achievable value upward:
+    /// div_k on the union of per-part core-sets <= div_k on the input
+    /// (checked through the exact solver at tiny sizes).
+    #[test]
+    fn composability_soundness(points in points_strategy(), ell in 2usize..4) {
+        let k = 3;
+        if points.len() < 2 * k { return Ok(()); }
+        let parts = split_round_robin(points.clone(), ell);
+        let rt = MapReduceRuntime::with_threads(2);
+        let out = two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k, &rt);
+        let exact = diversity_core::exact::divk_exact(
+            Problem::RemoteEdge, &points, &Euclidean, k);
+        prop_assert!(out.solution.value <= exact.value + 1e-9);
+        // And the 2-round value respects the α·(composable-β) envelope:
+        // β for GMM-at-k'=k core-sets is at most 3 on any metric space
+        // (AFZ), so value >= exact / (2·3) is a sound floor.
+        prop_assert!(out.solution.value >= exact.value / 6.0 - 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixed-universe bit sets, the point type for Jaccard and Hamming.
+
+use serde::{Deserialize, Serialize};
+
+/// A subset of a fixed universe `{0, .., universe-1}`, stored as packed
+/// 64-bit blocks.
+///
+/// Used with [`crate::Jaccard`] (database/query dissimilarity, which the
+/// paper cites as a practically important distance) and
+/// [`crate::Hamming`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSetPoint {
+    universe: usize,
+    blocks: Vec<u64>,
+}
+
+impl BitSetPoint {
+    /// The empty subset of a `universe`-element ground set.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            universe,
+            blocks: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// Builds a set from element indices.
+    ///
+    /// # Panics
+    /// Panics if any element is `>= universe`.
+    pub fn from_elements(universe: usize, elements: &[usize]) -> Self {
+        let mut s = Self::new(universe);
+        for &e in elements {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Size of the ground set.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds `element` to the set.
+    ///
+    /// # Panics
+    /// Panics if `element >= universe`.
+    pub fn insert(&mut self, element: usize) {
+        assert!(element < self.universe, "element outside universe");
+        self.blocks[element / 64] |= 1u64 << (element % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, element: usize) -> bool {
+        element < self.universe && self.blocks[element / 64] & (1u64 << (element % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_size(&self, other: &Self) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum::<usize>()
+            + self.tail_size(other)
+    }
+
+    /// Number of positions where the two sets differ (symmetric
+    /// difference size).
+    pub fn symmetric_difference_size(&self, other: &Self) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum::<usize>()
+            + self.tail_size(other)
+    }
+
+    // Handles universes of different sizes gracefully: the shorter
+    // vector is implicitly zero-extended.
+    fn tail_size(&self, other: &Self) -> usize {
+        let (longer, n) = if self.blocks.len() >= other.blocks.len() {
+            (&self.blocks, other.blocks.len())
+        } else {
+            (&other.blocks, self.blocks.len())
+        };
+        longer[n..].iter().map(|b| b.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSetPoint::new(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = BitSetPoint::from_elements(128, &[1, 2, 3, 70]);
+        let b = BitSetPoint::from_elements(128, &[2, 3, 4, 71]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 6);
+        assert_eq!(a.symmetric_difference_size(&b), 4);
+    }
+
+    #[test]
+    fn empty_set() {
+        let e = BitSetPoint::new(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn different_universe_sizes_zero_extend() {
+        let a = BitSetPoint::from_elements(64, &[0]);
+        let b = BitSetPoint::from_elements(200, &[0, 150]);
+        assert_eq!(a.intersection_size(&b), 1);
+        assert_eq!(a.union_size(&b), 2);
+        assert_eq!(a.symmetric_difference_size(&b), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_outside_universe_panics() {
+        let mut s = BitSetPoint::new(10);
+        s.insert(10);
+    }
+}

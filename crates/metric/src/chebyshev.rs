@@ -1,0 +1,50 @@
+//! The Chebyshev (`L∞`) metric.
+
+use crate::{Metric, VecPoint};
+
+/// Chebyshev distance `d(u, v) = max |uᵢ − vᵢ|`.
+///
+/// Included to round out the `Lp` family used in ablation experiments;
+/// `(R^d, L∞)` also has doubling dimension `O(d)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric<VecPoint> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+}
+
+impl Metric<[f64]> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_coordinate_difference() {
+        let a = VecPoint::from([0.0, 0.0]);
+        let b = VecPoint::from([3.0, 4.0]);
+        assert_eq!(Chebyshev.distance(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn sandwiched_by_l1_and_l2() {
+        use crate::{Euclidean, Manhattan};
+        let a = VecPoint::from([1.0, -2.0, 0.5]);
+        let b = VecPoint::from([-1.0, 3.0, 2.0]);
+        let linf = Chebyshev.distance(&a, &b);
+        assert!(linf <= Euclidean.distance(&a, &b));
+        assert!(linf <= Manhattan.distance(&a, &b));
+    }
+}

@@ -1,0 +1,129 @@
+//! Dense fixed-dimension points backed by a `Vec<f64>`.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in `R^d`, stored densely.
+///
+/// This is the point type used by the paper's synthetic experiments
+/// (`R^2` for Table 4, `R^3` for Figures 2, 4, 5). Coordinates must be
+/// finite; constructors check this in debug builds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VecPoint {
+    coords: Vec<f64>,
+}
+
+impl VecPoint {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    /// In debug builds, panics if any coordinate is non-finite.
+    pub fn new(coords: Vec<f64>) -> Self {
+        debug_assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "VecPoint coordinates must be finite"
+        );
+        Self { coords }
+    }
+
+    /// The origin of `R^dim`.
+    pub fn zero(dim: usize) -> Self {
+        Self {
+            coords: vec![0.0; dim],
+        }
+    }
+
+    /// The dimension `d` of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice view.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The Euclidean norm `‖p‖₂`.
+    pub fn norm(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Approximate number of bytes this point occupies, used by the
+    /// MapReduce runtime's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.coords.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl std::ops::Index<usize> for VecPoint {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+impl From<Vec<f64>> for VecPoint {
+    fn from(coords: Vec<f64>) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl From<&[f64]> for VecPoint {
+    fn from(coords: &[f64]) -> Self {
+        Self::new(coords.to_vec())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for VecPoint {
+    fn from(coords: [f64; N]) -> Self {
+        Self::new(coords.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = VecPoint::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p[1], 2.0);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_point() {
+        let z = VecPoint::zero(4);
+        assert_eq!(z.dim(), 4);
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let p = VecPoint::from([3.0, 4.0]);
+        assert_eq!(p.norm(), 5.0);
+    }
+
+    #[test]
+    fn from_array_and_slice() {
+        let a = VecPoint::from([1.0, 2.0]);
+        let b = VecPoint::from(&[1.0, 2.0][..]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn rejects_nan_in_debug() {
+        let _ = VecPoint::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn memory_bytes_counts_coords() {
+        let p = VecPoint::zero(10);
+        assert!(p.memory_bytes() >= 80);
+    }
+}

@@ -1,0 +1,39 @@
+//! The discrete (0/1) metric.
+
+use crate::Metric;
+
+/// The discrete metric: `d(a, b) = 0` if `a == b`, else `1`.
+///
+/// Useful as a degenerate test fixture: its doubling dimension is
+/// `log₂(n)` (every ball of radius 1 is the whole space, every ball of
+/// radius 1/2 a single point), i.e. *unbounded*, which exercises the
+/// algorithms outside their analyzed regime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Discrete;
+
+impl<P: PartialEq + Send + Sync> Metric<P> for Discrete {
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_iff_equal() {
+        assert_eq!(Discrete.distance(&1u32, &1u32), 0.0);
+        assert_eq!(Discrete.distance(&1u32, &2u32), 1.0);
+    }
+
+    #[test]
+    fn works_on_strings() {
+        assert_eq!(Discrete.distance(&"a".to_string(), &"b".to_string()), 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Empirical doubling-dimension estimation.
+//!
+//! A metric space has doubling dimension `D` if every ball of radius `r`
+//! can be covered by at most `2^D` balls of radius `r/2`. The paper's
+//! core-set sizes scale as `(c/ε)^D`, so knowing (an estimate of) `D`
+//! guides the choice of `k'` in practice. Exact computation is
+//! infeasible; this module implements the standard sampling + greedy
+//! ball-cover heuristic: for sampled centers `p` and radii `r`, greedily
+//! cover the points of `B(p, r)` with balls of radius `r/2` centered at
+//! data points, and report `log2` of the worst cover size seen.
+//!
+//! Greedy covering with centers restricted to the data overestimates the
+//! true cover number by at most a factor that vanishes into the `log2`,
+//! so the estimate is a useful upper-bound proxy, not an exact value.
+
+use crate::{cmp_dist, Metric};
+
+/// Result of [`estimate_doubling_dimension`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DoublingEstimate {
+    /// `log2` of the largest (r/2)-cover found for any sampled r-ball.
+    pub dimension: f64,
+    /// The largest cover size observed.
+    pub worst_cover: usize,
+    /// Number of (center, radius) probes performed.
+    pub probes: usize,
+}
+
+/// Estimates the doubling dimension of `points` under `metric`.
+///
+/// `samples` centers are probed (deterministically spread over the input
+/// by a fixed stride derived from `seed`), each at a geometric ladder of
+/// radii between the ball's smallest and largest positive pairwise
+/// distances. Runs in `O(samples · levels · n · cover)` distance
+/// evaluations — intended for datasets up to ~10⁵ points or for samples
+/// of larger ones.
+///
+/// Returns a zero estimate for fewer than 2 points.
+pub fn estimate_doubling_dimension<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    samples: usize,
+    seed: u64,
+) -> DoublingEstimate {
+    let n = points.len();
+    if n < 2 || samples == 0 {
+        return DoublingEstimate {
+            dimension: 0.0,
+            worst_cover: 1,
+            probes: 0,
+        };
+    }
+    // Deterministic pseudo-random center choice: stride by a large odd
+    // constant mixed with the seed (a full RNG is overkill here and
+    // keeps this crate dependency-free).
+    let stride = (0x9E37_79B9_7F4A_7C15u64 ^ seed) | 1;
+    let mut worst_cover = 1usize;
+    let mut probes = 0usize;
+    const LEVELS: usize = 4;
+
+    for s in 0..samples {
+        let center = ((s as u64).wrapping_mul(stride) % n as u64) as usize;
+        // Distances from the probe center to everything.
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|q| metric.distance(&points[center], q))
+            .collect();
+        let max_d = dists.iter().copied().fold(0.0, f64::max);
+        if max_d == 0.0 {
+            continue;
+        }
+        for level in 0..LEVELS {
+            // Radii max_d, max_d/2, max_d/4, ...
+            let r = max_d / (1 << level) as f64;
+            let ball: Vec<usize> = (0..n).filter(|&i| dists[i] <= r).collect();
+            if ball.len() < 2 {
+                break;
+            }
+            let cover = greedy_cover_size(points, metric, &ball, r / 2.0);
+            worst_cover = worst_cover.max(cover);
+            probes += 1;
+        }
+    }
+    DoublingEstimate {
+        dimension: (worst_cover as f64).log2(),
+        worst_cover,
+        probes,
+    }
+}
+
+/// Greedily covers `ball` (indices into `points`) with radius-`r` balls
+/// centered at members of `ball`; returns the number of balls used.
+/// Uses farthest-first center selection, which both terminates in cover
+/// size ≤ the 2-approximation of the optimal cover and is deterministic.
+fn greedy_cover_size<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    ball: &[usize],
+    r: f64,
+) -> usize {
+    let mut dist_to_centers = vec![f64::INFINITY; ball.len()];
+    let mut covers = 0usize;
+    loop {
+        // Farthest uncovered point becomes the next center.
+        let (far_pos, &far_d) = match dist_to_centers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| cmp_dist(a.1, b.1))
+        {
+            Some(x) => x,
+            None => return covers,
+        };
+        if far_d <= r {
+            return covers;
+        }
+        covers += 1;
+        let c = ball[far_pos];
+        for (pos, &i) in ball.iter().enumerate() {
+            let d = metric.distance(&points[c], &points[i]);
+            if d < dist_to_centers[pos] {
+                dist_to_centers[pos] = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Euclidean, VecPoint};
+
+    fn line(n: usize) -> Vec<VecPoint> {
+        (0..n).map(|i| VecPoint::from([i as f64])).collect()
+    }
+
+    fn grid2d(side: usize) -> Vec<VecPoint> {
+        let mut v = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                v.push(VecPoint::from([i as f64, j as f64]));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let est = estimate_doubling_dimension(&line(0), &Euclidean, 4, 1);
+        assert_eq!(est.dimension, 0.0);
+        let est = estimate_doubling_dimension(&line(1), &Euclidean, 4, 1);
+        assert_eq!(est.dimension, 0.0);
+    }
+
+    #[test]
+    fn line_has_small_dimension() {
+        let est = estimate_doubling_dimension(&line(200), &Euclidean, 6, 7);
+        // The real line has doubling dimension 1; greedy covering with
+        // data centers can cost roughly one extra doubling.
+        assert!(
+            est.dimension <= 3.0,
+            "line estimated at {}",
+            est.dimension
+        );
+        assert!(est.dimension >= 1.0);
+    }
+
+    #[test]
+    fn plane_estimate_exceeds_line_estimate() {
+        let l = estimate_doubling_dimension(&line(225), &Euclidean, 6, 7);
+        let g = estimate_doubling_dimension(&grid2d(15), &Euclidean, 6, 7);
+        assert!(
+            g.dimension > l.dimension,
+            "grid {} vs line {}",
+            g.dimension,
+            l.dimension
+        );
+    }
+
+    #[test]
+    fn identical_points_give_zero() {
+        let pts: Vec<VecPoint> = (0..10).map(|_| VecPoint::from([1.0])).collect();
+        let est = estimate_doubling_dimension(&pts, &Euclidean, 3, 1);
+        assert_eq!(est.worst_cover, 1);
+    }
+}

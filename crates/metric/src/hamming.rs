@@ -1,0 +1,47 @@
+//! Hamming distance.
+
+use crate::{BitSetPoint, Metric};
+
+/// Hamming distance: the number of positions where two points differ.
+///
+/// Provided for bit sets (symmetric-difference size) and for byte
+/// strings of equal length.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+impl Metric<BitSetPoint> for Hamming {
+    #[inline]
+    fn distance(&self, a: &BitSetPoint, b: &BitSetPoint) -> f64 {
+        a.symmetric_difference_size(b) as f64
+    }
+}
+
+impl Metric<[u8]> for Hamming {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "length mismatch");
+        a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_hamming() {
+        let a = BitSetPoint::from_elements(10, &[0, 1, 2]);
+        let b = BitSetPoint::from_elements(10, &[1, 2, 3]);
+        assert_eq!(Hamming.distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn byte_hamming() {
+        assert_eq!(Hamming.distance(b"karolin".as_slice(), b"kathrin".as_slice()), 3.0);
+    }
+
+    #[test]
+    fn identity() {
+        let a = BitSetPoint::from_elements(10, &[7]);
+        assert_eq!(Hamming.distance(&a, &a), 0.0);
+    }
+}

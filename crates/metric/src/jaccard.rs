@@ -1,0 +1,56 @@
+//! Jaccard distance on sets.
+
+use crate::{BitSetPoint, Metric};
+
+/// Jaccard distance `d(A, B) = 1 − |A∩B| / |A∪B|`.
+///
+/// A true metric on finite sets (the Steinhaus/Tanimoto distance); the
+/// paper cites it (as "dissimilarity distance in database queries") as a
+/// practically important space where the algorithms behave well even
+/// though the doubling dimension is unbounded in general. Two empty sets
+/// are at distance 0 by convention.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+impl Metric<BitSetPoint> for Jaccard {
+    fn distance(&self, a: &BitSetPoint, b: &BitSetPoint) -> f64 {
+        let union = a.union_size(b);
+        if union == 0 {
+            return 0.0;
+        }
+        1.0 - a.intersection_size(b) as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_sets_at_distance_one() {
+        let a = BitSetPoint::from_elements(10, &[0, 1]);
+        let b = BitSetPoint::from_elements(10, &[2, 3]);
+        assert_eq!(Jaccard.distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn equal_sets_at_distance_zero() {
+        let a = BitSetPoint::from_elements(10, &[0, 5, 9]);
+        assert_eq!(Jaccard.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_at_distance_zero() {
+        let a = BitSetPoint::new(10);
+        let b = BitSetPoint::new(10);
+        assert_eq!(Jaccard.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        let a = BitSetPoint::from_elements(10, &[0, 1, 2]);
+        let b = BitSetPoint::from_elements(10, &[1, 2, 3]);
+        // |A∩B| = 2, |A∪B| = 4.
+        assert_eq!(Jaccard.distance(&a, &b), 0.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Levenshtein (edit) distance on strings.
+
+use crate::Metric;
+
+/// Levenshtein distance: the minimum number of single-character
+/// insertions, deletions and substitutions transforming one string into
+/// the other. A classical true metric on strings; useful for
+/// diversifying textual result sets (titles, queries, SKUs) where a
+/// vector embedding is unavailable.
+///
+/// Implementation: two-row dynamic programming over characters,
+/// `O(|a|·|b|)` time and `O(min(|a|,|b|))` memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+impl Levenshtein {
+    /// Computes the edit distance between two strings (as `usize`).
+    pub fn distance_usize(a: &str, b: &str) -> usize {
+        if a == b {
+            return 0;
+        }
+        let a_chars: Vec<char> = a.chars().collect();
+        let b_chars: Vec<char> = b.chars().collect();
+        // Keep the shorter string in the inner dimension.
+        let (short, long) = if a_chars.len() <= b_chars.len() {
+            (&a_chars, &b_chars)
+        } else {
+            (&b_chars, &a_chars)
+        };
+        let mut prev: Vec<usize> = (0..=short.len()).collect();
+        let mut cur = vec![0usize; short.len() + 1];
+        for (i, &lc) in long.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &sc) in short.iter().enumerate() {
+                let sub = prev[j] + usize::from(lc != sc);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[short.len()]
+    }
+}
+
+impl Metric<String> for Levenshtein {
+    #[inline]
+    fn distance(&self, a: &String, b: &String) -> f64 {
+        Self::distance_usize(a, b) as f64
+    }
+}
+
+impl Metric<str> for Levenshtein {
+    #[inline]
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        Self::distance_usize(a, b) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs() {
+        assert_eq!(Levenshtein::distance_usize("kitten", "sitting"), 3);
+        assert_eq!(Levenshtein::distance_usize("flaw", "lawn"), 2);
+        assert_eq!(Levenshtein::distance_usize("", "abc"), 3);
+        assert_eq!(Levenshtein::distance_usize("abc", ""), 3);
+        assert_eq!(Levenshtein::distance_usize("", ""), 0);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        assert_eq!(Levenshtein::distance_usize("same", "same"), 0);
+        assert_eq!(
+            Levenshtein::distance_usize("abcde", "xbcdz"),
+            Levenshtein::distance_usize("xbcdz", "abcde"),
+        );
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(Levenshtein::distance_usize("caffè", "caffe"), 1);
+        assert_eq!(Levenshtein::distance_usize("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn metric_trait_on_string_and_str() {
+        let a = "hello".to_string();
+        let b = "hallo".to_string();
+        assert_eq!(Levenshtein.distance(&a, &b), 1.0);
+        assert_eq!(Levenshtein.distance("abc", "abd"), 1.0);
+    }
+
+    #[test]
+    fn bounded_by_longer_length() {
+        let a = "short";
+        let b = "a-much-longer-string";
+        let d = Levenshtein::distance_usize(a, b);
+        assert!(d <= b.chars().count());
+        assert!(d >= b.chars().count() - a.chars().count());
+    }
+}

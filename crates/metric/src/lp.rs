@@ -1,0 +1,89 @@
+//! The general Minkowski (`Lp`) metric family.
+
+use crate::{Metric, VecPoint};
+
+/// Minkowski distance `d(u, v) = (Σ |uᵢ − vᵢ|^p)^(1/p)` for `p ≥ 1`.
+///
+/// `p = 1` and `p = 2` have dedicated zero-cost implementations
+/// ([`crate::Manhattan`], [`crate::Euclidean`]); this type covers the
+/// rest of the family (the triangle inequality holds exactly for
+/// `p ≥ 1`, by Minkowski's inequality — `p < 1` is rejected because it
+/// yields a *non*-metric and would silently void the stack's
+/// guarantees).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lp {
+    p: f64,
+}
+
+impl Lp {
+    /// Creates the `Lp` metric.
+    ///
+    /// # Panics
+    /// Panics unless `p >= 1` and finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && p >= 1.0, "Lp requires 1 <= p < inf");
+        Self { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<VecPoint> for Lp {
+    #[inline]
+    fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+}
+
+impl Metric<[f64]> for Lp {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let sum: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
+        sum.powf(1.0 / self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chebyshev, Euclidean, Manhattan};
+
+    #[test]
+    fn p1_matches_manhattan_and_p2_matches_euclidean() {
+        let a = VecPoint::from([1.0, -2.0, 0.5]);
+        let b = VecPoint::from([-1.0, 3.0, 2.0]);
+        assert!((Lp::new(1.0).distance(&a, &b) - Manhattan.distance(&a, &b)).abs() < 1e-12);
+        assert!((Lp::new(2.0).distance(&a, &b) - Euclidean.distance(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_p_approaches_chebyshev() {
+        let a = VecPoint::from([0.0, 0.0]);
+        let b = VecPoint::from([3.0, 4.0]);
+        let d64 = Lp::new(64.0).distance(&a, &b);
+        assert!((d64 - Chebyshev.distance(&a, &b)).abs() < 0.2, "got {d64}");
+    }
+
+    #[test]
+    fn monotone_decreasing_in_p() {
+        let a = VecPoint::from([0.0, 0.0, 0.0]);
+        let b = VecPoint::from([1.0, 1.0, 1.0]);
+        let d1 = Lp::new(1.0).distance(&a, &b);
+        let d3 = Lp::new(3.0).distance(&a, &b);
+        let d7 = Lp::new(7.0).distance(&a, &b);
+        assert!(d1 > d3 && d3 > d7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_below_one() {
+        let _ = Lp::new(0.5);
+    }
+}

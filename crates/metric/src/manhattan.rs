@@ -1,0 +1,53 @@
+//! The Manhattan (`L1`, rectilinear) metric.
+
+use crate::{Metric, VecPoint};
+
+/// Manhattan distance `d(u, v) = Σ |uᵢ − vᵢ|`.
+///
+/// The paper cites Fekete–Meijer's `(1+ε)`-approximation for
+/// remote-clique under *rectilinear* distances; this metric lets the
+/// examples exercise that setting. `(R^d, L1)` has doubling dimension
+/// `O(d)` like its Euclidean sibling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric<VecPoint> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+}
+
+impl Metric<[f64]> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxicab_distance() {
+        let a = VecPoint::from([0.0, 0.0]);
+        let b = VecPoint::from([3.0, 4.0]);
+        assert_eq!(Manhattan.distance(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn dominates_euclidean() {
+        use crate::Euclidean;
+        let a = VecPoint::from([1.0, -2.0, 0.5]);
+        let b = VecPoint::from([-1.0, 3.0, 2.0]);
+        assert!(Manhattan.distance(&a, &b) >= Euclidean.distance(&a, &b));
+    }
+
+    #[test]
+    fn identity() {
+        let a = VecPoint::from([9.0, 9.0]);
+        assert_eq!(Manhattan.distance(&a, &a), 0.0);
+    }
+}

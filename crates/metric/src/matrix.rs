@@ -1,0 +1,139 @@
+//! Cached pairwise-distance matrix.
+
+use crate::Metric;
+
+/// A symmetric pairwise-distance matrix over a point set, stored as a
+/// packed lower triangle.
+///
+/// Objective evaluation (`div(S')` for the six diversity measures) and
+/// the matching/GMM sequential algorithms repeatedly query the same
+/// `O(k²)` distances on the final core-set; precomputing them trades
+/// `O(k²)` memory for avoiding recomputation of potentially expensive
+/// distances (e.g. sparse cosine).
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major lower triangle, excluding the diagonal:
+    /// `data[i*(i-1)/2 + j]` holds `d(i, j)` for `j < i`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances among `points` under `metric`.
+    /// `O(n²)` distance evaluations.
+    pub fn build<P, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        let n = points.len();
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                data.push(metric.distance(&points[i], &points[j]));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Builds a matrix from an explicit symmetric closure: `dist(i, j)`
+    /// is called once per unordered pair with `j < i`.
+    pub fn from_fn(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 1..n {
+            for j in 0..i {
+                data.push(dist(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the matrix covers no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between points `i` and `j` (0 when `i == j`).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` or `j >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.data[i * (i - 1) / 2 + j],
+            std::cmp::Ordering::Less => self.data[j * (j - 1) / 2 + i],
+        }
+    }
+
+    /// The largest pairwise distance (0 for < 2 points).
+    pub fn diameter(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The smallest pairwise distance (`INFINITY` for < 2 points).
+    pub fn min_pairwise(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Euclidean, VecPoint};
+
+    fn pts(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn symmetric_lookup() {
+        let m = DistanceMatrix::build(&pts(&[0.0, 1.0, 3.0]), &Euclidean);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(2, 1), 2.0);
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let m = DistanceMatrix::build(&pts(&[5.0, 9.0]), &Euclidean);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn diameter_and_min() {
+        let m = DistanceMatrix::build(&pts(&[0.0, 1.0, 10.0]), &Euclidean);
+        assert_eq!(m.diameter(), 10.0);
+        assert_eq!(m.min_pairwise(), 1.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m0 = DistanceMatrix::build(&pts(&[]), &Euclidean);
+        assert!(m0.is_empty());
+        assert_eq!(m0.diameter(), 0.0);
+        let m1 = DistanceMatrix::build(&pts(&[1.0]), &Euclidean);
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m1.min_pairwise(), f64::INFINITY);
+    }
+
+    #[test]
+    fn from_fn_matches_build() {
+        let points = pts(&[0.0, 2.0, 5.0, 6.0]);
+        let a = DistanceMatrix::build(&points, &Euclidean);
+        let b = DistanceMatrix::from_fn(points.len(), |i, j| {
+            Euclidean.distance(&points[i], &points[j])
+        });
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Sparse vectors for high-dimensional bag-of-words data.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector: sorted `(dimension, value)` pairs plus a cached
+/// Euclidean norm.
+///
+/// This is the representation of the musiXmatch-style workloads: each
+/// song is the word-count vector of the 5,000 most frequent words, with
+/// typically only a few dozen nonzero entries. Caching `‖v‖₂` at
+/// construction makes the cosine distance a single sparse dot product,
+/// which matters for the streaming-throughput experiment (Figure 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    /// Nonzero entries, strictly sorted by dimension id.
+    entries: Vec<(u32, f64)>,
+    /// Cached `‖v‖₂`.
+    norm: f64,
+}
+
+impl SparseVector {
+    /// Builds a sparse vector from `(dimension, value)` pairs.
+    ///
+    /// Pairs are sorted, zero values dropped, and duplicate dimensions
+    /// summed. Values must be finite.
+    ///
+    /// # Panics
+    /// Panics if any value is non-finite.
+    pub fn new(mut entries: Vec<(u32, f64)>) -> Self {
+        assert!(
+            entries.iter().all(|(_, v)| v.is_finite()),
+            "SparseVector values must be finite"
+        );
+        entries.sort_unstable_by_key(|&(d, _)| d);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (d, v) in entries {
+            match merged.last_mut() {
+                Some((ld, lv)) if *ld == d => *lv += v,
+                _ => merged.push((d, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        let norm = merged.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+        Self {
+            entries: merged,
+            norm,
+        }
+    }
+
+    /// The all-zero vector.
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+            norm: 0.0,
+        }
+    }
+
+    /// Number of nonzero entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the vector has no nonzero entries.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The sorted nonzero entries.
+    #[inline]
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Sparse dot product via sorted-merge; `O(nnz(a) + nnz(b))`.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut sum = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Cosine similarity in `[-1, 1]`; zero vectors are treated as
+    /// orthogonal to everything (similarity 0) and identical to
+    /// themselves (similarity 1).
+    pub fn cosine_similarity(&self, other: &Self) -> f64 {
+        if self.is_zero() && other.is_zero() {
+            return 1.0;
+        }
+        if self.is_zero() || other.is_zero() {
+            return 0.0;
+        }
+        // Clamp: accumulated rounding can push u·v/(‖u‖‖v‖) epsilon
+        // outside [-1, 1], which would make arccos return NaN.
+        (self.dot(other) / (self.norm * other.norm)).clamp(-1.0, 1.0)
+    }
+
+    /// Approximate number of bytes this vector occupies (for memory
+    /// accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.len() * std::mem::size_of::<(u32, f64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_merges_and_drops_zeros() {
+        let v = SparseVector::new(vec![(5, 2.0), (1, 1.0), (5, 3.0), (7, 0.0)]);
+        assert_eq!(v.entries(), &[(1, 1.0), (5, 5.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn norm_is_cached_correctly() {
+        let v = SparseVector::new(vec![(0, 3.0), (9, 4.0)]);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn dot_product_of_disjoint_supports_is_zero() {
+        let a = SparseVector::new(vec![(0, 1.0), (2, 1.0)]);
+        let b = SparseVector::new(vec![(1, 1.0), (3, 1.0)]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn dot_product_overlapping() {
+        let a = SparseVector::new(vec![(0, 2.0), (2, 3.0)]);
+        let b = SparseVector::new(vec![(2, 4.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 12.0);
+    }
+
+    #[test]
+    fn cosine_similarity_of_parallel_vectors_is_one() {
+        let a = SparseVector::new(vec![(0, 1.0), (1, 2.0)]);
+        let b = SparseVector::new(vec![(0, 2.0), (1, 4.0)]);
+        assert!((a.cosine_similarity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_conventions() {
+        let z = SparseVector::empty();
+        let v = SparseVector::new(vec![(0, 1.0)]);
+        assert_eq!(z.cosine_similarity(&z), 1.0);
+        assert_eq!(z.cosine_similarity(&v), 0.0);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn merging_to_zero_drops_entry() {
+        let v = SparseVector::new(vec![(3, 1.0), (3, -1.0)]);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        let _ = SparseVector::new(vec![(0, f64::NAN)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! The [`Metric`] trait: the single abstraction every algorithm in the
+//! workspace is generic over.
+
+/// A distance function `d : P × P → R≥0` satisfying the metric axioms.
+///
+/// Implementors must guarantee, for all `a`, `b`, `c`:
+///
+/// 1. `d(a, b) >= 0`, and `d(a, b) == 0` iff `a` and `b` are
+///    indistinguishable under the metric;
+/// 2. `d(a, b) == d(b, a)` (symmetry);
+/// 3. `d(a, c) <= d(a, b) + d(b, c)` (triangle inequality).
+///
+/// The triangle inequality is load-bearing: every approximation guarantee
+/// in the paper (Lemmas 1, 2, 7) is a triangle-inequality argument, so a
+/// non-metric "distance" (e.g. squared Euclidean) silently voids them.
+/// The property tests in `tests/axioms.rs` check all shipped metrics.
+///
+/// Metrics are required to be `Send + Sync` so the simulated MapReduce
+/// runtime can share one metric instance across reducer threads; all
+/// metrics in this crate are zero-sized, so this costs nothing.
+pub trait Metric<P: ?Sized>: Send + Sync {
+    /// Computes the distance between `a` and `b`. Must never return NaN
+    /// or a negative value for valid points.
+    fn distance(&self, a: &P, b: &P) -> f64;
+
+    /// Returns the minimum distance from `p` to any point of `set`
+    /// (`d(p, S) = min_{q in S} d(p, q)` in the paper's notation), or
+    /// `f64::INFINITY` if `set` is empty.
+    fn distance_to_set(&self, p: &P, set: &[P]) -> f64
+    where
+        P: Sized,
+    {
+        set.iter()
+            .map(|q| self.distance(p, q))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+// A reference to a metric is itself a metric: this lets algorithms take
+// metrics by value while callers keep ownership.
+impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Euclidean, VecPoint};
+
+    #[test]
+    fn distance_to_set_of_empty_is_infinite() {
+        let p = VecPoint::new(vec![0.0]);
+        assert_eq!(Euclidean.distance_to_set(&p, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn distance_to_set_takes_minimum() {
+        let p = VecPoint::new(vec![0.0]);
+        let set = vec![
+            VecPoint::new(vec![5.0]),
+            VecPoint::new(vec![2.0]),
+            VecPoint::new(vec![9.0]),
+        ];
+        assert_eq!(Euclidean.distance_to_set(&p, &set), 2.0);
+    }
+
+    #[test]
+    fn reference_to_metric_is_metric() {
+        fn takes_metric<M: Metric<VecPoint>>(m: M) -> f64 {
+            m.distance(&VecPoint::new(vec![0.0]), &VecPoint::new(vec![1.0]))
+        }
+        let e = Euclidean;
+        assert_eq!(takes_metric(e), 1.0);
+        assert_eq!(takes_metric(e), 1.0);
+    }
+}

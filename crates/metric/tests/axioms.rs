@@ -1,0 +1,116 @@
+//! Property tests: every shipped metric satisfies the metric axioms.
+//!
+//! The triangle inequality in particular is the foundation of every
+//! approximation proof in the paper (Lemmas 1, 2, 7), so these tests are
+//! the contract the rest of the workspace relies on.
+
+use metric::{
+    BitSetPoint, Chebyshev, CosineDistance, Discrete, Euclidean, Hamming, Jaccard, Levenshtein,
+    Lp, Manhattan, Metric, SparseVector, VecPoint,
+};
+use proptest::prelude::*;
+
+// acos has infinite derivative at 1, so angular distances computed from
+// rounded cosines carry ~sqrt(machine-epsilon) ≈ 1e-8 absolute error;
+// the tolerance must sit above that.
+const EPS: f64 = 1e-6;
+
+fn vec_point(dim: usize) -> impl Strategy<Value = VecPoint> {
+    prop::collection::vec(-1e3..1e3f64, dim).prop_map(VecPoint::new)
+}
+
+fn sparse_vector() -> impl Strategy<Value = SparseVector> {
+    prop::collection::vec((0u32..50, -10.0..10.0f64), 1..12).prop_map(SparseVector::new)
+}
+
+fn bitset() -> impl Strategy<Value = BitSetPoint> {
+    prop::collection::vec(0usize..96, 0..20)
+        .prop_map(|els| BitSetPoint::from_elements(96, &els))
+}
+
+/// Checks the three metric axioms on a triple, with a small tolerance for
+/// floating-point rounding in the triangle inequality.
+fn check_axioms<P, M: Metric<P>>(m: &M, a: &P, b: &P, c: &P) {
+    let dab = m.distance(a, b);
+    let dba = m.distance(b, a);
+    let dac = m.distance(a, c);
+    let dbc = m.distance(b, c);
+    let daa = m.distance(a, a);
+
+    assert!(dab >= 0.0, "non-negativity violated: {dab}");
+    assert!(dab.is_finite(), "distance must be finite: {dab}");
+    assert!(daa.abs() <= EPS, "d(a,a) = {daa} != 0");
+    assert!((dab - dba).abs() <= EPS, "symmetry violated: {dab} vs {dba}");
+    assert!(
+        dac <= dab + dbc + EPS,
+        "triangle inequality violated: d(a,c)={dac} > d(a,b)+d(b,c)={}",
+        dab + dbc
+    );
+}
+
+macro_rules! axiom_tests {
+    ($name:ident, $metric:expr, $strategy:expr) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strategy, $strategy, $strategy)) {
+                check_axioms(&$metric, &a, &b, &c);
+            }
+        }
+    };
+}
+
+axiom_tests!(euclidean_axioms, Euclidean, vec_point(3));
+axiom_tests!(euclidean_axioms_high_dim, Euclidean, vec_point(16));
+axiom_tests!(manhattan_axioms, Manhattan, vec_point(3));
+axiom_tests!(chebyshev_axioms, Chebyshev, vec_point(4));
+axiom_tests!(cosine_sparse_axioms, CosineDistance, sparse_vector());
+axiom_tests!(jaccard_axioms, Jaccard, bitset());
+axiom_tests!(hamming_axioms, Hamming, bitset());
+axiom_tests!(lp3_axioms, Lp::new(3.0), vec_point(3));
+axiom_tests!(lp1_5_axioms, Lp::new(1.5), vec_point(4));
+axiom_tests!(
+    levenshtein_axioms,
+    Levenshtein,
+    "[a-c]{0,8}".prop_map(String::from)
+);
+
+proptest! {
+    #[test]
+    fn cosine_dense_axioms((a, b, c) in (vec_point(4), vec_point(4), vec_point(4))) {
+        // Exclude near-zero vectors: the zero-vector convention
+        // (orthogonal to everything) intentionally bends the triangle
+        // inequality, and datasets filter zero vectors out.
+        prop_assume!(a.norm() > 1e-6 && b.norm() > 1e-6 && c.norm() > 1e-6);
+        check_axioms(&CosineDistance, &a, &b, &c);
+    }
+
+    #[test]
+    fn discrete_axioms((a, b, c) in (0u8..5, 0u8..5, 0u8..5)) {
+        check_axioms(&Discrete, &a, &b, &c);
+    }
+
+    /// d(p, S) is a lower bound on the distance to each member of S.
+    #[test]
+    fn distance_to_set_is_min(
+        p in vec_point(3),
+        set in prop::collection::vec(vec_point(3), 1..8),
+    ) {
+        let d = Euclidean.distance_to_set(&p, &set);
+        for q in &set {
+            prop_assert!(d <= Euclidean.distance(&p, q) + EPS);
+        }
+        prop_assert!(set.iter().any(|q| (Euclidean.distance(&p, q) - d).abs() <= EPS));
+    }
+
+    /// The distance matrix agrees with the metric everywhere.
+    #[test]
+    fn distance_matrix_is_faithful(points in prop::collection::vec(vec_point(2), 2..12)) {
+        let m = metric::DistanceMatrix::build(&points, &Euclidean);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                let expect = Euclidean.distance(&points[i], &points[j]);
+                prop_assert!((m.get(i, j) - expect).abs() <= EPS);
+            }
+        }
+    }
+}

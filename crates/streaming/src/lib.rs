@@ -1,0 +1,52 @@
+//! # diversity-streaming
+//!
+//! One- and two-pass streaming diversity maximization (Sections 4 and
+//! 6.1 of the paper).
+//!
+//! The workhorse is a variant of the Charikar–Chekuri–Feder–Motwani
+//! *doubling algorithm* for streaming k-center: it maintains at most
+//! `k'+1` centers and a distance threshold `d_i` that doubles from
+//! phase to phase, giving an 8-approximation to the `k'`-center optimum
+//! — which, in bounded-doubling-dimension spaces, makes the kept
+//! centers an arbitrarily accurate *core-set* for all six diversity
+//! problems once `k'` is a suitable multiple of `k` (Lemmas 3–4).
+//!
+//! Three bookkeeping flavours share the phase machinery
+//! ([`doubling::DoublingCore`]):
+//!
+//! * [`Smm`] — centers only; `(1+ε)`-core-set for remote-edge and
+//!   remote-cycle with `k' = (32/ε')^D·k` (Theorem 1), `O((1/ε)^D k)`
+//!   memory;
+//! * [`SmmExt`] — centers plus up to `k` *delegates* each; core-set for
+//!   remote-clique/star/bipartition/tree with `k' = (64/ε')^D·k`
+//!   (Theorem 2), `O((1/ε)^D k²)` memory;
+//! * [`SmmGen`] — centers plus delegate *counts*: a generalized
+//!   core-set in `O((1/ε)^D k)` memory, which the two-pass algorithm of
+//!   Theorem 9 ([`two_pass`]) instantiates on a second pass.
+//!
+//! [`pipeline`] assembles the one-pass algorithm of Theorem 3
+//! (core-set + sequential algorithm), and [`throughput`] measures the
+//! per-point processing rate of the kernel, reproducing Figure 3.
+
+pub mod doubling;
+pub mod pipeline;
+mod smm;
+mod smm_ext;
+mod smm_gen;
+pub mod throughput;
+pub mod two_pass;
+
+pub use smm::{Smm, SmmResult};
+pub use smm_ext::{SmmExt, SmmExtResult};
+pub use smm_gen::{SmmGen, SmmGenResult};
+
+/// A solution produced by a streaming algorithm: the selected points
+/// themselves (a stream has no global index space) plus their objective
+/// value.
+#[derive(Clone, Debug)]
+pub struct StreamSolution<P> {
+    /// The selected `k` points.
+    pub points: Vec<P>,
+    /// `div(points)` under the problem's objective.
+    pub value: f64,
+}

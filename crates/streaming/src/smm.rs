@@ -1,0 +1,180 @@
+//! SMM: the plain streaming core-set (Section 4, Theorem 1).
+
+use crate::doubling::DoublingCore;
+use metric::Metric;
+
+/// One-pass core-set construction for remote-edge and remote-cycle.
+///
+/// Maintains at most `k'+1` centers via the doubling algorithm and, per
+/// the paper's modification, retains the centers removed by the current
+/// phase's merge step (`M`) so the final output can be padded to at
+/// least `k` points if the last phase left `|T| < k`.
+///
+/// With `k' = (32/ε')^D·k` on a doubling-dimension-`D` space the output
+/// is a `(1+ε)`-core-set (Theorem 1), in `O((1/ε)^D k)` memory.
+pub struct Smm<P, M> {
+    core: DoublingCore<P, ()>,
+    metric: M,
+    k: usize,
+}
+
+/// Output of [`Smm::finish`].
+#[derive(Clone, Debug)]
+pub struct SmmResult<P> {
+    /// The core-set `T` (padded from `M` to ≥ k points when needed).
+    pub coreset: Vec<P>,
+    /// Number of phases executed.
+    pub phases: usize,
+    /// Final threshold `d_ℓ`; every processed point is within
+    /// `4·d_ℓ` of the (unpadded) centers.
+    pub final_threshold: f64,
+    /// Peak resident points observed (centers + removed), for the
+    /// memory experiments.
+    pub peak_memory_points: usize,
+}
+
+impl<P: Clone, M: Metric<P>> Smm<P, M> {
+    /// Creates the stream processor.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= k_prime`.
+    pub fn new(metric: M, k: usize, k_prime: usize) -> Self {
+        Self {
+            core: DoublingCore::new(k, k_prime),
+            metric,
+            k,
+        }
+    }
+
+    /// Processes one stream point.
+    pub fn push(&mut self, point: P) {
+        self.core.push(point, &self.metric);
+    }
+
+    /// Current resident points (for live memory tracking).
+    pub fn memory_points(&self) -> usize {
+        self.core.memory_points()
+    }
+
+    /// The checkpointable state: serialize it with serde to persist a
+    /// long-running stream across restarts, then [`Self::resume`].
+    pub fn state(&self) -> &DoublingCore<P, ()> {
+        &self.core
+    }
+
+    /// Resumes from a checkpointed state.
+    pub fn resume(metric: M, state: DoublingCore<P, ()>) -> Self {
+        let k = state.k();
+        Self { core: state, metric, k }
+    }
+
+    /// Ends the stream and extracts the core-set.
+    pub fn finish(self) -> SmmResult<P> {
+        let peak = self.core.memory_points();
+        let k = self.k;
+        let (centers, removed, final_threshold, phases) = self.core.finish();
+        let mut coreset: Vec<P> = centers.into_iter().map(|c| c.point).collect();
+        // Pad from M: |M ∪ I| = k'+1 >= k guarantees enough points
+        // whenever the stream itself had >= k.
+        let mut m_iter = removed.into_iter();
+        while coreset.len() < k {
+            match m_iter.next() {
+                Some(p) => coreset.push(p),
+                None => break,
+            }
+        }
+        SmmResult {
+            coreset,
+            phases,
+            final_threshold,
+            peak_memory_points: peak,
+        }
+    }
+
+    /// Convenience: run over an iterator and finish.
+    pub fn run(metric: M, k: usize, k_prime: usize, stream: impl IntoIterator<Item = P>) -> SmmResult<P> {
+        let mut smm = Self::new(metric, k, k_prime);
+        for p in stream {
+            smm.push(p);
+        }
+        smm.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn stream(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn output_at_least_k_points() {
+        // A long clustered stream that forces many merges.
+        let xs: Vec<f64> = (0..400).map(|i| (i % 4) as f64 * 1000.0 + (i as f64) * 0.001).collect();
+        let res = Smm::run(Euclidean, 8, 12, stream(&xs));
+        assert!(
+            res.coreset.len() >= 8,
+            "padding must bring the core-set to k (got {})",
+            res.coreset.len()
+        );
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let xs: Vec<f64> = (0..5000).map(|i| ((i * 97) % 4099) as f64).collect();
+        let mut smm = Smm::new(Euclidean, 4, 16);
+        let mut peak = 0usize;
+        for p in stream(&xs) {
+            smm.push(p);
+            peak = peak.max(smm.memory_points());
+        }
+        // Centers (k'+1) plus the removed set of one merge (≤ k'+1).
+        assert!(peak <= 2 * (16 + 1), "peak {peak}");
+        let res = smm.finish();
+        assert!(res.coreset.len() <= 2 * (16 + 1));
+    }
+
+    #[test]
+    fn short_stream_passes_through() {
+        let res = Smm::run(Euclidean, 3, 5, stream(&[1.0, 2.0, 3.0]));
+        assert_eq!(res.coreset.len(), 3);
+        assert_eq!(res.phases, 0);
+    }
+
+    #[test]
+    fn coreset_quality_on_planted_line() {
+        // Points 0..1000 dense, plus two far outliers; the core-set
+        // must keep (a neighbourhood of) the outliers for remote-edge.
+        let mut xs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.01).collect();
+        xs.push(1e6);
+        xs.push(-1e6);
+        let res = Smm::run(Euclidean, 2, 8, stream(&xs));
+        let max = res
+            .coreset
+            .iter()
+            .map(|p| p.coords()[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = res
+            .coreset
+            .iter()
+            .map(|p| p.coords()[0])
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(max, 1e6);
+        assert_eq!(min, -1e6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs: Vec<f64> = (0..2000).map(|i| ((i * 31) % 503) as f64).collect();
+        let a = Smm::run(Euclidean, 4, 8, stream(&xs));
+        let b = Smm::run(Euclidean, 4, 8, stream(&xs));
+        assert_eq!(a.coreset.len(), b.coreset.len());
+        assert_eq!(a.phases, b.phases);
+        for (x, y) in a.coreset.iter().zip(b.coreset.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! SMM-GEN: streaming *generalized* core-set — delegate counts instead
+//! of delegate points (Section 6.1, first pass of Theorem 9).
+
+use crate::doubling::{DoublingCore, Payload};
+use diversity_core::{GenPair, GeneralizedCoreset};
+use metric::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Count payload: how many stream points this center stands for
+/// (capped at `k`, itself included).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DelegateCount {
+    count: usize,
+}
+
+impl<P> Payload<P> for DelegateCount {
+    fn new_center(_: &P) -> Self {
+        Self { count: 1 }
+    }
+
+    fn absorb(&mut self, other: Self, k: usize) {
+        self.count = (self.count + other.count).min(k);
+    }
+
+    fn offer(&mut self, _: &P, k: usize) -> bool {
+        if self.count < k {
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mass(&self) -> usize {
+        1 // only the center is resident; the count is O(1) memory
+    }
+}
+
+/// One-pass generalized core-set: the SMM-EXT bookkeeping with counts
+/// instead of materialized delegates, shrinking memory from
+/// `O((1/ε)^D k²)` to `O((1/ε)^D k)` — the second pass of Theorem 9
+/// turns the counts back into real points.
+pub struct SmmGen<P, M> {
+    core: DoublingCore<P, DelegateCount>,
+    metric: M,
+}
+
+/// Output of [`SmmGen::finish`].
+#[derive(Clone, Debug)]
+pub struct SmmGenResult<P> {
+    /// The kernel points, owned (a stream has no index space).
+    pub kernel: Vec<P>,
+    /// The generalized core-set; `GenPair::index` refers into
+    /// `kernel`.
+    pub coreset: GeneralizedCoreset,
+    /// Instantiation radius: every counted point was within this
+    /// distance of (a predecessor of) its kernel point — `4·d_ℓ`.
+    pub delta: f64,
+    /// Number of phases executed.
+    pub phases: usize,
+    /// Peak resident points.
+    pub peak_memory_points: usize,
+}
+
+impl<P: Clone, M: Metric<P>> SmmGen<P, M> {
+    /// Creates the stream processor.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= k_prime`.
+    pub fn new(metric: M, k: usize, k_prime: usize) -> Self {
+        Self {
+            core: DoublingCore::new(k, k_prime),
+            metric,
+        }
+    }
+
+    /// Processes one stream point.
+    pub fn push(&mut self, point: P) {
+        self.core.push(point, &self.metric);
+    }
+
+    /// Current resident points.
+    pub fn memory_points(&self) -> usize {
+        self.core.memory_points()
+    }
+
+    /// The checkpointable state (see [`crate::SmmExt::state`]).
+    pub fn state(&self) -> &DoublingCore<P, DelegateCount> {
+        &self.core
+    }
+
+    /// Resumes from a checkpointed state.
+    pub fn resume(metric: M, state: DoublingCore<P, DelegateCount>) -> Self {
+        Self { core: state, metric }
+    }
+
+    /// Ends the stream, returning kernel + counts.
+    pub fn finish(self) -> SmmGenResult<P> {
+        let peak = self.core.memory_points();
+        let delta = self.core.radius_bound();
+        let (centers, _removed, _d, phases) = self.core.finish();
+        let mut kernel = Vec::with_capacity(centers.len());
+        let mut pairs = Vec::with_capacity(centers.len());
+        for (i, c) in centers.into_iter().enumerate() {
+            pairs.push(GenPair {
+                index: i,
+                multiplicity: c.payload.count,
+            });
+            kernel.push(c.point);
+        }
+        SmmGenResult {
+            kernel,
+            coreset: GeneralizedCoreset::new(pairs),
+            delta,
+            phases,
+            peak_memory_points: peak,
+        }
+    }
+
+    /// Convenience: run over an iterator and finish.
+    pub fn run(
+        metric: M,
+        k: usize,
+        k_prime: usize,
+        stream: impl IntoIterator<Item = P>,
+    ) -> SmmGenResult<P> {
+        let mut s = Self::new(metric, k, k_prime);
+        for p in stream {
+            s.push(p);
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn stream(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn counts_capped_at_k() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 2) as f64 * 100.0).collect();
+        let res = SmmGen::run(Euclidean, 3, 4, stream(&xs));
+        assert!(res.coreset.pairs().iter().all(|p| p.multiplicity <= 3));
+    }
+
+    #[test]
+    fn memory_excludes_delegates() {
+        let xs: Vec<f64> = (0..3000).map(|i| ((i * 131) % 1009) as f64).collect();
+        let k_prime = 9;
+        let mut s = SmmGen::new(Euclidean, 5, k_prime);
+        let mut peak = 0;
+        for p in stream(&xs) {
+            s.push(p);
+            peak = peak.max(s.memory_points());
+        }
+        // Centers plus one phase's removed set — no k-factor.
+        assert!(peak <= 2 * (k_prime + 1), "peak {peak}");
+    }
+
+    #[test]
+    fn expanded_size_reaches_k_on_long_streams() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 211) as f64).collect();
+        let k = 7;
+        let res = SmmGen::run(Euclidean, k, 10, stream(&xs));
+        assert!(
+            res.coreset.expanded_size() >= k,
+            "m(T) = {} < k",
+            res.coreset.expanded_size()
+        );
+    }
+
+    #[test]
+    fn kernel_indices_consistent() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 61) % 157) as f64).collect();
+        let res = SmmGen::run(Euclidean, 4, 6, stream(&xs));
+        assert_eq!(res.coreset.size(), res.kernel.len());
+        for p in res.coreset.pairs() {
+            assert!(p.index < res.kernel.len());
+        }
+    }
+
+    #[test]
+    fn delta_positive_after_phases() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 211) as f64).collect();
+        let res = SmmGen::run(Euclidean, 4, 6, stream(&xs));
+        assert!(res.phases > 0);
+        assert!(res.delta > 0.0);
+    }
+}

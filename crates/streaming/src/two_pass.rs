@@ -1,0 +1,370 @@
+//! The two-pass streaming algorithm of Theorem 9.
+//!
+//! For remote-clique, remote-star, remote-bipartition and remote-tree,
+//! the memory of the one-pass algorithm carries a `k²` factor (each
+//! center materializes up to `k` delegates). Theorem 9 removes it:
+//!
+//! * **pass 1**: `SMM-GEN` builds a *generalized* core-set `T` (counts,
+//!   not delegates) in `Θ((α²/ε)^D k)` memory; the adapted sequential
+//!   algorithm (Fact 2) then extracts a coherent subset `T̂ ⊑ T` with
+//!   `m(T̂) = k` — still only counts;
+//! * **pass 2**: stream again, materializing an `r_T`-instantiation of
+//!   `T̂`: for each pair `(p, m_p)`, `m_p` distinct stream items within
+//!   `r_T` of `p`. A point feasible for several still-needy pairs is
+//!   *retained* (the paper's prescription) rather than assigned
+//!   greedily, and a maximum bipartite matching at stream end
+//!   distributes the retained points — greedy immediate assignment
+//!   could starve a pair whose candidates were all claimed by another.
+//!
+//! By Lemma 7 the instantiated set loses at most `f(k)·2r_T` diversity,
+//! which the parameter choice folds into the final `α + ε`.
+
+use crate::{SmmGen, StreamSolution};
+use diversity_core::{generalized, GeneralizedCoreset, Problem};
+use metric::{DistanceMatrix, Metric};
+
+/// Outcome of [`two_pass`]: the solution plus instrumentation.
+#[derive(Clone, Debug)]
+pub struct TwoPassResult<P> {
+    /// The instantiated k-point solution.
+    pub solution: StreamSolution<P>,
+    /// The instantiation radius promised by pass 1 (`4·d_ℓ`).
+    pub delta: f64,
+    /// The radius actually needed by pass 2 (≤ `delta` unless repair
+    /// widened it — a quality warning, recorded honestly).
+    pub achieved_delta: f64,
+    /// Peak resident points in pass 1.
+    pub pass1_peak_memory: usize,
+    /// Peak retained points in pass 2 (needy quota + reservoir).
+    pub pass2_peak_memory: usize,
+}
+
+/// Two-pass streaming solver. The stream is consumed twice, so the
+/// caller provides a replayable source (`FnMut() -> I`).
+///
+/// # Panics
+/// Panics unless `1 <= k <= k_prime`, the stream has at least `k`
+/// points, and `problem` is one of the four injective-proxy problems
+/// (remote-edge/cycle have no delegate memory to save — use
+/// [`crate::pipeline::one_pass`]).
+pub fn two_pass<P, M, I, F>(
+    problem: Problem,
+    metric: M,
+    k: usize,
+    k_prime: usize,
+    mut stream: F,
+) -> TwoPassResult<P>
+where
+    P: Clone + PartialEq,
+    M: Metric<P>,
+    I: IntoIterator<Item = P>,
+    F: FnMut() -> I,
+{
+    assert!(
+        problem.needs_injective_proxy(),
+        "two-pass algorithm targets the injective-proxy problems"
+    );
+
+    // ---- Pass 1: generalized core-set + multiset sequential solve ----
+    let gen = SmmGen::run(&metric, k, k_prime, stream());
+    assert!(
+        gen.coreset.expanded_size() >= k,
+        "stream shorter than k (m(T) = {})",
+        gen.coreset.expanded_size()
+    );
+    let coherent = generalized::solve_multiset(problem, &gen.kernel, &metric, &gen.coreset, k);
+    let delta = gen.delta;
+
+    // ---- Pass 2: r_T-instantiation ----
+    let inst = instantiation_pass(&metric, &gen.kernel, &coherent, delta, stream());
+
+    let value = {
+        let dm = DistanceMatrix::build(&inst.points, &metric);
+        diversity_core::eval::evaluate(problem, &dm)
+    };
+    TwoPassResult {
+        solution: StreamSolution {
+            points: inst.points,
+            value,
+        },
+        delta,
+        achieved_delta: inst.achieved_delta,
+        pass1_peak_memory: gen.peak_memory_points,
+        pass2_peak_memory: inst.peak_memory,
+    }
+}
+
+struct PassTwoOutcome<P> {
+    points: Vec<P>,
+    achieved_delta: f64,
+    peak_memory: usize,
+}
+
+/// The second pass: collect delegates for each needy pair.
+///
+/// Strategy (see module docs): a stream item within `δ` of exactly one
+/// needy pair is assigned immediately; an item feasible for several is
+/// retained in a bounded reservoir and distributed by maximum bipartite
+/// matching at the end. Items beyond `δ` of everything feed per-pair
+/// *backup* slots used only if repair is needed (with the widened
+/// radius reported).
+fn instantiation_pass<P, M, I>(
+    metric: &M,
+    kernel: &[P],
+    coherent: &GeneralizedCoreset,
+    delta: f64,
+    stream: I,
+) -> PassTwoOutcome<P>
+where
+    P: Clone + PartialEq,
+    M: Metric<P>,
+    I: IntoIterator<Item = P>,
+{
+    let pairs = coherent.pairs();
+    let n_pairs = pairs.len();
+    let total_need: usize = pairs.iter().map(|p| p.multiplicity).sum();
+
+    // Delegates assigned so far, per pair.
+    let mut assigned: Vec<Vec<P>> = vec![Vec::new(); n_pairs];
+    let mut need: Vec<usize> = pairs.iter().map(|p| p.multiplicity).collect();
+    // Reservoir of multi-feasible items: (point, feasible pair ids).
+    let mut reservoir: Vec<(P, Vec<usize>)> = Vec::new();
+    let reservoir_cap = 2 * total_need + 16;
+    // One backup (nearest out-of-range item) per pair, for repair.
+    let mut backup: Vec<Option<(P, f64)>> = vec![None; n_pairs];
+    let mut peak_memory = 0usize;
+
+    for item in stream {
+        let mut feasible: Vec<usize> = Vec::new();
+        let mut nearest: (usize, f64) = (usize::MAX, f64::INFINITY);
+        for (j, pair) in pairs.iter().enumerate() {
+            let d = metric.distance(&item, &kernel[pair.index]);
+            if d < nearest.1 {
+                nearest = (j, d);
+            }
+            if d <= delta && need[j] > 0 {
+                feasible.push(j);
+            }
+        }
+        match feasible.len() {
+            0 => {
+                // Keep as backup for its nearest pair if still needy.
+                let (j, d) = nearest;
+                if j != usize::MAX && need[j] > 0 {
+                    match &backup[j] {
+                        Some((_, bd)) if *bd <= d => {}
+                        _ => backup[j] = Some((item, d)),
+                    }
+                }
+            }
+            1 => {
+                let j = feasible[0];
+                assigned[j].push(item);
+                need[j] -= 1;
+                if need[j] == 0 {
+                    // Pairs just satisfied free their reservoir claims.
+                    for (_, fs) in reservoir.iter_mut() {
+                        fs.retain(|&f| f != j);
+                    }
+                    reservoir.retain(|(_, fs)| !fs.is_empty());
+                }
+            }
+            _ => {
+                if reservoir.len() < reservoir_cap {
+                    reservoir.push((item, feasible));
+                }
+            }
+        }
+        peak_memory = peak_memory.max(
+            assigned.iter().map(Vec::len).sum::<usize>() + reservoir.len() + n_pairs,
+        );
+    }
+
+    // Distribute the reservoir by maximum bipartite matching
+    // (augmenting paths; sizes here are O(k), so this is trivial).
+    let slots: Vec<usize> = need.clone();
+    let matching = match_reservoir(&reservoir, &slots);
+    for (res_idx, pair_idx) in matching {
+        let (item, _) = reservoir[res_idx].clone();
+        assigned[pair_idx].push(item);
+        need[pair_idx] -= 1;
+    }
+
+    // Repair: any still-needy pair takes its backup, widening δ.
+    let mut achieved: f64 = 0.0;
+    for j in 0..n_pairs {
+        for p in &assigned[j] {
+            achieved = achieved.max(metric.distance(p, &kernel[pairs[j].index]));
+        }
+    }
+    for j in 0..n_pairs {
+        while need[j] > 0 {
+            let Some((item, d)) = backup[j].take() else {
+                panic!("pass 2 could not satisfy pair {j}: stream changed between passes?")
+            };
+            achieved = achieved.max(d);
+            assigned[j].push(item);
+            need[j] -= 1;
+        }
+    }
+
+    PassTwoOutcome {
+        points: assigned.into_iter().flatten().collect(),
+        achieved_delta: achieved,
+        peak_memory,
+    }
+}
+
+/// Maximum bipartite matching between reservoir items and pair slots
+/// (each pair `j` has `slots[j]` capacity) via augmenting paths on the
+/// slot-expanded graph.
+fn match_reservoir<P>(reservoir: &[(P, Vec<usize>)], slots: &[usize]) -> Vec<(usize, usize)> {
+    // Expand each pair into `slots[j]` slot-nodes.
+    let mut slot_of: Vec<usize> = Vec::new(); // slot-node -> pair id
+    let mut first_slot: Vec<usize> = Vec::with_capacity(slots.len());
+    for (j, &s) in slots.iter().enumerate() {
+        first_slot.push(slot_of.len());
+        slot_of.extend(std::iter::repeat_n(j, s));
+    }
+    let n_slots = slot_of.len();
+    let mut slot_owner: Vec<Option<usize>> = vec![None; n_slots];
+
+    fn try_assign<P>(
+        item: usize,
+        reservoir: &[(P, Vec<usize>)],
+        first_slot: &[usize],
+        slots: &[usize],
+        slot_owner: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &j in &reservoir[item].1 {
+            for s in first_slot[j]..first_slot[j] + slots[j] {
+                if visited[s] {
+                    continue;
+                }
+                visited[s] = true;
+                let free = match slot_owner[s] {
+                    None => true,
+                    Some(other) => {
+                        try_assign(other, reservoir, first_slot, slots, slot_owner, visited)
+                    }
+                };
+                if free {
+                    slot_owner[s] = Some(item);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for item in 0..reservoir.len() {
+        let mut visited = vec![false; n_slots];
+        try_assign(
+            item,
+            reservoir,
+            &first_slot,
+            slots,
+            &mut slot_owner,
+            &mut visited,
+        );
+    }
+    let mut out = Vec::new();
+    for (s, owner) in slot_owner.iter().enumerate() {
+        if let Some(item) = owner {
+            out.push((*item, slot_of[s]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn pts(xs: &[f64]) -> Vec<VecPoint> {
+        xs.iter().map(|&x| VecPoint::from([x])).collect()
+    }
+
+    #[test]
+    fn produces_k_distinct_stream_items() {
+        let xs: Vec<f64> = (0..600).map(|i| ((i * 37) % 401) as f64).collect();
+        let data = pts(&xs);
+        let res = two_pass(Problem::RemoteClique, Euclidean, 6, 12, || {
+            data.iter().cloned()
+        });
+        assert_eq!(res.solution.points.len(), 6);
+        assert!(res.solution.value > 0.0);
+    }
+
+    #[test]
+    fn memory_of_pass1_has_no_k_squared_blowup() {
+        let xs: Vec<f64> = (0..4000).map(|i| ((i * 113) % 2003) as f64).collect();
+        let data = pts(&xs);
+        let k = 16;
+        let k_prime = 32;
+        let res = two_pass(Problem::RemoteTree, Euclidean, k, k_prime, || {
+            data.iter().cloned()
+        });
+        // Pass 1 holds centers + removed, never k·k' delegates.
+        assert!(
+            res.pass1_peak_memory <= 2 * (k_prime + 1),
+            "pass1 peak {}",
+            res.pass1_peak_memory
+        );
+    }
+
+    #[test]
+    fn achieved_delta_within_promise_on_stable_stream() {
+        let xs: Vec<f64> = (0..800).map(|i| ((i * 29) % 307) as f64).collect();
+        let data = pts(&xs);
+        let res = two_pass(Problem::RemoteStar, Euclidean, 5, 10, || {
+            data.iter().cloned()
+        });
+        assert!(
+            res.achieved_delta <= res.delta + 1e-9,
+            "repair should not trigger when the same stream replays: {} > {}",
+            res.achieved_delta,
+            res.delta
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_injective_problems() {
+        let data = pts(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let _ = two_pass(Problem::RemoteEdge, Euclidean, 2, 4, || data.iter().cloned());
+    }
+
+    #[test]
+    fn two_clusters_get_delegates_from_both() {
+        // k=4 on two tight clusters: the solution must take 2 distinct
+        // items from each cluster (remote-clique favours split).
+        let mut xs = vec![];
+        for i in 0..50 {
+            xs.push(i as f64 * 0.01); // cluster at 0
+            xs.push(100.0 + i as f64 * 0.01); // cluster at 100
+        }
+        let data = pts(&xs);
+        let res = two_pass(Problem::RemoteClique, Euclidean, 4, 8, || {
+            data.iter().cloned()
+        });
+        let low = res
+            .solution
+            .points
+            .iter()
+            .filter(|p| p.coords()[0] < 50.0)
+            .count();
+        assert_eq!(low, 2, "two delegates per cluster");
+        // All four must be distinct stream items.
+        for i in 0..4 {
+            for j in 0..i {
+                assert_ne!(
+                    res.solution.points[i], res.solution.points[j],
+                    "duplicate delegate"
+                );
+            }
+        }
+    }
+}

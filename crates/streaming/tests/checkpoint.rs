@@ -1,0 +1,101 @@
+//! Checkpoint/resume: a long-running stream can be serialized mid-way
+//! and resumed with identical results — the operational requirement for
+//! deploying the one-pass algorithms on unbounded feeds.
+
+use diversity_streaming::{Smm, SmmExt, SmmGen};
+use metric::{Euclidean, VecPoint};
+
+fn stream(n: usize) -> Vec<VecPoint> {
+    (0..n)
+        .map(|i| VecPoint::from([((i * 37) % 509) as f64, ((i * 101) % 211) as f64]))
+        .collect()
+}
+
+#[test]
+fn smm_checkpoint_roundtrip_is_lossless() {
+    let points = stream(2_000);
+    let (first, second) = points.split_at(points.len() / 2);
+
+    // Uninterrupted run.
+    let direct = Smm::run(Euclidean, 6, 12, points.iter().cloned());
+
+    // Interrupted run: push half, serialize, restore, push the rest.
+    let mut s = Smm::new(Euclidean, 6, 12);
+    for p in first {
+        s.push(p.clone());
+    }
+    let json = serde_json::to_string(s.state()).expect("serialize checkpoint");
+    let restored = serde_json::from_str(&json).expect("deserialize checkpoint");
+    let mut s = Smm::resume(Euclidean, restored);
+    for p in second {
+        s.push(p.clone());
+    }
+    let resumed = s.finish();
+
+    assert_eq!(direct.coreset, resumed.coreset);
+    assert_eq!(direct.phases, resumed.phases);
+    assert_eq!(direct.final_threshold, resumed.final_threshold);
+}
+
+#[test]
+fn smm_ext_checkpoint_roundtrip_is_lossless() {
+    let points = stream(1_500);
+    let (first, second) = points.split_at(700);
+
+    let direct = SmmExt::run(Euclidean, 4, 8, points.iter().cloned());
+
+    let mut s = SmmExt::new(Euclidean, 4, 8);
+    for p in first {
+        s.push(p.clone());
+    }
+    let json = serde_json::to_string(s.state()).expect("serialize");
+    let mut s = SmmExt::resume(Euclidean, serde_json::from_str(&json).expect("deserialize"));
+    for p in second {
+        s.push(p.clone());
+    }
+    let resumed = s.finish();
+
+    assert_eq!(direct.coreset, resumed.coreset);
+    assert_eq!(direct.kernel, resumed.kernel);
+}
+
+#[test]
+fn smm_gen_checkpoint_roundtrip_is_lossless() {
+    let points = stream(1_500);
+    let (first, second) = points.split_at(400);
+
+    let direct = SmmGen::run(Euclidean, 5, 10, points.iter().cloned());
+
+    let mut s = SmmGen::new(Euclidean, 5, 10);
+    for p in first {
+        s.push(p.clone());
+    }
+    let json = serde_json::to_string(s.state()).expect("serialize");
+    let mut s = SmmGen::resume(Euclidean, serde_json::from_str(&json).expect("deserialize"));
+    for p in second {
+        s.push(p.clone());
+    }
+    let resumed = s.finish();
+
+    assert_eq!(direct.kernel, resumed.kernel);
+    assert_eq!(direct.coreset, resumed.coreset);
+    assert_eq!(direct.delta, resumed.delta);
+}
+
+#[test]
+fn checkpoint_at_every_tenth_point_still_lossless() {
+    // Paranoid variant: serialize/deserialize every 10 points.
+    let points = stream(300);
+    let direct = Smm::run(Euclidean, 3, 6, points.iter().cloned());
+
+    let mut s = Smm::new(Euclidean, 3, 6);
+    for (i, p) in points.iter().enumerate() {
+        s.push(p.clone());
+        if i % 10 == 9 {
+            let json = serde_json::to_string(s.state()).expect("serialize");
+            s = Smm::resume(Euclidean, serde_json::from_str(&json).expect("deserialize"));
+        }
+    }
+    let resumed = s.finish();
+    assert_eq!(direct.coreset, resumed.coreset);
+}

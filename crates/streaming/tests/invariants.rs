@@ -1,0 +1,95 @@
+//! Property tests for the streaming invariants of Section 4.
+
+use diversity_core::Problem;
+use diversity_streaming::{pipeline, Smm, SmmExt, SmmGen};
+use metric::{Euclidean, Metric, VecPoint};
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<VecPoint>> {
+    prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 20..200)
+        .prop_map(|v| v.into_iter().map(|(x, y)| VecPoint::from([x, y])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SMM output: at least k points (stream permitting), at most
+    /// 2(k'+1); all stream points covered within the radius bound.
+    #[test]
+    fn smm_size_and_coverage(points in stream_strategy(), k in 1usize..6, extra in 0usize..6) {
+        let k_prime = k + extra;
+        let res = Smm::run(Euclidean, k, k_prime, points.iter().cloned());
+        prop_assert!(res.coreset.len() >= k.min(points.len()));
+        prop_assert!(res.coreset.len() <= 2 * (k_prime + 1));
+        let bound = 4.0 * res.final_threshold;
+        if res.phases > 0 {
+            for p in &points {
+                let d = Euclidean.distance_to_set(p, &res.coreset);
+                prop_assert!(d <= bound + 1e-9, "coverage {d} > {bound}");
+            }
+        } else {
+            // No phase: every point was simply kept.
+            prop_assert_eq!(res.coreset.len(), points.len());
+        }
+    }
+
+    /// SMM-EXT: per-center delegate sets of size <= k; output within
+    /// memory budget; covers the stream like SMM.
+    #[test]
+    fn smm_ext_size_bounds(points in stream_strategy(), k in 2usize..6) {
+        let k_prime = k + 3;
+        let res = SmmExt::run(Euclidean, k, k_prime, points.iter().cloned());
+        prop_assert!(res.coreset.len() >= k.min(points.len()));
+        prop_assert!(res.coreset.len() <= k * (k_prime + 1));
+        prop_assert!(res.kernel.len() <= k_prime + 1);
+        prop_assert!(res.peak_memory_points <= k * (k_prime + 1) + (k_prime + 1));
+    }
+
+    /// SMM-GEN agrees with SMM-EXT on kernels and total mass is capped
+    /// identically.
+    #[test]
+    fn smm_gen_mass(points in stream_strategy(), k in 2usize..6) {
+        let k_prime = k + 3;
+        let gen = SmmGen::run(Euclidean, k, k_prime, points.iter().cloned());
+        prop_assert!(gen.coreset.size() <= k_prime + 1);
+        prop_assert!(gen.coreset.expanded_size() <= k * (k_prime + 1));
+        prop_assert!(gen.coreset.expanded_size() >= gen.coreset.size());
+        // Counts never exceed k.
+        for p in gen.coreset.pairs() {
+            prop_assert!(p.multiplicity <= k);
+        }
+    }
+
+    /// The one-pass pipeline returns k distinct points with a finite
+    /// positive value for every problem (streams here always have >= 20
+    /// points and non-zero diameter almost surely).
+    #[test]
+    fn one_pass_shape(points in stream_strategy(), k in 2usize..5) {
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique, Problem::RemoteTree] {
+            let sol = pipeline::one_pass(problem, Euclidean, k, 2 * k, points.iter().cloned());
+            prop_assert_eq!(sol.points.len(), k);
+            prop_assert!(sol.value.is_finite());
+        }
+    }
+
+    /// Streaming solution value can never exceed the sequential
+    /// solution on the full (in-memory) input by more than fp noise —
+    /// the core-set only discards options. And with a huge k' (core-set
+    /// = everything) it must match the sequential run exactly for
+    /// GMM-based problems.
+    #[test]
+    fn streaming_vs_inmemory_sandwich(points in stream_strategy()) {
+        let k = 3;
+        let full = diversity_core::seq::solve(Problem::RemoteEdge, &points, &Euclidean, k);
+        let huge = pipeline::one_pass(
+            Problem::RemoteEdge,
+            Euclidean,
+            k,
+            points.len() + 1,
+            points.iter().cloned(),
+        );
+        // k' > n means no phase ever ran: core-set == stream, so the
+        // sequential algorithm sees the same input.
+        prop_assert!((huge.value - full.value).abs() < 1e-9);
+    }
+}

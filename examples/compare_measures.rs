@@ -1,0 +1,75 @@
+//! The six diversity measures disagree — as the paper stresses, "an
+//! optimal solution with respect to one measure is not necessarily
+//! optimal with respect to another". This example makes that concrete
+//! on a small instance where exact optima are computable, then checks
+//! each sequential algorithm's α-guarantee against the exact optimum.
+//!
+//! Run with: `cargo run --release --example compare_measures`
+
+use diversity::prelude::*;
+
+fn main() {
+    // A 14-point configuration with structure: two tight clusters, a
+    // loose arc, and two outliers.
+    let coords: [[f64; 2]; 14] = [
+        [0.0, 0.0],
+        [0.2, 0.1],
+        [0.1, 0.3],
+        [5.0, 5.0],
+        [5.2, 5.1],
+        [5.1, 4.8],
+        [2.5, 8.0],
+        [4.0, 9.0],
+        [6.0, 9.2],
+        [8.0, 8.0],
+        [10.0, 0.0],
+        [-3.0, 6.0],
+        [1.0, 5.0],
+        [9.0, 4.0],
+    ];
+    let points: Vec<VecPoint> = coords.iter().map(|&c| VecPoint::from(c)).collect();
+    let k = 5;
+
+    println!("exact optima (n={}, k={k}) and the α-approximations:\n", points.len());
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>9}  optimal subset",
+        "objective", "exact", "approx", "ratio", "α-bound"
+    );
+    let mut optima: Vec<(Problem, Vec<usize>)> = Vec::new();
+    for problem in Problem::ALL {
+        let best = exact::divk_exact(problem, &points, &Euclidean, k);
+        let approx = seq::solve(problem, &points, &Euclidean, k);
+        let ratio = best.value / approx.value;
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>7.3} {:>9.1}  {:?}",
+            problem.to_string(),
+            best.value,
+            approx.value,
+            ratio,
+            problem.alpha(),
+            best.indices
+        );
+        assert!(
+            ratio <= problem.alpha() + 1e-9,
+            "α-guarantee violated for {problem}"
+        );
+        optima.push((problem, best.indices));
+    }
+
+    // How different are the optimal subsets across measures?
+    println!("\npairwise overlap of optimal subsets (|A∩B| out of {k}):");
+    print!("{:<16}", "");
+    for (p, _) in &optima {
+        print!("{:>9}", p.short_name().trim_start_matches("r-"));
+    }
+    println!();
+    for (pa, a) in &optima {
+        print!("{:<16}", pa.to_string());
+        for (_, b) in &optima {
+            let overlap = a.iter().filter(|i| b.contains(i)).count();
+            print!("{overlap:>9}");
+        }
+        println!();
+    }
+    println!("\n(diagonal = {k}; off-diagonal < {k} shows the measures genuinely disagree)");
+}

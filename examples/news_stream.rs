@@ -1,0 +1,88 @@
+//! Streaming news diversification — the paper's motivating scenario of
+//! presenting a *diverse* subset of documents to a user, at
+//! Twitter-firehose rates (Section 7.1 compares the streaming kernel's
+//! throughput against tweet rates).
+//!
+//! Articles are bag-of-words vectors under the angular cosine distance
+//! (exactly the musiXmatch setup); SMM-EXT summarizes an unbounded
+//! stream into a small core-set, and remote-clique selects the final
+//! diverse panel.
+//!
+//! Run with: `cargo run --release --example news_stream`
+
+use diversity::prelude::*;
+use diversity::streaming::SmmExt;
+
+fn main() {
+    let k = 10; // articles shown to the user
+    let k_prime = 40; // streaming center budget
+
+    // A synthetic day of news: 50,000 articles over a 5,000-word
+    // vocabulary, Zipf word frequencies (see DESIGN.md §2 for why this
+    // is a faithful stand-in for real bag-of-words corpora).
+    let cfg = datasets::BagOfWordsConfig::default();
+    let articles = datasets::musixmatch_like(50_000, 2024, &cfg);
+    println!(
+        "stream: {} articles, vocabulary {}",
+        articles.len(),
+        cfg.vocabulary
+    );
+
+    // Throughput of the streaming kernel alone (Figure 3's metric).
+    let t = diversity::streaming::throughput::measure(
+        Problem::RemoteClique,
+        CosineDistance,
+        k,
+        k_prime,
+        &articles,
+    );
+    println!(
+        "kernel throughput: {:.0} articles/s ({} articles in {:.2}s)",
+        t.points_per_sec, t.points, t.seconds
+    );
+
+    // The actual pipeline: core-set in one pass, then remote-clique on
+    // the core-set picks the panel.
+    let mut smm = SmmExt::new(CosineDistance, k, k_prime);
+    for a in &articles {
+        smm.push(a.clone());
+    }
+    let res = smm.finish();
+    println!(
+        "core-set: {} articles resident (of {} seen), {} phases",
+        res.coreset.len(),
+        articles.len(),
+        res.phases
+    );
+
+    let panel = diversity::streaming::pipeline::solve_on(
+        Problem::RemoteClique,
+        &CosineDistance,
+        k,
+        res.coreset,
+    );
+    println!("\ndiverse panel (remote-clique value {:.3}):", panel.value);
+    for (i, doc) in panel.points.iter().enumerate() {
+        let top: Vec<u32> = doc.entries().iter().take(5).map(|&(w, _)| w).collect();
+        println!(
+            "  article {:>2}: {:>3} distinct words, top word-ids {:?}",
+            i + 1,
+            doc.nnz(),
+            top
+        );
+    }
+
+    // Pairwise angular distances of the panel: all far apart.
+    let dm = DistanceMatrix::build(&panel.points, &CosineDistance);
+    let pairs = panel.points.len() * (panel.points.len() - 1) / 2;
+    let mean: f64 = (0..panel.points.len())
+        .flat_map(|i| (0..i).map(move |j| (i, j)))
+        .map(|(i, j)| dm.get(i, j))
+        .sum::<f64>()
+        / pairs as f64;
+    println!(
+        "\npanel min/mean pairwise angle: {:.3} / {:.3} rad",
+        dm.min_pairwise(),
+        mean
+    );
+}

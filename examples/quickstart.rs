@@ -1,0 +1,72 @@
+//! Quickstart: pick `k` maximally diverse points three ways —
+//! single-machine core-set pipeline, one-pass streaming, and simulated
+//! MapReduce — on the paper's sphere-shell workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use diversity::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let k = 8;
+    let k_prime = 4 * k;
+
+    // The paper's challenging synthetic distribution: k planted points
+    // on the unit sphere, the rest uniform in a 0.8-radius ball.
+    let (points, planted) = datasets::sphere_shell(n, k, 3, 42);
+    println!("dataset: {n} points in R^3, {k} planted on the unit sphere");
+
+    // The planted far-away points give a sanity reference for
+    // remote-edge (their pairwise min distance) — note the algorithms
+    // may legitimately *beat* it by mixing sphere and ball points.
+    let planted_value = eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+    println!("planted remote-edge value: {planted_value:.4}\n");
+
+    // --- 1. Single machine: core-set -> sequential algorithm ---------
+    let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, k_prime);
+
+    // --- 2. Streaming: one pass, memory independent of n -------------
+    let stream_sol = streaming::pipeline::one_pass(
+        Problem::RemoteEdge,
+        Euclidean,
+        k,
+        k_prime,
+        points.iter().cloned(),
+    );
+
+    // --- 3. MapReduce: 2 rounds over 8 simulated reducers ------------
+    let parts = mapreduce::partition::split_random(points.clone(), 8, 7);
+    let rt = mapreduce::MapReduceRuntime::with_threads(8);
+    let mr =
+        mapreduce::two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k_prime, &rt);
+
+    // Approximation ratios relative to the best value found (the
+    // paper's normalization).
+    let best = planted_value
+        .max(sol.value)
+        .max(stream_sol.value)
+        .max(mr.solution.value);
+    println!(
+        "single-machine  value {:.4}  (ratio {:.3})",
+        sol.value,
+        best / sol.value
+    );
+    println!(
+        "streaming       value {:.4}  (ratio {:.3})",
+        stream_sol.value,
+        best / stream_sol.value
+    );
+    println!(
+        "mapreduce       value {:.4}  (ratio {:.3})",
+        mr.solution.value,
+        best / mr.solution.value
+    );
+    for round in &mr.stats.rounds {
+        println!(
+            "  {:<16} reducers={:<3} M_L={:<6} shuffle={:<6} wall={:?}",
+            round.name, round.reducers, round.max_local_points, round.emitted_points, round.wall
+        );
+    }
+
+    println!("\nselected indices (mapreduce): {:?}", mr.solution.indices);
+}

@@ -1,0 +1,120 @@
+//! End-to-end: the full stack (datasets → core-sets → solvers) on both
+//! of the paper's workload families, for all six problems.
+
+use diversity::prelude::*;
+
+#[test]
+fn sphere_shell_all_problems_all_frontends() {
+    let n = 3_000;
+    let k = 6;
+    let k_prime = 24;
+    let (points, _) = datasets::sphere_shell(n, k, 3, 1);
+    let rt = mapreduce::MapReduceRuntime::with_threads(4);
+    let parts = mapreduce::partition::split_random(points.clone(), 4, 5);
+
+    for problem in Problem::ALL {
+        let seq_sol = seq::solve(problem, &points, &Euclidean, k);
+        let stream_sol = streaming::pipeline::one_pass(
+            problem,
+            Euclidean,
+            k,
+            k_prime,
+            points.iter().cloned(),
+        );
+        let mr_sol =
+            mapreduce::two_round::two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
+
+        assert_eq!(stream_sol.points.len(), k, "{problem}: stream size");
+        assert_eq!(mr_sol.solution.indices.len(), k, "{problem}: MR size");
+        assert!(seq_sol.value > 0.0, "{problem}");
+
+        // Core-set solutions cannot *beat* an in-memory solver by more
+        // than its own approximation slack; sanity-bound both ways with
+        // the α factor.
+        let alpha = problem.alpha();
+        assert!(
+            stream_sol.value >= seq_sol.value / (2.0 * alpha),
+            "{problem}: streaming {} too far below sequential {}",
+            stream_sol.value,
+            seq_sol.value
+        );
+        assert!(
+            mr_sol.solution.value >= seq_sol.value / (2.0 * alpha),
+            "{problem}: MR {} too far below sequential {}",
+            mr_sol.solution.value,
+            seq_sol.value
+        );
+    }
+}
+
+#[test]
+fn bag_of_words_cosine_end_to_end() {
+    let cfg = datasets::BagOfWordsConfig {
+        vocabulary: 500,
+        ..Default::default()
+    };
+    let docs = datasets::musixmatch_like(2_000, 3, &cfg);
+    let k = 8;
+    let k_prime = 32;
+
+    let stream_sol = streaming::pipeline::one_pass(
+        Problem::RemoteEdge,
+        CosineDistance,
+        k,
+        k_prime,
+        docs.iter().cloned(),
+    );
+    assert_eq!(stream_sol.points.len(), k);
+    // Angular distances live in [0, π]; a diverse panel on Zipf
+    // bag-of-words should be clearly non-degenerate.
+    assert!(stream_sol.value > 0.1, "value {}", stream_sol.value);
+    assert!(stream_sol.value <= std::f64::consts::PI + 1e-9);
+
+    let rt = mapreduce::MapReduceRuntime::with_threads(4);
+    let parts = mapreduce::partition::split_random(docs.clone(), 4, 9);
+    let mr = mapreduce::two_round::two_round(
+        Problem::RemoteClique,
+        &parts,
+        &CosineDistance,
+        k,
+        k_prime,
+        &rt,
+    );
+    assert_eq!(mr.solution.indices.len(), k);
+    let direct = eval::evaluate_subset(
+        Problem::RemoteClique,
+        &docs,
+        &CosineDistance,
+        &mr.solution.indices,
+    );
+    assert!((mr.solution.value - direct).abs() < 1e-9);
+}
+
+#[test]
+fn planted_solution_is_recovered_within_epsilon() {
+    // With a generous core-set the remote-edge value must come close
+    // to the planted sphere points' value (the (1+ε) promise, observed
+    // rather than proved at this scale).
+    let k = 8;
+    let (points, planted) = datasets::sphere_shell(20_000, k, 3, 17);
+    let planted_value =
+        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+
+    let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, 16 * k);
+    let ratio = planted_value / sol.value;
+    assert!(
+        ratio < 1.3,
+        "ratio {ratio} too large: value {} vs planted {planted_value}",
+        sol.value
+    );
+}
+
+#[test]
+fn doubling_dimension_estimator_sane_on_sphere_shell() {
+    let (points, _) = datasets::sphere_shell(2_000, 8, 3, 23);
+    let est = metric::estimate_doubling_dimension(&points, &Euclidean, 4, 7);
+    // R^3 ball + sphere: doubling dimension O(3); greedy-estimate
+    // upper bounds inflate it but it must stay far below log2(n) ≈ 11.
+    assert!(est.dimension >= 1.0, "estimate {}", est.dimension);
+    assert!(est.dimension <= 7.0, "estimate {}", est.dimension);
+}

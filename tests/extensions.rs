@@ -1,0 +1,145 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! through the public facade: matroid constraints, streaming
+//! checkpointing, data-driven parameter choice, and non-Euclidean
+//! metrics end-to-end.
+
+use diversity::core::coreset::suggest_kernel_size;
+use diversity::core::matroid::{matroid_clique_local_search, PartitionMatroid};
+use diversity::prelude::*;
+use diversity::streaming::Smm;
+use metric::{Levenshtein, Lp};
+
+#[test]
+fn matroid_constrained_panel_respects_categories() {
+    // 4 "publishers", 200 articles each as 3-d vectors; pick 8 with at
+    // most 2 per publisher.
+    let (points, _) = datasets::sphere_shell(800, 8, 3, 55);
+    let category: Vec<usize> = (0..points.len()).map(|i| i % 4).collect();
+    let matroid = PartitionMatroid::new(category.clone(), vec![2; 4], 8);
+    let out = matroid_clique_local_search(&points, &Euclidean, &matroid, 10_000);
+
+    assert!(out.converged);
+    assert_eq!(out.solution.indices.len(), 8);
+    for c in 0..4 {
+        let used = out
+            .solution
+            .indices
+            .iter()
+            .filter(|&&i| category[i] == c)
+            .count();
+        assert!(used <= 2, "category {c} used {used} > 2");
+    }
+    // The constrained optimum is at most the unconstrained one.
+    let unconstrained = seq::solve(Problem::RemoteClique, &points, &Euclidean, 8);
+    assert!(out.solution.value <= unconstrained.value * 1.5 + 1e-9);
+}
+
+#[test]
+fn checkpointed_stream_equals_uninterrupted_via_facade() {
+    let (points, _) = datasets::sphere_shell(3_000, 4, 3, 77);
+    let direct = Smm::run(Euclidean, 4, 8, points.iter().cloned());
+
+    let mut s = Smm::new(Euclidean, 4, 8);
+    for p in &points[..1_500] {
+        s.push(p.clone());
+    }
+    let blob = serde_json::to_vec(s.state()).expect("checkpoint");
+    let mut s = Smm::resume(Euclidean, serde_json::from_slice(&blob).expect("restore"));
+    for p in &points[1_500..] {
+        s.push(p.clone());
+    }
+    let resumed = s.finish();
+    assert_eq!(direct.coreset, resumed.coreset);
+}
+
+#[test]
+fn suggested_kernel_size_yields_good_ratio() {
+    let k = 8;
+    let (points, planted) = datasets::sphere_shell(20_000, k, 3, 31);
+    // Suggest from a 2,000-point sample, capped at 64k (theory
+    // constants are pessimistic).
+    let k_prime = suggest_kernel_size(
+        Problem::RemoteEdge,
+        &points[..2_000],
+        &Euclidean,
+        k,
+        1.0,
+        64 * k,
+    );
+    assert!(k_prime >= k);
+    let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, k_prime);
+    let planted_value =
+        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+    assert!(
+        planted_value / sol.value < 1.3,
+        "suggested k'={k_prime} gave ratio {}",
+        planted_value / sol.value
+    );
+}
+
+#[test]
+fn lp_metric_through_the_full_stack() {
+    let (points, _) = datasets::sphere_shell(2_000, 5, 3, 13);
+    let metric = Lp::new(3.0);
+    let stream_sol =
+        streaming::pipeline::one_pass(Problem::RemoteEdge, metric, 5, 15, points.iter().cloned());
+    assert_eq!(stream_sol.points.len(), 5);
+    assert!(stream_sol.value > 0.0);
+
+    let rt = mapreduce::MapReduceRuntime::with_threads(2);
+    let parts = mapreduce::partition::split_random(points, 4, 3);
+    let mr = mapreduce::two_round::two_round(Problem::RemoteTree, &parts, &metric, 5, 15, &rt);
+    assert_eq!(mr.solution.indices.len(), 5);
+}
+
+#[test]
+fn levenshtein_through_streaming_and_exact() {
+    let words: Vec<String> = [
+        "alpha", "alphas", "beta", "betas", "gamma", "gammas", "delta", "deltas",
+        "epsilon", "zeta", "eta", "theta",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let sol = streaming::pipeline::one_pass(
+        Problem::RemoteEdge,
+        Levenshtein,
+        3,
+        6,
+        words.iter().cloned(),
+    );
+    assert_eq!(sol.points.len(), 3);
+    // Exact α check at this size.
+    let exact = exact::divk_exact(Problem::RemoteEdge, &words, &Levenshtein, 3);
+    assert!(sol.value >= exact.value / 2.0 - 1e-9);
+}
+
+#[test]
+fn afz_gain_modes_agree_on_solutions() {
+    use diversity::baselines::afz::afz_two_round;
+    use diversity::core::local_search::GainMode;
+    let (points, _) = datasets::sphere_shell(1_000, 4, 2, 5);
+    let parts = mapreduce::partition::split_random(points, 4, 9);
+    let rt = mapreduce::MapReduceRuntime::with_threads(2);
+    let inc = afz_two_round(
+        Problem::RemoteClique,
+        &parts,
+        &Euclidean,
+        4,
+        100_000,
+        GainMode::Incremental,
+        &rt,
+    );
+    let naive = afz_two_round(
+        Problem::RemoteClique,
+        &parts,
+        &Euclidean,
+        4,
+        100_000,
+        GainMode::Rescan,
+        &rt,
+    );
+    // Identical steepest-ascent trajectories, just different costs.
+    assert_eq!(inc.mr.solution.indices, naive.mr.solution.indices);
+    assert_eq!(inc.total_swaps, naive.total_swaps);
+}

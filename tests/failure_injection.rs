@@ -1,0 +1,133 @@
+//! Failure injection: degenerate partitions, duplicate-heavy data, and
+//! boundary parameters must not break any front end.
+
+use diversity::mapreduce::{two_round, MapReduceRuntime};
+use diversity::prelude::*;
+
+fn rt() -> MapReduceRuntime {
+    MapReduceRuntime::with_threads(2)
+}
+
+#[test]
+fn empty_partitions_are_tolerated() {
+    // ℓ > n leaves some parts empty; reducers must skip them.
+    let points: Vec<VecPoint> = (0..6).map(|i| VecPoint::from([i as f64])).collect();
+    let parts = mapreduce::partition::split_round_robin(points, 10);
+    let out = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, 3, 3, &rt());
+    assert_eq!(out.solution.indices.len(), 3);
+}
+
+#[test]
+fn heavily_skewed_partitions() {
+    // One giant part, many singletons.
+    let (points, _) = datasets::sphere_shell(1_000, 4, 2, 1);
+    let mut assignment_parts: Vec<Vec<VecPoint>> = vec![Vec::new(); 5];
+    let mut globals: Vec<Vec<usize>> = vec![Vec::new(); 5];
+    for (i, p) in points.iter().enumerate() {
+        let part = if i < 996 { 0 } else { i - 996 + 1 };
+        assignment_parts[part].push(p.clone());
+        globals[part].push(i);
+    }
+    let parts = mapreduce::Partitions {
+        parts: assignment_parts,
+        global_indices: globals,
+    };
+    let out = two_round::two_round(Problem::RemoteClique, &parts, &Euclidean, 4, 8, &rt());
+    assert_eq!(out.solution.indices.len(), 4);
+    let direct = eval::evaluate_subset(
+        Problem::RemoteClique,
+        &points,
+        &Euclidean,
+        &out.solution.indices,
+    );
+    assert!((out.solution.value - direct).abs() < 1e-9);
+}
+
+#[test]
+fn duplicate_heavy_stream() {
+    // 90% duplicates of a single point.
+    let mut points: Vec<VecPoint> = (0..900).map(|_| VecPoint::from([1.0, 1.0])).collect();
+    points.extend((0..100).map(|i| VecPoint::from([i as f64, 0.0])));
+    let sol = streaming::pipeline::one_pass(
+        Problem::RemoteEdge,
+        Euclidean,
+        4,
+        8,
+        points.iter().cloned(),
+    );
+    assert_eq!(sol.points.len(), 4);
+    assert!(sol.value > 0.0, "must find 4 distinct locations");
+}
+
+#[test]
+fn all_identical_points() {
+    let points: Vec<VecPoint> = (0..50).map(|_| VecPoint::from([3.0])).collect();
+    // Sequential: value must be 0 (all duplicates) but still k points.
+    let sol = seq::solve(Problem::RemoteClique, &points, &Euclidean, 4);
+    assert_eq!(sol.indices.len(), 4);
+    assert_eq!(sol.value, 0.0);
+    // Streaming must terminate despite the zero-diameter stream.
+    let s = streaming::pipeline::one_pass(
+        Problem::RemoteClique,
+        Euclidean,
+        4,
+        6,
+        points.iter().cloned(),
+    );
+    assert_eq!(s.points.len(), 4);
+    assert_eq!(s.value, 0.0);
+}
+
+#[test]
+fn k_equals_one_and_k_equals_n() {
+    let points: Vec<VecPoint> = (0..10).map(|i| VecPoint::from([i as f64])).collect();
+    let one = seq::solve(Problem::RemoteClique, &points, &Euclidean, 1);
+    assert_eq!(one.indices.len(), 1);
+    assert_eq!(one.value, 0.0);
+
+    let all = seq::solve(Problem::RemoteTree, &points, &Euclidean, 10);
+    assert_eq!(all.indices.len(), 10);
+    assert_eq!(all.value, 9.0); // MST of the unit-spaced line
+
+    // Streaming with k = n (short stream): pass-through.
+    let s = streaming::pipeline::one_pass(
+        Problem::RemoteTree,
+        Euclidean,
+        10,
+        12,
+        points.iter().cloned(),
+    );
+    assert_eq!(s.points.len(), 10);
+    assert_eq!(s.value, 9.0);
+}
+
+#[test]
+fn stream_shorter_than_k() {
+    let points: Vec<VecPoint> = (0..3).map(|i| VecPoint::from([i as f64])).collect();
+    let res = streaming::Smm::run(Euclidean, 5, 8, points);
+    // Cannot invent points: returns what exists.
+    assert_eq!(res.coreset.len(), 3);
+}
+
+#[test]
+fn one_dimensional_and_high_dimensional_inputs() {
+    // d = 1
+    let (p1, _) = datasets::sphere_shell(500, 4, 1, 5);
+    let s1 = pipeline::coreset_then_solve(Problem::RemoteEdge, &p1, &Euclidean, 4, 8);
+    assert_eq!(s1.indices.len(), 4);
+    // d = 32 (high nominal dimension — doubling bounds degrade but
+    // nothing breaks)
+    let (p32, _) = datasets::sphere_shell(500, 4, 32, 5);
+    let s32 = pipeline::coreset_then_solve(Problem::RemoteEdge, &p32, &Euclidean, 4, 8);
+    assert_eq!(s32.indices.len(), 4);
+}
+
+#[test]
+fn adversarial_partition_with_duplicates() {
+    let mut points: Vec<VecPoint> = (0..400).map(|_| VecPoint::from([0.5, 0.5])).collect();
+    points.extend((0..100).map(|i| VecPoint::from([(i % 10) as f64, (i / 10) as f64])));
+    let parts = mapreduce::partition::split_sorted_by(points, 8, |p| p.coords()[0]);
+    let out = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, 5, 10, &rt());
+    assert_eq!(out.solution.indices.len(), 5);
+    assert!(out.solution.value > 0.0);
+}

@@ -1,0 +1,165 @@
+//! The Section 6 machinery end-to-end: 3-round MapReduce, 2-pass
+//! streaming, and serde round-trips of the core-set types.
+
+use diversity::mapreduce::{three_round, two_round, MapReduceRuntime};
+use diversity::prelude::*;
+
+fn rt() -> MapReduceRuntime {
+    MapReduceRuntime::with_threads(4)
+}
+
+#[test]
+fn three_round_matches_two_round_quality() {
+    let k = 12;
+    let (points, _) = datasets::sphere_shell(15_000, k, 3, 3);
+    let parts = mapreduce::partition::split_random(points.clone(), 6, 13);
+    for problem in [
+        Problem::RemoteClique,
+        Problem::RemoteStar,
+        Problem::RemoteBipartition,
+        Problem::RemoteTree,
+    ] {
+        let two = two_round::two_round(problem, &parts, &Euclidean, k, 2 * k, &rt());
+        let three = three_round::three_round(problem, &parts, &Euclidean, k, 2 * k, &rt());
+        // Both pipelines carry an independent α-approximation (the
+        // multiset matching may legitimately pick replica pairs of the
+        // two farthest kernels), so their values can differ by up to
+        // ~α in either direction; the band reflects α + ε slack.
+        let gap = two.solution.value / three.solution.value;
+        let alpha = problem.alpha();
+        assert!(
+            (1.0 / (alpha * 1.2)..=alpha * 1.2).contains(&gap),
+            "{problem}: 2-round {} vs 3-round {}",
+            two.solution.value,
+            three.solution.value
+        );
+        // Theorem 10's point: round-1 shuffle is k'-sized, not k·k'.
+        assert!(
+            three.stats.rounds[0].emitted_points < two.stats.rounds[0].emitted_points,
+            "{problem}: generalized core-sets should shuffle less"
+        );
+    }
+}
+
+#[test]
+fn two_pass_streaming_instantiation_is_valid() {
+    let k = 10;
+    let (points, _) = datasets::sphere_shell(10_000, k, 3, 7);
+    let res = streaming::two_pass::two_pass(Problem::RemoteClique, Euclidean, k, 4 * k, || {
+        points.iter().cloned()
+    });
+    assert_eq!(res.solution.points.len(), k);
+    // Distinctness of the instantiated delegates.
+    for i in 0..k {
+        for j in 0..i {
+            assert_ne!(
+                res.solution.points[i], res.solution.points[j],
+                "instantiation produced duplicate points"
+            );
+        }
+    }
+    // The promised radius covers the achieved one on a replayed stream.
+    assert!(res.achieved_delta <= res.delta + 1e-9);
+}
+
+#[test]
+fn gen_coreset_serde_roundtrip() {
+    let pairs = vec![
+        GenPair { index: 0, multiplicity: 3 },
+        GenPair { index: 7, multiplicity: 1 },
+        GenPair { index: 9, multiplicity: 2 },
+    ];
+    let gcs = GeneralizedCoreset::new(pairs);
+    let json = serde_json::to_string(&gcs).expect("serialize");
+    let back: GeneralizedCoreset = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(gcs, back);
+    assert_eq!(back.expanded_size(), 6);
+}
+
+#[test]
+fn solution_serde_roundtrip() {
+    let sol = Solution {
+        indices: vec![4, 8, 15, 16, 23, 42],
+        value: 1.618,
+    };
+    let json = serde_json::to_string(&sol).expect("serialize");
+    let back: Solution = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(sol, back);
+}
+
+#[test]
+fn multiset_solve_respects_alpha_on_small_instances() {
+    // gen-div(T̂) >= gen-div_k(T)/α, verified by brute force over
+    // coherent k-sub-multisets on a tiny generalized core-set.
+    use diversity::core::generalized::{gen_div, solve_multiset};
+    let points: Vec<VecPoint> = [0.0, 2.0, 5.0, 9.0]
+        .iter()
+        .map(|&x| VecPoint::from([x]))
+        .collect();
+    let gcs = GeneralizedCoreset::new(vec![
+        GenPair { index: 0, multiplicity: 2 },
+        GenPair { index: 1, multiplicity: 1 },
+        GenPair { index: 2, multiplicity: 2 },
+        GenPair { index: 3, multiplicity: 1 },
+    ]);
+    let k = 3;
+    for problem in [Problem::RemoteClique, Problem::RemoteStar, Problem::RemoteTree] {
+        let got = solve_multiset(problem, &points, &Euclidean, &gcs, k);
+        let got_val = gen_div(problem, &points, &Euclidean, &got);
+        // Brute-force best coherent sub-multiset of expanded size k.
+        let best = brute_force_gen_divk(problem, &points, &gcs, k);
+        assert!(
+            got_val >= best / problem.alpha() - 1e-9,
+            "{problem}: {got_val} < {best}/{}",
+            problem.alpha()
+        );
+    }
+}
+
+fn brute_force_gen_divk(
+    problem: Problem,
+    points: &[VecPoint],
+    gcs: &GeneralizedCoreset,
+    k: usize,
+) -> f64 {
+    use diversity::core::generalized::gen_div;
+    let pairs = gcs.pairs();
+    let mut best = f64::NEG_INFINITY;
+    // Enumerate multiplicity vectors coherent with gcs summing to k.
+    fn rec(
+        pairs: &[GenPair],
+        pos: usize,
+        left: usize,
+        current: &mut Vec<GenPair>,
+        points: &[VecPoint],
+        problem: Problem,
+        best: &mut f64,
+    ) {
+        if pos == pairs.len() {
+            if left == 0 {
+                let cand = GeneralizedCoreset::new(current.clone());
+                let v = gen_div(problem, points, &Euclidean, &cand);
+                if v > *best {
+                    *best = v;
+                }
+            }
+            return;
+        }
+        let max_here = pairs[pos].multiplicity.min(left);
+        for m in 0..=max_here {
+            if m > 0 {
+                current.push(GenPair {
+                    index: pairs[pos].index,
+                    multiplicity: m,
+                });
+            }
+            rec(pairs, pos + 1, left - m, current, points, problem, best);
+            if m > 0 {
+                current.pop();
+            }
+        }
+    }
+    let mut current = Vec::new();
+    rec(pairs, 0, k, &mut current, points, problem, &mut best);
+    best
+}

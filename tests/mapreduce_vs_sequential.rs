@@ -1,0 +1,129 @@
+//! MapReduce algorithms vs the in-memory sequential baseline: the
+//! Figure 4 accuracy trends and the Theorem 7/8 variants at test scale.
+
+use diversity::mapreduce::{randomized, recursive, two_round, MapReduceRuntime};
+use diversity::prelude::*;
+
+fn rt() -> MapReduceRuntime {
+    MapReduceRuntime::with_threads(4)
+}
+
+#[test]
+fn accuracy_improves_with_k_prime_at_fixed_parallelism() {
+    let k = 16;
+    let (points, _) = datasets::sphere_shell(20_000, k, 3, 4);
+    let reference = seq::solve(Problem::RemoteEdge, &points, &Euclidean, k);
+    let parts = mapreduce::partition::split_random(points.clone(), 8, 3);
+
+    let mut ratios = Vec::new();
+    for k_prime in [k, 2 * k, 4 * k, 8 * k] {
+        let sol = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k_prime, &rt());
+        ratios.push(reference.value / sol.solution.value);
+    }
+    assert!(
+        ratios[3] <= ratios[0] + 0.05,
+        "k' growth should not hurt: {ratios:?}"
+    );
+    assert!(ratios[3] < 1.25, "final ratio {} too large", ratios[3]);
+}
+
+#[test]
+fn more_parallelism_at_fixed_k_prime_does_not_collapse() {
+    // Figure 4's second trend: fixing k' and raising ℓ grows the
+    // aggregate core-set, so quality tends to improve.
+    let k = 16;
+    let (points, _) = datasets::sphere_shell(20_000, k, 3, 12);
+    let reference = seq::solve(Problem::RemoteEdge, &points, &Euclidean, k);
+    let mut ratios = Vec::new();
+    for ell in [2usize, 4, 8, 16] {
+        let parts = mapreduce::partition::split_random(points.clone(), ell, 31);
+        let sol = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, 2 * k, &rt());
+        ratios.push(reference.value / sol.solution.value);
+    }
+    for r in &ratios {
+        assert!(*r < 1.4, "ratio {r} out of band: {ratios:?}");
+    }
+}
+
+#[test]
+fn randomized_variant_close_to_deterministic() {
+    let k = 24;
+    let (points, _) = datasets::sphere_shell(15_000, k, 3, 21);
+    let parts = mapreduce::partition::split_random(points.clone(), 6, 77);
+    let det = two_round::two_round(Problem::RemoteClique, &parts, &Euclidean, k, 2 * k, &rt());
+    let rnd = randomized::randomized_two_round(
+        Problem::RemoteClique,
+        &parts,
+        &Euclidean,
+        k,
+        2 * k,
+        &rt(),
+    );
+    let gap = det.solution.value / rnd.solution.value;
+    assert!(
+        (0.85..=1.15).contains(&gap),
+        "det {} vs randomized {}",
+        det.solution.value,
+        rnd.solution.value
+    );
+}
+
+#[test]
+fn recursive_variant_tracks_two_round() {
+    let k = 8;
+    let (points, _) = datasets::sphere_shell(20_000, k, 3, 33);
+    let parts = mapreduce::partition::split_random(points.clone(), 4, 7);
+    let base = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, 4 * k, &rt());
+    let rec = recursive::recursive(Problem::RemoteEdge, &points, &Euclidean, k, 4 * k, 2_000, &rt());
+    assert!(rec.stats.num_rounds() >= 2);
+    let gap = base.solution.value / rec.solution.value;
+    assert!(
+        (0.7..=1.3).contains(&gap),
+        "2-round {} vs recursive {}",
+        base.solution.value,
+        rec.solution.value
+    );
+}
+
+#[test]
+fn adversarial_partitioning_degrades_mildly() {
+    // Section 7.2: "with such adversarial partitioning, the
+    // approximation ratios worsen by up to 10%". At this scale we allow
+    // a wider band but the effect must be bounded.
+    let k = 16;
+    let (points, _) = datasets::sphere_shell(20_000, k, 3, 41);
+    let random = mapreduce::partition::split_random(points.clone(), 8, 5);
+    let adversarial =
+        mapreduce::partition::split_sorted_by(points.clone(), 8, |p| p.coords()[0]);
+
+    let r = two_round::two_round(Problem::RemoteEdge, &random, &Euclidean, k, 2 * k, &rt());
+    let a = two_round::two_round(Problem::RemoteEdge, &adversarial, &Euclidean, k, 2 * k, &rt());
+    let degradation = r.solution.value / a.solution.value;
+    assert!(
+        degradation < 1.35,
+        "adversarial degradation {degradation} too large: random {} adversarial {}",
+        r.solution.value,
+        a.solution.value
+    );
+}
+
+#[test]
+fn ml_memory_bound_matches_theorem_6_shape() {
+    // M_L for round 2 is the aggregate core-set ℓ·k' (edge) or
+    // ℓ·k·k' (clique) — check the accounting sees exactly that.
+    let k = 4;
+    let k_prime = 8;
+    let ell = 5;
+    let (points, _) = datasets::sphere_shell(5_000, k, 3, 2);
+    let parts = mapreduce::partition::split_random(points, ell, 3);
+
+    let edge = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k_prime, &rt());
+    assert!(edge.stats.rounds[1].max_local_points <= ell * k_prime);
+
+    let clique = two_round::two_round(Problem::RemoteClique, &parts, &Euclidean, k, k_prime, &rt());
+    assert!(clique.stats.rounds[1].max_local_points <= ell * k * k_prime);
+    assert!(
+        clique.stats.rounds[1].max_local_points > edge.stats.rounds[1].max_local_points,
+        "delegates should enlarge the aggregated core-set"
+    );
+}

@@ -1,0 +1,127 @@
+//! Streaming algorithms vs the in-memory sequential baseline: the
+//! Figure 1/2 accuracy trends at test scale.
+
+use diversity::prelude::*;
+
+/// The sequential solution on the full input is the streaming
+/// algorithm's quality target; the α+ε theory says streaming ≥
+/// sequential/(1+ε) in value once k' is large enough.
+#[test]
+fn accuracy_improves_with_k_prime() {
+    let k = 16;
+    let (points, _) = datasets::sphere_shell(30_000, k, 3, 5);
+    let reference = seq::solve(Problem::RemoteEdge, &points, &Euclidean, k);
+
+    let mut last_ratio = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for k_prime in [k, 2 * k, 4 * k, 8 * k] {
+        let sol = streaming::pipeline::one_pass(
+            Problem::RemoteEdge,
+            Euclidean,
+            k,
+            k_prime,
+            points.iter().cloned(),
+        );
+        let ratio = reference.value / sol.value;
+        ratios.push(ratio);
+        last_ratio = ratio;
+    }
+    // The k'-trend of Figure 2: the largest k' is at least as good as
+    // the smallest (monotonicity holds on average; we assert the
+    // endpoints to keep the test robust to small fluctuations).
+    assert!(
+        last_ratio <= ratios[0] + 0.05,
+        "ratios did not improve: {ratios:?}"
+    );
+    // With k' = 8k streaming comes close to sequential. The paper's
+    // Figure 2 shows streaming ratios on this very workload remain
+    // noticeably above 1 even at k'=k+64 (the doubling algorithm is an
+    // 8-approximation to k-center, vs GMM's 2): allow that slack.
+    assert!(last_ratio < 1.8, "final ratio {last_ratio}");
+}
+
+#[test]
+fn smm_ext_supports_sum_objectives() {
+    let k = 8;
+    let (points, _) = datasets::sphere_shell(10_000, k, 3, 6);
+    let reference = seq::solve(Problem::RemoteClique, &points, &Euclidean, k);
+    let sol = streaming::pipeline::one_pass(
+        Problem::RemoteClique,
+        Euclidean,
+        k,
+        4 * k,
+        points.iter().cloned(),
+    );
+    let ratio = reference.value / sol.value;
+    assert!(ratio < 1.2, "remote-clique streaming ratio {ratio}");
+}
+
+#[test]
+fn two_pass_matches_one_pass_quality_with_less_memory() {
+    let k = 12;
+    let (points, _) = datasets::sphere_shell(8_000, k, 3, 8);
+    let k_prime = 4 * k;
+
+    let one = streaming::pipeline::one_pass(
+        Problem::RemoteClique,
+        Euclidean,
+        k,
+        k_prime,
+        points.iter().cloned(),
+    );
+    let two = streaming::two_pass::two_pass(Problem::RemoteClique, Euclidean, k, k_prime, || {
+        points.iter().cloned()
+    });
+
+    // Quality: each pipeline carries an independent α=2 approximation
+    // (and the two-pass multiset matching may pick replica pairs), so
+    // values can differ by up to ~α either way.
+    let ratio = one.value / two.solution.value;
+    assert!(
+        (0.45..=2.2).contains(&ratio),
+        "one-pass {} vs two-pass {}",
+        one.value,
+        two.solution.value
+    );
+
+    // Memory: pass 1 of the two-pass algorithm has no k× delegate
+    // blow-up.
+    assert!(
+        two.pass1_peak_memory <= 2 * (k_prime + 1),
+        "pass1 peak {}",
+        two.pass1_peak_memory
+    );
+}
+
+#[test]
+fn streaming_memory_independent_of_stream_length() {
+    let k = 8;
+    let k_prime = 16;
+    let mut peaks = Vec::new();
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let (points, _) = datasets::sphere_shell(n, k, 3, 9);
+        let res = streaming::Smm::run(Euclidean, k, k_prime, points);
+        peaks.push(res.peak_memory_points);
+    }
+    // Table 3's headline: memory depends on k and k', not n.
+    let max = *peaks.iter().max().unwrap();
+    let min = *peaks.iter().min().unwrap();
+    assert!(
+        max <= min + (k_prime + 1),
+        "peaks {peaks:?} grow with n"
+    );
+}
+
+#[test]
+fn throughput_decreases_with_k_prime() {
+    // Figure 3's main trend: larger center budgets cost per-point time.
+    let (points, _) = datasets::sphere_shell(20_000, 8, 3, 10);
+    let fast = streaming::throughput::measure(Problem::RemoteEdge, Euclidean, 8, 8, &points);
+    let slow = streaming::throughput::measure(Problem::RemoteEdge, Euclidean, 8, 128, &points);
+    assert!(
+        fast.points_per_sec > slow.points_per_sec,
+        "k'=8: {:.0}/s vs k'=128: {:.0}/s",
+        fast.points_per_sec,
+        slow.points_per_sec
+    );
+}
