@@ -115,9 +115,10 @@ where
                 return (Vec::new(), AfzCoresetStats::default());
             }
             match problem {
-                Problem::RemoteEdge => {
-                    (afz_edge_coreset(part, metric, k), AfzCoresetStats::default())
-                }
+                Problem::RemoteEdge => (
+                    afz_edge_coreset(part, metric, k),
+                    AfzCoresetStats::default(),
+                ),
                 _ => afz_clique_coreset(part, metric, k, max_swaps_per_reducer, gain_mode),
             }
         },
@@ -203,9 +204,20 @@ mod tests {
         let xs: Vec<f64> = (0..200).map(|i| ((i * 43) % 151) as f64).collect();
         let points = line(&xs);
         let parts = split_round_robin(points.clone(), 4);
-        let out = afz_two_round(Problem::RemoteClique, &parts, &Euclidean, 4, 10_000, GainMode::Incremental, &rt());
+        let out = afz_two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            4,
+            10_000,
+            GainMode::Incremental,
+            &rt(),
+        );
         assert_eq!(out.mr.solution.indices.len(), 4);
-        assert!(out.total_swaps > 0, "local search should move from the seed");
+        assert!(
+            out.total_swaps > 0,
+            "local search should move from the seed"
+        );
         assert_eq!(out.capped_reducers, 0);
         let direct = diversity_core::eval::evaluate_subset(
             Problem::RemoteClique,
@@ -221,7 +233,15 @@ mod tests {
         let xs: Vec<f64> = (0..300).map(|i| ((i * 29) % 211) as f64).collect();
         let points = line(&xs);
         let parts = split_round_robin(points, 5);
-        let afz = afz_two_round(Problem::RemoteEdge, &parts, &Euclidean, 6, 0, GainMode::Incremental, &rt());
+        let afz = afz_two_round(
+            Problem::RemoteEdge,
+            &parts,
+            &Euclidean,
+            6,
+            0,
+            GainMode::Incremental,
+            &rt(),
+        );
         let cppu = diversity_mapreduce::two_round::two_round(
             Problem::RemoteEdge,
             &parts,
@@ -238,7 +258,15 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| (i * i % 977) as f64).collect();
         let points = line(&xs);
         let parts = split_round_robin(points, 2);
-        let out = afz_two_round(Problem::RemoteClique, &parts, &Euclidean, 8, 1, GainMode::Incremental, &rt());
+        let out = afz_two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            8,
+            1,
+            GainMode::Incremental,
+            &rt(),
+        );
         // With a cap of one swap per reducer the searches cannot
         // converge on this instance.
         assert!(out.capped_reducers > 0);
@@ -250,6 +278,14 @@ mod tests {
     fn rejects_unsupported_problem() {
         let points = line(&[0.0, 1.0, 2.0]);
         let parts = split_round_robin(points, 1);
-        let _ = afz_two_round(Problem::RemoteTree, &parts, &Euclidean, 2, 10, GainMode::Incremental, &rt());
+        let _ = afz_two_round(
+            Problem::RemoteTree,
+            &parts,
+            &Euclidean,
+            2,
+            10,
+            GainMode::Incremental,
+            &rt(),
+        );
     }
 }

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn k_larger_than_n_truncates() {
         let pts = line(&[0.0, 1.0]);
-        assert_eq!(immm_coreset(Problem::RemoteEdge, &pts, &Euclidean, 5).len(), 2);
+        assert_eq!(
+            immm_coreset(Problem::RemoteEdge, &pts, &Euclidean, 5).len(),
+            2
+        );
     }
 
     #[test]
@@ -95,12 +98,8 @@ mod tests {
             &gmm_sel,
         );
         let ls = immm_coreset(Problem::RemoteClique, &pts, &Euclidean, 4);
-        let ls_val = diversity_core::eval::evaluate_subset(
-            Problem::RemoteClique,
-            &pts,
-            &Euclidean,
-            &ls,
-        );
+        let ls_val =
+            diversity_core::eval::evaluate_subset(Problem::RemoteClique, &pts, &Euclidean, &ls);
         assert!(ls_val >= gmm_val - 1e-9);
     }
 }

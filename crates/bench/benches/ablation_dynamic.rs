@@ -1,0 +1,112 @@
+//! Ablation: fully dynamic engine vs from-scratch recompute.
+//!
+//! Measures, at n ≥ 50k (scale with `DIVMAX_SCALE`):
+//!
+//! * build throughput (inserts/s) and churn throughput (interleaved
+//!   delete+insert pairs/s) of the dynamic cover hierarchy;
+//! * solve latency from the maintained structure vs
+//!   `pipeline::coreset_then_solve` recomputing a GMM coreset from
+//!   scratch on the current point set;
+//! * the headline ratio: (update + solve) vs recompute — the dynamic
+//!   engine's reason to exist. Expected ≥ 10x at these sizes.
+
+use diversity_bench::{fmt_secs, scaled, timed, Table};
+use diversity_core::{pipeline, Problem};
+use diversity_datasets::gaussian_clusters;
+use diversity_dynamic::DynamicDiversity;
+use metric::Euclidean;
+
+fn main() {
+    let n = scaled(50_000);
+    let churn_ops = scaled(5_000);
+    let k = 16;
+    let budget = 8 * k;
+    println!("ablation_dynamic: n={n}, churn={churn_ops} delete+insert pairs, k={k}, k'={budget}");
+
+    let points = gaussian_clusters(n + churn_ops, 24, 3, 40.0, 4242);
+    let (build_pool, churn_pool) = points.split_at(n);
+
+    // Build phase.
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let (ids, build_secs) = timed(|| {
+        build_pool
+            .iter()
+            .map(|p| engine.insert(p.clone()))
+            .collect::<Vec<_>>()
+    });
+    let build_evals = engine.stats().distance_evals;
+
+    // Churn phase: delete the oldest alive, insert a fresh point.
+    engine.reset_stats();
+    let (_, churn_secs) = timed(|| {
+        for (i, p) in churn_pool.iter().enumerate() {
+            engine.delete(ids[i]);
+            engine.insert(p.clone());
+        }
+    });
+    let churn_evals = engine.stats().distance_evals;
+    let per_update_secs = churn_secs / (2 * churn_ops) as f64;
+
+    // Solve phase: maintained structure vs recompute-from-scratch.
+    let problem = Problem::RemoteEdge;
+    let (dyn_sol, dyn_solve_secs) = timed(|| engine.solve_with_budget(problem, k, budget));
+    let snapshot: Vec<_> = engine.alive().into_iter().map(|(_, p)| p).collect();
+    let (scratch_sol, scratch_secs) =
+        timed(|| pipeline::coreset_then_solve(problem, &snapshot, &Euclidean, k, budget));
+
+    let mut table = Table::new(
+        "dynamic engine vs recompute-from-scratch (remote-edge)",
+        &["phase", "time", "per-op", "dist-evals/op"],
+    );
+    table.row(vec![
+        format!("build n={n}"),
+        fmt_secs(build_secs),
+        format!("{:.1}µs", build_secs / n as f64 * 1e6),
+        format!("{:.0}", build_evals as f64 / n as f64),
+    ]);
+    table.row(vec![
+        format!("churn {churn_ops}x(del+ins)"),
+        fmt_secs(churn_secs),
+        format!("{:.1}µs", per_update_secs * 1e6),
+        format!("{:.0}", churn_evals as f64 / (2 * churn_ops) as f64),
+    ]);
+    table.row(vec![
+        "solve (dynamic)".into(),
+        fmt_secs(dyn_solve_secs),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "solve (recompute)".into(),
+        fmt_secs(scratch_secs),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.print();
+
+    let update_plus_solve = per_update_secs + dyn_solve_secs;
+    println!(
+        "\nsolution values: dynamic {:.4}, recompute {:.4} (ratio {:.3})",
+        dyn_sol.value,
+        scratch_sol.value,
+        dyn_sol.value / scratch_sol.value
+    );
+    println!(
+        "coreset: level {} | kernel {} | radius {:.3}",
+        dyn_sol.coreset.level, dyn_sol.coreset.kernel_size, dyn_sol.coreset.radius
+    );
+    println!(
+        "headline: update+solve {:.1}µs vs recompute {:.1}µs — {:.0}x faster",
+        update_plus_solve * 1e6,
+        scratch_secs * 1e6,
+        scratch_secs / update_plus_solve
+    );
+    // The acceptance bar applies at full scale; scaled-down smoke runs
+    // only report the ratio.
+    if n >= 50_000 {
+        assert!(
+            scratch_secs / update_plus_solve >= 10.0,
+            "dynamic path must beat recompute by >= 10x at n = {n}"
+        );
+    }
+}

@@ -77,14 +77,8 @@ fn main() {
     let parts = split_random(points.clone(), ell, 44);
     let det_e = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k_prime, &rt);
     let det_c = two_round::two_round(Problem::RemoteTree, &parts, &Euclidean, k, k_prime, &rt);
-    let rnd = randomized::randomized_two_round(
-        Problem::RemoteTree,
-        &parts,
-        &Euclidean,
-        k,
-        k_prime,
-        &rt,
-    );
+    let rnd =
+        randomized::randomized_two_round(Problem::RemoteTree, &parts, &Euclidean, k, k_prime, &rt);
     let gen3 = three_round::three_round(Problem::RemoteTree, &parts, &Euclidean, k, k_prime, &rt);
 
     let mut mr_table = Table::new(

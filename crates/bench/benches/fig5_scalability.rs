@@ -49,9 +49,8 @@ fn main() {
         // p = 1: the streaming algorithm with k' = s (single pass over
         // the data on one processor; its wall time IS its simulated
         // time).
-        let (_, stream_time) = timed(|| {
-            one_pass(Problem::RemoteEdge, Euclidean, k, s, points.iter().cloned())
-        });
+        let (_, stream_time) =
+            timed(|| one_pass(Problem::RemoteEdge, Euclidean, k, s, points.iter().cloned()));
         cells.push(fmt_secs(stream_time));
 
         for &p in &[2usize, 4, 8, 16] {

@@ -43,19 +43,15 @@ fn bench_smm_push(c: &mut Criterion) {
     let mut g = c.benchmark_group("smm_push");
     let (points, _) = sphere_shell(20_000, 8, 3, 5);
     for &k_prime in &[16usize, 128] {
-        g.bench_with_input(
-            BenchmarkId::new("stream20k", k_prime),
-            &points,
-            |b, pts| {
-                b.iter(|| {
-                    let mut s = Smm::new(Euclidean, 8, k_prime);
-                    for p in pts {
-                        s.push(p.clone());
-                    }
-                    black_box(s.finish().coreset.len())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("stream20k", k_prime), &points, |b, pts| {
+            b.iter(|| {
+                let mut s = Smm::new(Euclidean, 8, k_prime);
+                for p in pts {
+                    s.push(p.clone());
+                }
+                black_box(s.finish().coreset.len())
+            })
+        });
     }
     g.finish();
 }

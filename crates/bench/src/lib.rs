@@ -80,7 +80,10 @@ impl Table {
             out
         };
         println!("{}", line(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

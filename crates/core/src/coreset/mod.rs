@@ -74,8 +74,7 @@ pub fn suggest_kernel_size<P, M: Metric<P>>(
     assert!(k > 0, "k must be positive");
     let est = metric::estimate_doubling_dimension(sample, metric, 4, 0xD1CE);
     let dim = est.dimension.ceil().max(1.0) as u32;
-    theoretical_kernel_size(problem, k, eps, dim)
-        .clamp(k, max_size.max(k))
+    theoretical_kernel_size(problem, k, eps, dim).clamp(k, max_size.max(k))
 }
 
 #[cfg(test)]

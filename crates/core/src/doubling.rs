@@ -1,0 +1,542 @@
+//! The doubling-algorithm phase machinery shared by the streaming
+//! core-sets (SMM, SMM-EXT, SMM-GEN) and the fully dynamic engine.
+//!
+//! This module owns the pieces that are common to every
+//! threshold-at-scale construction in the workspace:
+//!
+//! * [`Payload`] — variant-specific per-center bookkeeping (nothing,
+//!   delegate points, or delegate counts);
+//! * [`DelegateSet`] / [`DelegateCount`] — the two non-trivial payloads
+//!   (Theorem 2's delegates and Theorem 9's counts);
+//! * [`Center`] — a point plus its payload;
+//! * [`DoublingCore`] — the single-threshold phase machinery of the
+//!   streaming doubling algorithm (Section 4);
+//! * [`scale_to_distance`] / [`distance_to_scale`] — the `2^i` level
+//!   geometry the dynamic engine's hierarchical cover is built on.
+//!
+//! # The phase machinery
+//!
+//! State: a set `T` of at most `k'+1` centers, each carrying a
+//! variant-specific payload, and a threshold `d_i`. One *phase* is:
+//!
+//! * **merge step**: build the graph on `T` with an edge wherever
+//!   `d(t1, t2) ≤ 2d_i`, take a maximal independent set `I` (greedy in
+//!   insertion order), fold each removed center's payload into a
+//!   neighbour in `I`, and remember the removed centers in `M` (used by
+//!   plain SMM to pad the final output to ≥ k points — the paper's
+//!   modification of the classical algorithm);
+//! * **update step**: a new point farther than `4d_i` from every center
+//!   becomes a center; otherwise it is offered to its nearest center's
+//!   payload (delegate set / count) or dropped. When `T` reaches
+//!   `k'+1` centers the phase ends and `d_{i+1} = 2d_i`.
+//!
+//! The paper's invariants, checked by the property tests in
+//! `diversity-streaming/tests/invariants.rs`:
+//!
+//! 1. every processed point is within `2d_{i+1}`… (running bound
+//!    `r_T ≤ 4·d_ℓ` at the end, Lemma 3);
+//! 2. distinct centers are at pairwise distance `≥ d_i`;
+//! 3. `|T| ≤ k' + 1` at all times.
+//!
+//! # Degenerate inputs
+//!
+//! The classical algorithm assumes distinct points: with duplicates the
+//! initial `d_1 = min pairwise` can be 0 and `d` would never grow. We
+//! follow the standard fix of advancing the threshold to the smallest
+//! *positive* pairwise center distance whenever doubling would leave it
+//! at 0; exact duplicates then merge on the next phase.
+
+use metric::Metric;
+use serde::{Deserialize, Serialize};
+
+/// The distance threshold of cover level `i`: `2^i`.
+///
+/// Levels may be negative (scales below 1); the geometry is shared by
+/// the dynamic engine's hierarchical cover and by anything that needs
+/// to snap a distance onto the doubling ladder.
+#[inline]
+pub fn scale_to_distance(level: i32) -> f64 {
+    (level as f64).exp2()
+}
+
+/// The smallest level `i` with `2^i >= d` (for `d > 0`).
+///
+/// # Panics
+/// Panics if `d` is not finite and positive.
+#[inline]
+pub fn distance_to_scale(d: f64) -> i32 {
+    assert!(d > 0.0 && d.is_finite(), "scale of non-positive distance");
+    d.log2().ceil() as i32
+}
+
+/// Variant-specific per-center bookkeeping.
+pub trait Payload<P>: Sized {
+    /// Payload for a freshly promoted center.
+    fn new_center(point: &P) -> Self;
+    /// Folds `other` into `self` when `other`'s center is merged away
+    /// (the paper's "inherit `min(|E_t1|, k − |E_t2|)` delegates").
+    fn absorb(&mut self, other: Self, k: usize);
+    /// Offers a non-center stream point to this center. Returns `true`
+    /// if retained (delegate added / count bumped), `false` to discard.
+    fn offer(&mut self, point: &P, k: usize) -> bool;
+    /// Number of points this payload accounts for (center included).
+    fn mass(&self) -> usize;
+}
+
+/// Payload for plain SMM: centers carry nothing.
+impl<P> Payload<P> for () {
+    fn new_center(_: &P) -> Self {}
+    fn absorb(&mut self, _: Self, _: usize) {}
+    fn offer(&mut self, _: &P, _: usize) -> bool {
+        false
+    }
+    fn mass(&self) -> usize {
+        1
+    }
+}
+
+/// Delegate set `E_t` of a center: up to `k` points including the
+/// center itself — the bookkeeping of SMM-EXT (Theorem 2) and of the
+/// dynamic engine's per-center delegate buckets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DelegateSet<P> {
+    delegates: Vec<P>,
+}
+
+impl<P> DelegateSet<P> {
+    /// The retained delegate points, center first.
+    pub fn delegates(&self) -> &[P] {
+        &self.delegates
+    }
+
+    /// Consumes the set, yielding the delegate points.
+    pub fn into_delegates(self) -> Vec<P> {
+        self.delegates
+    }
+}
+
+impl<P: Clone> Payload<P> for DelegateSet<P> {
+    fn new_center(point: &P) -> Self {
+        Self {
+            delegates: vec![point.clone()],
+        }
+    }
+
+    /// Merge-step inheritance. The paper's text says the surviving set
+    /// inherits "max{|E_t1|, k − |E_t2|}" points — read as `min` (one
+    /// cannot inherit more points than `E_t1` holds nor beyond the cap
+    /// `k`); the surrounding proofs (Lemma 4) only need that full sets
+    /// stay full and mass is preserved up to the cap.
+    fn absorb(&mut self, other: Self, k: usize) {
+        let room = k.saturating_sub(self.delegates.len());
+        self.delegates
+            .extend(other.delegates.into_iter().take(room));
+    }
+
+    fn offer(&mut self, point: &P, k: usize) -> bool {
+        if self.delegates.len() < k {
+            self.delegates.push(point.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mass(&self) -> usize {
+        self.delegates.len()
+    }
+}
+
+/// Count payload: how many stream points this center stands for
+/// (capped at `k`, itself included) — the bookkeeping of SMM-GEN
+/// (Section 6.1, first pass of Theorem 9).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DelegateCount {
+    count: usize,
+}
+
+impl DelegateCount {
+    /// The retained count.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl<P> Payload<P> for DelegateCount {
+    fn new_center(_: &P) -> Self {
+        Self { count: 1 }
+    }
+
+    fn absorb(&mut self, other: Self, k: usize) {
+        self.count = (self.count + other.count).min(k);
+    }
+
+    fn offer(&mut self, _: &P, k: usize) -> bool {
+        if self.count < k {
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mass(&self) -> usize {
+        1 // only the center is resident; the count is O(1) memory
+    }
+}
+
+/// A center and its payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Center<P, Y> {
+    pub point: P,
+    pub payload: Y,
+}
+
+/// The shared doubling-algorithm state. `k` is the solution size
+/// (delegate cap), `k_prime` the center budget.
+///
+/// The state is (de)serializable — everything a long-running streaming
+/// job needs to checkpoint and resume lives here (the metric is
+/// supplied again at restore time; see the `Smm*::resume` helpers in
+/// `diversity-streaming`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DoublingCore<P, Y> {
+    k: usize,
+    k_prime: usize,
+    /// Current distance threshold `d_i`; `None` until the first
+    /// `k'+1` points have arrived (initialization).
+    threshold: Option<f64>,
+    centers: Vec<Center<P, Y>>,
+    /// Centers removed by merge steps of the *current* phase.
+    removed: Vec<P>,
+    phases: usize,
+    points_seen: usize,
+}
+
+impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
+    /// Creates an empty state.
+    ///
+    /// # Panics
+    /// Panics unless `k >= 1` and `k_prime >= k`.
+    pub fn new(k: usize, k_prime: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(k_prime >= k, "k' must be at least k");
+        Self {
+            k,
+            k_prime,
+            threshold: None,
+            centers: Vec::with_capacity(k_prime + 1),
+            removed: Vec::new(),
+            phases: 0,
+            points_seen: 0,
+        }
+    }
+
+    /// Number of stream points consumed so far.
+    pub fn points_seen(&self) -> usize {
+        self.points_seen
+    }
+
+    /// Number of completed phases.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// The solution-size parameter `k` this state was created with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The center budget `k'` this state was created with.
+    pub fn k_prime(&self) -> usize {
+        self.k_prime
+    }
+
+    /// The current threshold `d_i` (0 until initialization completes).
+    pub fn threshold(&self) -> f64 {
+        self.threshold.unwrap_or(0.0)
+    }
+
+    /// Upper bound on `max_p d(p, T)` over all processed points:
+    /// `4·d_i` (Lemma 3's `r_T ≤ 4 d_ℓ`).
+    pub fn radius_bound(&self) -> f64 {
+        4.0 * self.threshold()
+    }
+
+    /// Current centers.
+    pub fn centers(&self) -> &[Center<P, Y>] {
+        &self.centers
+    }
+
+    /// Centers removed by merges in the current phase (SMM's `M`).
+    pub fn removed(&self) -> &[P] {
+        &self.removed
+    }
+
+    /// Number of points currently resident (centers + removed + payload
+    /// delegates) — the quantity Table 3's memory bounds govern.
+    pub fn memory_points(&self) -> usize {
+        self.removed.len() + self.centers.iter().map(|c| c.payload.mass()).sum::<usize>()
+    }
+
+    /// Processes one stream point.
+    pub fn push<M: Metric<P>>(&mut self, point: P, metric: &M) {
+        self.points_seen += 1;
+
+        if self.threshold.is_none() {
+            // Initialization: the first k'+1 points all become centers.
+            let payload = Y::new_center(&point);
+            self.centers.push(Center { point, payload });
+            if self.centers.len() == self.k_prime + 1 {
+                // d_1 = min pairwise distance among the initial centers.
+                let d1 = self.min_pairwise(metric).unwrap_or(0.0);
+                self.threshold = Some(d1);
+                self.begin_phase(metric);
+            }
+            return;
+        }
+
+        // Update step.
+        let d_i = self.threshold.expect("initialized");
+        let (nearest, dist) = self.nearest_center(&point, metric);
+        if dist > 4.0 * d_i {
+            let payload = Y::new_center(&point);
+            self.centers.push(Center { point, payload });
+            if self.centers.len() == self.k_prime + 1 {
+                // Phase ends: double the threshold and merge.
+                self.advance_threshold(metric);
+                self.begin_phase(metric);
+            }
+        } else {
+            let retained = self.centers[nearest].payload.offer(&point, self.k);
+            let _ = retained;
+        }
+    }
+
+    /// Ends the stream, returning centers, the removed-set `M`, and the
+    /// final threshold.
+    pub fn finish(self) -> (Vec<Center<P, Y>>, Vec<P>, f64, usize) {
+        let d = self.threshold.unwrap_or(0.0);
+        (self.centers, self.removed, d, self.phases)
+    }
+
+    /// Doubles the threshold, or advances it to the smallest positive
+    /// pairwise distance when doubling would leave it at 0 (duplicate
+    /// points in the initial buffer — see module docs).
+    fn advance_threshold<M: Metric<P>>(&mut self, metric: &M) {
+        let d = self.threshold.expect("initialized");
+        let next = if d > 0.0 {
+            2.0 * d
+        } else {
+            self.min_positive_pairwise(metric).unwrap_or(0.0)
+        };
+        self.threshold = Some(next);
+    }
+
+    /// Merge step, repeated with threshold doubling until room exists.
+    fn begin_phase<M: Metric<P>>(&mut self, metric: &M) {
+        loop {
+            self.phases += 1;
+            self.removed.clear();
+            self.merge_step(metric);
+            if self.centers.len() <= self.k_prime {
+                return;
+            }
+            // All centers pairwise > 2d_i: double and merge again.
+            self.advance_threshold(metric);
+        }
+    }
+
+    /// Greedy maximal independent set on the `≤ 2d_i` graph; removed
+    /// centers fold their payloads into an adjacent survivor.
+    fn merge_step<M: Metric<P>>(&mut self, metric: &M) {
+        let d_i = self.threshold.expect("initialized");
+        let limit = 2.0 * d_i;
+        let old = std::mem::take(&mut self.centers);
+        let mut kept: Vec<Center<P, Y>> = Vec::with_capacity(old.len());
+        for cand in old {
+            // First kept center within the merge radius absorbs it.
+            let home = kept
+                .iter()
+                .position(|kc| metric.distance(&kc.point, &cand.point) <= limit);
+            match home {
+                Some(pos) => {
+                    self.removed.push(cand.point.clone());
+                    kept[pos].payload.absorb(cand.payload, self.k);
+                }
+                None => kept.push(cand),
+            }
+        }
+        self.centers = kept;
+    }
+
+    fn nearest_center<M: Metric<P>>(&self, p: &P, metric: &M) -> (usize, f64) {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (i, c) in self.centers.iter().enumerate() {
+            let d = metric.distance(p, &c.point);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    fn min_pairwise<M: Metric<P>>(&self, metric: &M) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 1..self.centers.len() {
+            for j in 0..i {
+                let d = metric.distance(&self.centers[i].point, &self.centers[j].point);
+                best = Some(best.map_or(d, |b: f64| b.min(d)));
+            }
+        }
+        best
+    }
+
+    fn min_positive_pairwise<M: Metric<P>>(&self, metric: &M) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 1..self.centers.len() {
+            for j in 0..i {
+                let d = metric.distance(&self.centers[i].point, &self.centers[j].point);
+                if d > 0.0 {
+                    best = Some(best.map_or(d, |b: f64| b.min(d)));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::{Euclidean, VecPoint};
+
+    fn feed(core: &mut DoublingCore<VecPoint, ()>, xs: &[f64]) {
+        for &x in xs {
+            core.push(VecPoint::from([x]), &Euclidean);
+        }
+    }
+
+    #[test]
+    fn scale_geometry_roundtrips() {
+        assert_eq!(scale_to_distance(0), 1.0);
+        assert_eq!(scale_to_distance(3), 8.0);
+        assert_eq!(scale_to_distance(-2), 0.25);
+        assert_eq!(distance_to_scale(8.0), 3);
+        assert_eq!(distance_to_scale(5.0), 3);
+        assert_eq!(distance_to_scale(0.3), -1);
+        // d <= 2^{distance_to_scale(d)} < 2d for all positive d.
+        for d in [1e-6, 0.017, 0.5, 1.0, 3.7, 1e9] {
+            let s = distance_to_scale(d);
+            assert!(scale_to_distance(s) >= d);
+            assert!(scale_to_distance(s - 1) < d);
+        }
+    }
+
+    #[test]
+    fn initialization_buffers_k_prime_plus_one() {
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 3);
+        feed(&mut core, &[0.0, 10.0, 20.0]);
+        assert_eq!(core.threshold(), 0.0, "still initializing");
+        assert_eq!(core.centers().len(), 3);
+        feed(&mut core, &[30.0]);
+        assert!(core.threshold() > 0.0, "initialized after k'+1 points");
+    }
+
+    #[test]
+    fn center_budget_respected() {
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 3);
+        feed(
+            &mut core,
+            &(0..200).map(|i| i as f64 * 7.3).collect::<Vec<_>>(),
+        );
+        assert!(core.centers().len() <= 4, "|T| must stay <= k'+1");
+    }
+
+    #[test]
+    fn pairwise_separation_invariant() {
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 4);
+        feed(
+            &mut core,
+            &(0..300)
+                .map(|i| ((i * 37) % 101) as f64 * 1.7)
+                .collect::<Vec<_>>(),
+        );
+        let d = core.threshold();
+        let pts: Vec<&VecPoint> = core.centers().iter().map(|c| &c.point).collect();
+        for i in 1..pts.len() {
+            for j in 0..i {
+                assert!(
+                    Euclidean.distance(pts[i], pts[j]) >= d - 1e-12,
+                    "centers closer than d_i"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_points_covered_within_radius_bound() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 53) % 211) as f64).collect();
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(3, 5);
+        feed(&mut core, &xs);
+        let bound = core.radius_bound();
+        let centers: Vec<VecPoint> = core.centers().iter().map(|c| c.point.clone()).collect();
+        // Coverage uses centers ∪ removed (removed only covers its own
+        // phase; the 4d bound still holds against current centers).
+        for &x in &xs {
+            let p = VecPoint::from([x]);
+            let d = Euclidean.distance_to_set(&p, &centers);
+            assert!(
+                d <= bound + 1e-9,
+                "point {x} at distance {d} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_hang() {
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 3);
+        feed(
+            &mut core,
+            &[1.0, 1.0, 1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        );
+        assert!(core.centers().len() <= 4);
+        assert!(core.points_seen() == 10);
+    }
+
+    #[test]
+    fn short_stream_keeps_everything() {
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 10);
+        feed(&mut core, &[0.0, 5.0, 9.0]);
+        assert_eq!(core.centers().len(), 3);
+        let (centers, removed, d, phases) = core.finish();
+        assert_eq!(centers.len(), 3);
+        assert!(removed.is_empty());
+        assert_eq!(d, 0.0);
+        assert_eq!(phases, 0);
+    }
+
+    #[test]
+    fn delegate_set_caps_at_k() {
+        let p = VecPoint::from([0.0]);
+        let mut set: DelegateSet<VecPoint> = DelegateSet::new_center(&p);
+        for i in 0..10 {
+            set.offer(&VecPoint::from([i as f64]), 4);
+        }
+        assert_eq!(set.mass(), 4);
+        assert_eq!(set.delegates().len(), 4);
+    }
+
+    #[test]
+    fn delegate_count_caps_at_k() {
+        let p = VecPoint::from([0.0]);
+        let mut count: DelegateCount = <DelegateCount as Payload<VecPoint>>::new_center(&p);
+        for i in 0..10 {
+            <DelegateCount as Payload<VecPoint>>::offer(&mut count, &VecPoint::from([i as f64]), 4);
+        }
+        assert_eq!(count.count(), 4);
+        let other = count;
+        <DelegateCount as Payload<VecPoint>>::absorb(&mut count, other, 6);
+        assert_eq!(count.count(), 6, "absorb caps at k");
+    }
+}

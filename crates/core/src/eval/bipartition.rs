@@ -26,9 +26,7 @@ pub fn bipartition_exact(dm: &DistanceMatrix) -> f64 {
     let q = n / 2;
 
     // Row sums let us compute a cut as Σ_{i∈Q} row(i) − 2·within(Q).
-    let row: Vec<f64> = (0..n)
-        .map(|i| (0..n).map(|j| dm.get(i, j)).sum())
-        .collect();
+    let row: Vec<f64> = (0..n).map(|i| (0..n).map(|j| dm.get(i, j)).sum()).collect();
 
     let mut best = f64::INFINITY;
     // When n is even, Q and its complement give the same cut; pinning
@@ -89,7 +87,10 @@ pub fn bipartition_local_search(dm: &DistanceMatrix) -> f64 {
         let mut in_q = vec![false; n];
         match variant {
             0 => (0..q).for_each(|i| in_q[i] = true),
-            1 => (0..n).filter(|i| i % 2 == 0).take(q).for_each(|i| in_q[i] = true),
+            1 => (0..n)
+                .filter(|i| i % 2 == 0)
+                .take(q)
+                .for_each(|i| in_q[i] = true),
             _ => (n - q..n).for_each(|i| in_q[i] = true),
         }
         best = best.min(local_search_from(dm, &mut in_q));

@@ -18,9 +18,7 @@ mod mst;
 mod simple;
 mod tsp;
 
-pub use bipartition::{
-    bipartition_exact, bipartition_local_search, BIPARTITION_EXACT_MAX,
-};
+pub use bipartition::{bipartition_exact, bipartition_local_search, BIPARTITION_EXACT_MAX};
 pub use mst::mst_weight;
 pub use simple::{remote_clique, remote_edge, remote_star};
 pub use tsp::{tsp_held_karp, tsp_nn_2opt, TSP_EXACT_MAX};

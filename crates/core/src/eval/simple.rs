@@ -28,7 +28,12 @@ pub fn remote_star(dm: &DistanceMatrix) -> f64 {
         return 0.0;
     }
     (0..n)
-        .map(|c| (0..n).filter(|&q| q != c).map(|q| dm.get(c, q)).sum::<f64>())
+        .map(|c| {
+            (0..n)
+                .filter(|&q| q != c)
+                .map(|q| dm.get(c, q))
+                .sum::<f64>()
+        })
         .fold(f64::INFINITY, f64::min)
 }
 

@@ -30,7 +30,10 @@ pub fn tsp_held_karp(dm: &DistanceMatrix) -> f64 {
     if n == 2 {
         return 2.0 * dm.get(0, 1);
     }
-    assert!(n <= 24, "Held–Karp beyond n=24 is infeasible; use tsp_nn_2opt");
+    assert!(
+        n <= 24,
+        "Held–Karp beyond n=24 is infeasible; use tsp_nn_2opt"
+    );
 
     // dp[mask][j]: cheapest path visiting exactly `mask` (a subset of
     // 1..n, vertex 0 implicit start), ending at j.
@@ -193,7 +196,10 @@ mod tests {
         let exact = tsp_held_karp(&m);
         let heur = tsp_nn_2opt(&m);
         assert!(heur >= exact - 1e-9, "heuristic {heur} below exact {exact}");
-        assert!(heur <= 1.25 * exact, "2-opt unusually bad: {heur} vs {exact}");
+        assert!(
+            heur <= 1.25 * exact,
+            "2-opt unusually bad: {heur} vs {exact}"
+        );
     }
 
     #[test]

@@ -34,8 +34,7 @@ pub fn divk_exact<P, M: Metric<P>>(
     let mut best: Vec<usize> = Vec::new();
     let mut subset: Vec<usize> = (0..k).collect();
     loop {
-        let sub_dm =
-            DistanceMatrix::from_fn(k, |i, j| dm.get(subset[i], subset[j]));
+        let sub_dm = DistanceMatrix::from_fn(k, |i, j| dm.get(subset[i], subset[j]));
         let v = evaluate(problem, &sub_dm);
         if v > best_value {
             best_value = v;

@@ -40,11 +40,13 @@ impl GeneralizedCoreset {
     /// Panics if two pairs share the same point index (the paper
     /// requires first components to be distinct).
     pub fn new(pairs: Vec<GenPair>) -> Self {
-        let mut pairs: Vec<GenPair> =
-            pairs.into_iter().filter(|p| p.multiplicity > 0).collect();
+        let mut pairs: Vec<GenPair> = pairs.into_iter().filter(|p| p.multiplicity > 0).collect();
         pairs.sort_by_key(|p| p.index);
         for w in pairs.windows(2) {
-            assert_ne!(w[0].index, w[1].index, "duplicate point in generalized core-set");
+            assert_ne!(
+                w[0].index, w[1].index,
+                "duplicate point in generalized core-set"
+            );
         }
         Self { pairs }
     }

@@ -137,8 +137,7 @@ mod tests {
         let pts = line(&[0.0, 2.0, 3.0, 7.0, 8.5, 11.0, 20.0, 21.5]);
         let out = gmm(&pts, &Euclidean, 8, 0);
         for j in 2..=out.selected.len() {
-            let prefix: Vec<VecPoint> =
-                out.selected[..j].iter().map(|&i| pts[i].clone()).collect();
+            let prefix: Vec<VecPoint> = out.selected[..j].iter().map(|&i| pts[i].clone()).collect();
             let d_j = out.insertion_dist[j - 1];
             // range of the prefix
             let r = pts
@@ -155,7 +154,10 @@ mod tests {
                 }
             }
             assert!(r <= d_j + 1e-12, "range {r} > d_j {d_j} at prefix {j}");
-            assert!(d_j <= rho + 1e-12, "d_j {d_j} > farness {rho} at prefix {j}");
+            assert!(
+                d_j <= rho + 1e-12,
+                "d_j {d_j} > farness {rho} at prefix {j}"
+            );
         }
     }
 

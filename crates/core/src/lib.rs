@@ -53,6 +53,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod coreset;
+pub mod doubling;
 pub mod eval;
 pub mod exact;
 pub mod generalized;

@@ -100,11 +100,7 @@ pub fn local_search_clique<P, M: Metric<P>>(
             sum_d[i] += metric.distance(&points[i], &points[s]);
         }
     }
-    let mut value: f64 = sol_indices
-        .iter()
-        .map(|&s| sum_d[s])
-        .sum::<f64>()
-        / 2.0;
+    let mut value: f64 = sol_indices.iter().map(|&s| sum_d[s]).sum::<f64>() / 2.0;
 
     let mut swaps = 0usize;
     let mut converged = false;
@@ -183,12 +179,7 @@ mod tests {
     #[test]
     fn escapes_a_bad_initial_solution() {
         let pts = line(&[0.0, 0.1, 0.2, 50.0, 100.0]);
-        let out = local_search_clique(
-            &pts,
-            &Euclidean,
-            &[0, 1],
-            &LocalSearchOptions::default(),
-        );
+        let out = local_search_clique(&pts, &Euclidean, &[0, 1], &LocalSearchOptions::default());
         assert!(out.converged);
         let mut sel = out.solution.indices.clone();
         sel.sort_unstable();
@@ -199,12 +190,7 @@ mod tests {
     #[test]
     fn local_optimum_makes_no_swaps() {
         let pts = line(&[0.0, 5.0, 10.0]);
-        let out = local_search_clique(
-            &pts,
-            &Euclidean,
-            &[0, 2],
-            &LocalSearchOptions::default(),
-        );
+        let out = local_search_clique(&pts, &Euclidean, &[0, 2], &LocalSearchOptions::default());
         assert_eq!(out.swaps, 0);
         assert!(out.converged);
     }
@@ -223,12 +209,7 @@ mod tests {
     #[test]
     fn value_matches_direct_evaluation() {
         let pts = line(&[1.0, 4.0, 6.0, 13.0, 20.0]);
-        let out = local_search_clique(
-            &pts,
-            &Euclidean,
-            &[1, 2, 3],
-            &LocalSearchOptions::default(),
-        );
+        let out = local_search_clique(&pts, &Euclidean, &[1, 2, 3], &LocalSearchOptions::default());
         let direct = crate::eval::evaluate_subset(
             Problem::RemoteClique,
             &pts,
@@ -241,12 +222,7 @@ mod tests {
     #[test]
     fn rescan_and_incremental_agree() {
         let pts = line(&[0.0, 3.0, 7.0, 12.0, 20.0, 33.0, 54.0]);
-        let inc = local_search_clique(
-            &pts,
-            &Euclidean,
-            &[0, 1, 2],
-            &LocalSearchOptions::default(),
-        );
+        let inc = local_search_clique(&pts, &Euclidean, &[0, 1, 2], &LocalSearchOptions::default());
         let res = local_search_clique(
             &pts,
             &Euclidean,
@@ -264,12 +240,7 @@ mod tests {
     fn matches_exact_on_small_instance() {
         // Local search from a GMM start finds the optimum here.
         let pts = line(&[0.0, 1.0, 2.0, 8.0, 9.0, 17.0]);
-        let out = local_search_clique(
-            &pts,
-            &Euclidean,
-            &[0, 1, 2],
-            &LocalSearchOptions::default(),
-        );
+        let out = local_search_clique(&pts, &Euclidean, &[0, 1, 2], &LocalSearchOptions::default());
         let exact = crate::exact::divk_exact(Problem::RemoteClique, &pts, &Euclidean, 3);
         assert!((out.solution.value - exact.value).abs() < 1e-9);
     }

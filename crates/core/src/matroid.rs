@@ -183,13 +183,11 @@ pub fn matroid_clique_local_search<P, M: Metric<P>>(
                 let cat_in = matroid.category_of(inp);
                 // Swap feasibility: removing `out` frees one slot of
                 // cat_out; `inp` needs a slot of cat_in.
-                let feasible = cat_in == cat_out
-                    || used[cat_in] < matroid.capacity[cat_in];
+                let feasible = cat_in == cat_out || used[cat_in] < matroid.capacity[cat_in];
                 if !feasible {
                     continue;
                 }
-                let gain =
-                    (sum_d[inp] - metric.distance(&points[inp], &points[out])) - sum_d[out];
+                let gain = (sum_d[inp] - metric.distance(&points[inp], &points[out])) - sum_d[out];
                 if gain > best_gain {
                     best_gain = gain;
                     best_pair = Some((out, inp));
@@ -256,12 +254,7 @@ mod tests {
         let m = PartitionMatroid::new(category, vec![1, 2], 3);
         let out = matroid_clique_local_search(&pts, &Euclidean, &m, 1000);
         assert!(m.is_feasible(&out.solution.indices));
-        let cat0 = out
-            .solution
-            .indices
-            .iter()
-            .filter(|&&i| i < 4)
-            .count();
+        let cat0 = out.solution.indices.iter().filter(|&&i| i < 4).count();
         assert_eq!(cat0, 1, "capacity of category 0 is 1");
     }
 

@@ -91,12 +91,8 @@ mod tests {
         assert!(sol.indices.iter().all(|&i| i < pts.len()));
         // The solution's value must equal the evaluation of the returned
         // indices in the original point set.
-        let direct = crate::eval::evaluate_subset(
-            Problem::RemoteEdge,
-            &pts,
-            &Euclidean,
-            &sol.indices,
-        );
+        let direct =
+            crate::eval::evaluate_subset(Problem::RemoteEdge, &pts, &Euclidean, &sol.indices);
         assert_eq!(sol.value, direct);
     }
 

@@ -45,14 +45,9 @@ mod tests {
                 })
                 .collect();
             let sel = select(&pts, &Euclidean, 4);
-            let val = crate::eval::evaluate_subset(
-                crate::Problem::RemoteTree,
-                &pts,
-                &Euclidean,
-                &sel,
-            );
-            let exact =
-                crate::exact::divk_exact(crate::Problem::RemoteTree, &pts, &Euclidean, 4);
+            let val =
+                crate::eval::evaluate_subset(crate::Problem::RemoteTree, &pts, &Euclidean, &sel);
+            let exact = crate::exact::divk_exact(crate::Problem::RemoteTree, &pts, &Euclidean, 4);
             assert!(
                 val >= exact.value / 4.0 - 1e-9,
                 "seed {seed}: {val} < {}/4",
@@ -72,14 +67,9 @@ mod tests {
                 })
                 .collect();
             let sel = select(&pts, &Euclidean, 4);
-            let val = crate::eval::evaluate_subset(
-                crate::Problem::RemoteCycle,
-                &pts,
-                &Euclidean,
-                &sel,
-            );
-            let exact =
-                crate::exact::divk_exact(crate::Problem::RemoteCycle, &pts, &Euclidean, 4);
+            let val =
+                crate::eval::evaluate_subset(crate::Problem::RemoteCycle, &pts, &Euclidean, &sel);
+            let exact = crate::exact::divk_exact(crate::Problem::RemoteCycle, &pts, &Euclidean, 4);
             assert!(
                 val >= exact.value / 3.0 - 1e-9,
                 "seed {seed}: {val} < {}/3",

@@ -142,9 +142,7 @@ mod tests {
     fn matrix_and_on_the_fly_paths_agree() {
         let pts = line(&[0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
         let cached = select(&pts, &Euclidean, 4);
-        let direct = select_with(pts.len(), 4, |i, j| {
-            Euclidean.distance(&pts[i], &pts[j])
-        });
+        let direct = select_with(pts.len(), 4, |i, j| Euclidean.distance(&pts[i], &pts[j]));
         assert_eq!(cached, direct);
     }
 }

@@ -20,7 +20,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s < 0` or `s` is not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 0..n {
@@ -45,7 +48,9 @@ impl Zipf {
         let total = *self.cumulative.last().expect("non-empty by construction");
         let u = rng.gen::<f64>() * total;
         // partition_point returns the first index with cumulative > u.
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of `rank`.

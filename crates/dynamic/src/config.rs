@@ -1,0 +1,77 @@
+//! Engine configuration: the ε / dimension knobs that size the kernel
+//! budget, mirroring the paper's `k' = (base/ε)^D·k` (Lemmas 5–6).
+
+use diversity_core::Problem;
+
+/// Tuning parameters for [`crate::DynamicDiversity`].
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicConfig {
+    /// Target coreset accuracy ε: the extracted coreset's covering
+    /// radius is driven below `ε/4 · ρ*_k` once the budget
+    /// `(base/ε)^dim · k` fits a level (Lemma 5's argument).
+    pub epsilon: f64,
+    /// Assumed doubling dimension `D` of the data (the budget exponent).
+    /// 2–3 fits the paper's Euclidean workloads; higher values grow the
+    /// budget sharply.
+    pub dim: u32,
+    /// Maximum hierarchy depth below the root level. Descents stop here,
+    /// so exact duplicates (which no finite separation level can split)
+    /// land in a bottom bucket; at depth 48 the bucket scale is
+    /// `2^-48 ≈ 3.6e-15` of the top scale — far below any ε of
+    /// interest.
+    pub max_depth: u32,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1.0,
+            dim: 2,
+            max_depth: 48,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// The kernel budget `k'` for `problem` at solution size `k`:
+    /// `(base/ε)^D · k`, with `base` the problem's Lemma 5/6 constant,
+    /// never below `k`.
+    pub fn kernel_budget(&self, problem: Problem, k: usize) -> usize {
+        assert!(self.epsilon > 0.0, "epsilon must be positive");
+        let per_center = (problem.kernel_base() / self.epsilon).powi(self.dim as i32);
+        let budget = (per_center * k as f64).ceil();
+        if budget.is_finite() {
+            (budget as usize).max(k)
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_lemma_constants() {
+        let cfg = DynamicConfig {
+            epsilon: 2.0,
+            dim: 2,
+            max_depth: 48,
+        };
+        // remote-edge base 8: (8/2)^2 * k = 16k.
+        assert_eq!(cfg.kernel_budget(Problem::RemoteEdge, 3), 48);
+        // remote-clique base 16: (16/2)^2 * k = 64k.
+        assert_eq!(cfg.kernel_budget(Problem::RemoteClique, 3), 192);
+    }
+
+    #[test]
+    fn budget_never_below_k() {
+        let cfg = DynamicConfig {
+            epsilon: 1e9,
+            dim: 2,
+            max_depth: 48,
+        };
+        assert_eq!(cfg.kernel_budget(Problem::RemoteEdge, 7), 7);
+    }
+}

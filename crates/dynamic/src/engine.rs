@@ -1,0 +1,288 @@
+//! The public engine: `DynamicDiversity<P, M>`.
+
+use crate::config::DynamicConfig;
+use crate::cover::CoverHierarchy;
+use crate::solve::{extract_coreset, solve_on_coreset, CoresetInfo, DynamicSolution};
+use crate::stats::UpdateStats;
+use diversity_core::Problem;
+use metric::Metric;
+
+/// Stable handle of an inserted point. Ids are unique over the lifetime
+/// of an engine (never reused after deletion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub(crate) u64);
+
+impl std::fmt::Display for PointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A fully dynamic diversity-maximization engine: maintains an
+/// ε-coreset for all six [`Problem`]s under arbitrary interleavings of
+/// [`insert`](Self::insert) and [`delete`](Self::delete), answering
+/// [`solve`](Self::solve) from the maintained structure without
+/// touching the full dataset.
+pub struct DynamicDiversity<P, M> {
+    cover: CoverHierarchy<P>,
+    metric: M,
+    config: DynamicConfig,
+    stats: UpdateStats,
+    next_id: u64,
+}
+
+impl<P: Clone, M: Metric<P>> DynamicDiversity<P, M> {
+    /// Creates an engine with the default configuration.
+    pub fn new(metric: M) -> Self {
+        Self::with_config(metric, DynamicConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(metric: M, config: DynamicConfig) -> Self {
+        Self {
+            cover: CoverHierarchy::new(config.max_depth),
+            metric,
+            config,
+            stats: UpdateStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of alive points.
+    pub fn len(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// `true` when no points are alive.
+    pub fn is_empty(&self) -> bool {
+        self.cover.is_empty()
+    }
+
+    /// Whether `id` is alive.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.cover.contains(id.0)
+    }
+
+    /// The point behind an alive id.
+    pub fn point(&self, id: PointId) -> Option<&P> {
+        self.cover.point(id.0)
+    }
+
+    /// Snapshot of all alive `(id, point)` pairs (arbitrary order).
+    pub fn alive(&self) -> Vec<(PointId, P)> {
+        self.cover
+            .iter()
+            .map(|(id, p)| (PointId(id), p.clone()))
+            .collect()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Cumulative update-work counters.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Resets the work counters (e.g. between bench phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = UpdateStats::default();
+    }
+
+    /// Inserts a point, returning its handle. Cost is bounded by the
+    /// cover structure (`O(c^O(1) · depth)` distance evaluations), not
+    /// by the number of alive points.
+    pub fn insert(&mut self, point: P) -> PointId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cover.insert(id, point, &self.metric, &mut self.stats);
+        PointId(id)
+    }
+
+    /// Deletes an alive point; orphaned structure is repaired locally.
+    /// Returns `false` when the id was already gone.
+    pub fn delete(&mut self, id: PointId) -> bool {
+        self.cover.delete(id.0, &self.metric, &mut self.stats)
+    }
+
+    /// Extracts the current coreset for `problem` using the
+    /// configuration-derived kernel budget and runs the sequential
+    /// `α`-approximation on it.
+    ///
+    /// # Panics
+    /// Panics if the engine is empty or `k == 0`.
+    pub fn solve(&self, problem: Problem, k: usize) -> DynamicSolution {
+        self.solve_with_budget(problem, k, self.config.kernel_budget(problem, k))
+    }
+
+    /// [`solve`](Self::solve) with an explicit kernel budget `k'`
+    /// (mirroring `pipeline::coreset_then_solve`'s `k_prime`).
+    ///
+    /// # Panics
+    /// Panics if the engine is empty, `k == 0`, or `budget < k`.
+    pub fn solve_with_budget(&self, problem: Problem, k: usize, budget: usize) -> DynamicSolution {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            budget >= k,
+            "budget must be at least k (budget={budget}, k={k})"
+        );
+        assert!(!self.is_empty(), "cannot solve on an empty engine");
+        let (ids, info) = extract_coreset(&self.cover, problem, k, budget);
+        solve_on_coreset(&self.cover, &self.metric, problem, k, &ids, info)
+    }
+
+    /// The coreset ids (and provenance) a solve would run on — exposed
+    /// for tests and diagnostics.
+    pub fn coreset(
+        &self,
+        problem: Problem,
+        k: usize,
+        budget: usize,
+    ) -> (Vec<PointId>, CoresetInfo) {
+        assert!(k > 0, "k must be positive");
+        assert!(budget >= k, "budget must be at least k");
+        let (ids, info) = extract_coreset(&self.cover, problem, k, budget);
+        (ids.into_iter().map(PointId).collect(), info)
+    }
+
+    /// Exhaustively validates the cover invariants (`O(n²)`; test
+    /// support).
+    pub fn validate(&self) {
+        self.cover.validate(&self.metric);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversity_core::Problem;
+    use metric::{Euclidean, VecPoint};
+
+    fn grid(n: usize) -> Vec<VecPoint> {
+        (0..n)
+            .map(|i| VecPoint::from([(i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0]))
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_solve_all_problems() {
+        let mut e = DynamicDiversity::new(Euclidean);
+        for p in grid(60) {
+            e.insert(p);
+        }
+        e.validate();
+        for problem in Problem::ALL {
+            let sol = e.solve_with_budget(problem, 4, 24);
+            assert_eq!(sol.ids.len(), 4, "{problem}");
+            assert!(sol.value.is_finite() && sol.value > 0.0, "{problem}");
+            for id in &sol.ids {
+                assert!(e.contains(*id), "{problem}: stale id in solution");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_repairs_structure() {
+        let mut e = DynamicDiversity::new(Euclidean);
+        let ids: Vec<PointId> = grid(80).into_iter().map(|p| e.insert(p)).collect();
+        // Delete every other point, validating as we go.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(e.delete(*id));
+            }
+        }
+        e.validate();
+        assert_eq!(e.len(), 40);
+        let sol = e.solve_with_budget(Problem::RemoteEdge, 3, 16);
+        assert_eq!(sol.ids.len(), 3);
+        // Deleted ids are really gone.
+        assert!(!e.delete(ids[0]));
+        assert!(!e.contains(ids[0]));
+    }
+
+    #[test]
+    fn delete_down_to_empty_and_reuse() {
+        let mut e = DynamicDiversity::new(Euclidean);
+        let ids: Vec<PointId> = grid(25).into_iter().map(|p| e.insert(p)).collect();
+        for id in ids {
+            assert!(e.delete(id));
+            if !e.is_empty() {
+                e.validate();
+            }
+        }
+        assert!(e.is_empty());
+        // The engine is reusable after emptying.
+        e.insert(VecPoint::from([1.0, 1.0]));
+        e.insert(VecPoint::from([5.0, 5.0]));
+        let sol = e.solve_with_budget(Problem::RemoteEdge, 2, 4);
+        assert_eq!(sol.ids.len(), 2);
+        assert!((sol.value - 32.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_bucket_without_hanging() {
+        let mut e = DynamicDiversity::new(Euclidean);
+        for _ in 0..50 {
+            e.insert(VecPoint::from([1.0, 2.0]));
+        }
+        for i in 0..10 {
+            e.insert(VecPoint::from([i as f64 * 10.0, 0.0]));
+        }
+        assert_eq!(e.len(), 60);
+        let sol = e.solve_with_budget(Problem::RemoteEdge, 3, 12);
+        assert_eq!(sol.ids.len(), 3);
+        assert!(sol.value > 0.0);
+    }
+
+    #[test]
+    fn update_cost_is_structure_bounded() {
+        // Cost per update must not grow with n: compare mean distance
+        // evaluations per insert between a small and a large prefix.
+        let mut e = DynamicDiversity::new(Euclidean);
+        let points: Vec<VecPoint> = (0..4000)
+            .map(|i| {
+                let x = ((i * 73) % 997) as f64;
+                let y = ((i * 131) % 983) as f64;
+                VecPoint::from([x, y])
+            })
+            .collect();
+        for p in &points[..500] {
+            e.insert(p.clone());
+        }
+        let early = e.stats().distance_evals as f64 / 500.0;
+        e.reset_stats();
+        for p in &points[500..4000] {
+            e.insert(p.clone());
+        }
+        let late = e.stats().distance_evals as f64 / 3500.0;
+        // 8x headroom: the bound is O(c^O(1) · depth); with n growing
+        // 8x, per-op cost should stay flat, not scale with n.
+        assert!(
+            late <= early * 8.0 + 50.0,
+            "per-insert cost grew with n: early {early:.1}, late {late:.1}"
+        );
+    }
+
+    #[test]
+    fn solve_matches_pipeline_when_budget_covers_everything() {
+        let pts = grid(40);
+        let mut e = DynamicDiversity::new(Euclidean);
+        for p in &pts {
+            e.insert(p.clone());
+        }
+        let sol = e.solve_with_budget(Problem::RemoteEdge, 4, 1000);
+        assert_eq!(sol.coreset.size, 40, "budget > n keeps every point");
+        assert_eq!(sol.coreset.radius, 0.0);
+        let direct = diversity_core::seq::solve(Problem::RemoteEdge, &pts, &Euclidean, 4);
+        assert!((sol.value - direct.value).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn solve_on_empty_panics() {
+        let e: DynamicDiversity<VecPoint, _> = DynamicDiversity::new(Euclidean);
+        let _ = e.solve(Problem::RemoteEdge, 2);
+    }
+}

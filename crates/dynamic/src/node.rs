@@ -1,0 +1,36 @@
+//! The per-point bookkeeping of the cover hierarchy.
+
+/// One alive point in the hierarchy.
+///
+/// A node *resides* at `level` — the highest cover level at which it is
+/// a center. By the nesting invariant it is implicitly a center at
+/// every level below its residence, so the set of centers at level `i`
+/// is `C_i = { p : level(p) >= i }`.
+#[derive(Clone, Debug)]
+pub struct Node<P> {
+    pub point: P,
+    /// Residence level: this node is a center of `C_i` for all
+    /// `i <= level`.
+    pub level: i32,
+    /// The covering parent: a node with strictly higher residence at
+    /// distance `<= 2^(level+1)`. `None` exactly for the root.
+    pub parent: Option<u64>,
+    /// Nodes whose `parent` is this node (any residence level below
+    /// ours).
+    pub children: Vec<u64>,
+    /// Placed at the duplicate-bucket floor: separation (and the exact
+    /// covering constant) were waived for this node. Sticky.
+    pub bucketed: bool,
+}
+
+impl<P> Node<P> {
+    pub fn new(point: P, level: i32, parent: Option<u64>) -> Self {
+        Self {
+            point,
+            level,
+            parent,
+            children: Vec::new(),
+            bucketed: false,
+        }
+    }
+}

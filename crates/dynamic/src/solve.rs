@@ -1,0 +1,99 @@
+//! Coreset extraction from the cover hierarchy and the final
+//! sequential solve — the dynamic counterpart of
+//! `diversity_core::pipeline::coreset_then_solve`.
+
+use crate::cover::CoverHierarchy;
+use crate::engine::PointId;
+use diversity_core::{seq, Problem};
+use metric::Metric;
+
+/// Provenance of an extracted coreset.
+#[derive(Clone, Copy, Debug)]
+pub struct CoresetInfo {
+    /// Number of kernel centers (the packing level's size).
+    pub kernel_size: usize,
+    /// Total coreset points (kernel plus delegates).
+    pub size: usize,
+    /// The cover level the kernel was read from (`i32::MIN` when the
+    /// kernel is the entire alive set).
+    pub level: i32,
+    /// Covering radius: every alive point is within this distance of
+    /// some kernel center (0 when the kernel is everything). This is
+    /// the `δ` of the paper's proxy-function lemmas, so it bounds the
+    /// coreset's value loss: e.g. remote-edge loses at most `2·radius`.
+    pub radius: f64,
+}
+
+/// A solution over the engine's id space.
+#[derive(Clone, Debug)]
+pub struct DynamicSolution {
+    /// Ids of the selected (alive) points.
+    pub ids: Vec<PointId>,
+    /// Objective value of the selected subset.
+    pub value: f64,
+    /// How the coreset backing this solve was extracted.
+    pub coreset: CoresetInfo,
+}
+
+/// Extracts the problem-appropriate coreset: the finest level fitting
+/// `budget`, augmented per center with up to `k` subtree delegates when
+/// the problem needs an injective proxy (Lemma 2). Returns ids plus
+/// provenance.
+pub fn extract_coreset<P: Clone>(
+    cover: &CoverHierarchy<P>,
+    problem: Problem,
+    k: usize,
+    budget: usize,
+) -> (Vec<u64>, CoresetInfo) {
+    let (level, radius, kernel_size) = cover.kernel_level(budget);
+    let kernel = cover.centers_at(level);
+    debug_assert_eq!(kernel.len(), kernel_size);
+
+    let ids: Vec<u64> = if problem.needs_injective_proxy() {
+        // Harvest up to k subtree delegates per center (center first) —
+        // the same cap-at-k bookkeeping as SMM-EXT's
+        // `core::doubling::DelegateSet`, applied to the cover subtrees.
+        let mut out = Vec::with_capacity(kernel.len() * k);
+        for &c in &kernel {
+            out.extend(cover.subtree_delegates(c, level, k));
+        }
+        out
+    } else {
+        kernel.clone()
+    };
+
+    let info = CoresetInfo {
+        kernel_size: kernel.len(),
+        size: ids.len(),
+        level,
+        radius,
+    };
+    (ids, info)
+}
+
+/// Runs the sequential `α`-approximation on an extracted coreset,
+/// translating indices back to engine ids.
+pub fn solve_on_coreset<P: Clone, M: Metric<P>>(
+    cover: &CoverHierarchy<P>,
+    metric: &M,
+    problem: Problem,
+    k: usize,
+    coreset_ids: &[u64],
+    info: CoresetInfo,
+) -> DynamicSolution {
+    assert!(!coreset_ids.is_empty(), "cannot solve on an empty engine");
+    let points: Vec<P> = coreset_ids
+        .iter()
+        .map(|&id| cover.point(id).expect("coreset ids are alive").clone())
+        .collect();
+    let local = seq::solve(problem, &points, metric, k);
+    DynamicSolution {
+        ids: local
+            .indices
+            .iter()
+            .map(|&i| PointId(coreset_ids[i]))
+            .collect(),
+        value: local.value,
+        coreset: info,
+    }
+}

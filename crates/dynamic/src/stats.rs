@@ -1,0 +1,38 @@
+//! Update-cost accounting.
+//!
+//! The engine's claim is that updates touch the *cover structure*, not
+//! the dataset; these counters make that measurable (and are what the
+//! `ablation_dynamic` bench reports alongside wall-clock).
+
+/// Cumulative work counters for one engine instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateStats {
+    /// Total metric evaluations performed by updates and solves.
+    pub distance_evals: u64,
+    /// Points inserted.
+    pub inserts: u64,
+    /// Points deleted.
+    pub deletes: u64,
+    /// Orphaned children re-homed by deletions.
+    pub orphans_rehomed: u64,
+    /// Level promotions performed while re-homing orphans.
+    pub promotions: u64,
+    /// Largest candidate set seen during any descent (the quantity the
+    /// doubling dimension bounds).
+    pub max_candidates: usize,
+    /// Times the root level was raised to cover a far point.
+    pub root_raises: u64,
+}
+
+impl UpdateStats {
+    /// Distance evaluations per update (insert or delete), the
+    /// structure-boundedness headline number.
+    pub fn distance_evals_per_update(&self) -> f64 {
+        let updates = self.inserts + self.deletes;
+        if updates == 0 {
+            0.0
+        } else {
+            self.distance_evals as f64 / updates as f64
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the fully dynamic engine: after *any* random
+//! interleaving of inserts and deletes, the maintained structure is a
+//! valid cover hierarchy and its extracted coreset is as good — up to
+//! the structure's own reported `(1+ε)` — as a fresh GMM coreset built
+//! from scratch on the surviving points.
+
+use diversity_core::{exact, pipeline, Problem};
+use diversity_dynamic::{DynamicDiversity, PointId};
+use metric::{Euclidean, Metric, VecPoint};
+use proptest::prelude::*;
+
+/// A random op script: each entry is a point plus an op selector. The
+/// selector deletes a pseudo-random alive point (once enough points
+/// exist) or inserts the new one.
+fn ops_strategy() -> impl Strategy<Value = Vec<(f64, f64, u32)>> {
+    prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64, 0u32..1000), 20..90)
+}
+
+/// Replays an op script, returning the engine and the mirror of alive
+/// points kept by a trusted reference implementation.
+fn replay(
+    script: &[(f64, f64, u32)],
+    min_keep: usize,
+) -> (
+    DynamicDiversity<VecPoint, Euclidean>,
+    Vec<(PointId, VecPoint)>,
+) {
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let mut alive: Vec<(PointId, VecPoint)> = Vec::new();
+    for &(x, y, sel) in script {
+        let delete = sel % 3 == 0 && alive.len() > min_keep;
+        if delete {
+            let victim = alive.remove(sel as usize % alive.len());
+            assert!(engine.delete(victim.0), "alive id must delete");
+        } else {
+            let p = VecPoint::from([x, y]);
+            let id = engine.insert(p.clone());
+            alive.push((id, p));
+        }
+    }
+    (engine, alive)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline guarantee: the dynamically maintained coreset loses
+    /// at most `2·radius` of remote-edge diversity versus the surviving
+    /// points — so its exact optimum is within the structure-reported
+    /// `(1+ε)` of the optimum on a *fresh* GMM coreset of the same
+    /// budget (which can never exceed the optimum on the survivors).
+    #[test]
+    fn dynamic_coreset_within_eps_of_fresh_gmm(script in ops_strategy()) {
+        let k = 3;
+        let budget = 16;
+        let (engine, alive) = replay(&script, 6);
+        prop_assert!(engine.len() >= 6);
+
+        let survivors: Vec<VecPoint> = alive.iter().map(|(_, p)| p.clone()).collect();
+
+        // Dynamic coreset and its exact remote-edge optimum.
+        let (ids, info) = engine.coreset(Problem::RemoteEdge, k, budget);
+        let dyn_points: Vec<VecPoint> = ids
+            .iter()
+            .map(|&id| engine.point(id).expect("coreset ids alive").clone())
+            .collect();
+        let dyn_opt = exact::divk_exact(Problem::RemoteEdge, &dyn_points, &Euclidean, k);
+
+        // Fresh GMM coreset on the survivors, same budget.
+        let fresh_idx =
+            pipeline::extract_coreset(Problem::RemoteEdge, &survivors, &Euclidean, k, budget);
+        let fresh_points: Vec<VecPoint> =
+            fresh_idx.iter().map(|&i| survivors[i].clone()).collect();
+        let fresh_opt = exact::divk_exact(Problem::RemoteEdge, &fresh_points, &Euclidean, k);
+
+        // Soundness: a coreset is a subset, it cannot gain diversity.
+        let full_opt = exact::divk_exact(Problem::RemoteEdge, &survivors, &Euclidean, k);
+        prop_assert!(dyn_opt.value <= full_opt.value + 1e-9);
+
+        // (1+ε) with the structure's own ε = 2·radius / value: each
+        // optimal point has a coreset proxy within `radius`, so
+        // opt(dynamic coreset) >= opt(survivors) − 2·radius
+        //                      >= opt(fresh coreset) − 2·radius.
+        prop_assert!(
+            dyn_opt.value >= fresh_opt.value - 2.0 * info.radius - 1e-9,
+            "dynamic {} < fresh {} − 2·radius {}",
+            dyn_opt.value,
+            fresh_opt.value,
+            info.radius
+        );
+    }
+
+    /// Structure invariants after arbitrary interleavings: the cover
+    /// hierarchy validates, the engine agrees with a trusted mirror on
+    /// the alive set, and solves return alive, distinct ids.
+    #[test]
+    fn interleavings_preserve_invariants(script in ops_strategy()) {
+        let k = 3;
+        let (engine, alive) = replay(&script, 6);
+        engine.validate();
+        prop_assert_eq!(engine.len(), alive.len());
+        for (id, p) in &alive {
+            prop_assert!(engine.contains(*id));
+            prop_assert_eq!(engine.point(*id).expect("alive"), p);
+        }
+        let sol = engine.solve_with_budget(Problem::RemoteEdge, k, 16);
+        prop_assert_eq!(sol.ids.len(), k.min(alive.len()));
+        let mut seen = sol.ids.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), sol.ids.len(), "duplicate ids in solution");
+        for id in &sol.ids {
+            prop_assert!(engine.contains(*id), "solution id not alive");
+        }
+    }
+
+    /// The coverage claim behind the ε: every survivor is within the
+    /// reported radius of some coreset point, for a plain kernel and
+    /// for a delegate-augmented one.
+    #[test]
+    fn coreset_covers_survivors(script in ops_strategy()) {
+        let k = 3;
+        let (engine, alive) = replay(&script, 6);
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique] {
+            let (ids, info) = engine.coreset(problem, k, 16);
+            prop_assert!(!ids.is_empty());
+            let coreset: Vec<VecPoint> = ids
+                .iter()
+                .map(|&id| engine.point(id).expect("alive").clone())
+                .collect();
+            for (_, p) in &alive {
+                let d = Euclidean.distance_to_set(p, &coreset);
+                prop_assert!(
+                    d <= info.radius + 1e-9,
+                    "{problem}: survivor at {d} > radius {}",
+                    info.radius
+                );
+            }
+        }
+    }
+
+    /// Delegate budget: an injective-proxy coreset holds at most `k`
+    /// points per kernel center and the kernel respects the budget.
+    #[test]
+    fn delegate_and_kernel_budgets(script in ops_strategy(), k in 2usize..5) {
+        let budget = 12;
+        let (engine, _alive) = replay(&script, 6);
+        let (ids, info) = engine.coreset(Problem::RemoteTree, k, budget);
+        prop_assert!(info.kernel_size <= budget);
+        prop_assert!(info.size <= info.kernel_size * k);
+        prop_assert_eq!(ids.len(), info.size);
+    }
+}
+
+/// Deterministic end-to-end check on planted structure: k tight, far
+/// clusters; whatever interleaving of expirations happens, as long as
+/// one point per cluster survives, the dynamic solve recovers the
+/// planted separation within 10%.
+#[test]
+fn planted_clusters_recovered_after_churn() {
+    let k = 4;
+    let centers = [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)];
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let mut per_cluster: Vec<Vec<PointId>> = vec![Vec::new(); k];
+    for round in 0..25 {
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            let jitter = (round as f64) * 0.7;
+            let id = engine.insert(VecPoint::from([cx + jitter, cy - jitter]));
+            per_cluster[c].push(id);
+        }
+    }
+    // Expire most of each cluster (all but the last two inserts).
+    for cluster in &per_cluster {
+        for id in &cluster[..cluster.len() - 2] {
+            assert!(engine.delete(*id));
+        }
+    }
+    engine.validate();
+    assert_eq!(engine.len(), 2 * k);
+
+    let sol = engine.solve_with_budget(Problem::RemoteEdge, k, 32);
+    // Planted optimum: one point per cluster, min pairwise ≈ 1000.
+    assert!(
+        sol.value >= 1000.0 * 0.9,
+        "dynamic solve lost the planted clusters: {}",
+        sol.value
+    );
+}

@@ -82,11 +82,7 @@ pub fn split_random<P>(points: Vec<P>, ell: usize, seed: u64) -> Partitions<P> {
 ///
 /// # Panics
 /// Panics if `ell == 0`.
-pub fn split_sorted_by<P>(
-    points: Vec<P>,
-    ell: usize,
-    key: impl Fn(&P) -> f64,
-) -> Partitions<P> {
+pub fn split_sorted_by<P>(points: Vec<P>, ell: usize, key: impl Fn(&P) -> f64) -> Partitions<P> {
     assert!(ell > 0, "need at least one part");
     let n = points.len();
     let mut order: Vec<usize> = (0..n).collect();

@@ -121,7 +121,7 @@ mod tests {
     fn delegate_cap_shapes() {
         // log-dominated regime
         assert!(delegate_cap(1_000_000, 4, 64) >= 27); // 2 ln 1e6 ≈ 27.6
-        // share-dominated regime
+                                                       // share-dominated regime
         assert_eq!(delegate_cap(10, 100, 2), 50);
         // never zero
         assert!(delegate_cap(1, 1, 1) >= 1);
@@ -152,8 +152,14 @@ mod tests {
         let parts = split_random(points.clone(), 4, 3);
         let k = 64;
         let k_prime = 64;
-        let det =
-            crate::two_round::two_round(Problem::RemoteClique, &parts, &Euclidean, k, k_prime, &rt());
+        let det = crate::two_round::two_round(
+            Problem::RemoteClique,
+            &parts,
+            &Euclidean,
+            k,
+            k_prime,
+            &rt(),
+        );
         let rand =
             randomized_two_round(Problem::RemoteClique, &parts, &Euclidean, k, k_prime, &rt());
         assert!(

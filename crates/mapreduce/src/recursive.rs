@@ -65,7 +65,9 @@ where
                 }
                 let pts: Vec<P> = part.iter().map(|(p, _)| p.clone()).collect();
                 let cs = pipeline::extract_coreset(problem, &pts, metric, k, k_prime);
-                cs.iter().map(|&i| part[i].clone()).collect::<Vec<(P, usize)>>()
+                cs.iter()
+                    .map(|&i| part[i].clone())
+                    .collect::<Vec<(P, usize)>>()
             },
             Vec::len,
             Vec::len,

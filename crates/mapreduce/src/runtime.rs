@@ -43,7 +43,11 @@ impl MrStats {
 
     /// The job's `M_L`: the worst per-reducer residency over all rounds.
     pub fn max_local_points(&self) -> usize {
-        self.rounds.iter().map(|r| r.max_local_points).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_local_points)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total wall-clock time across rounds.
@@ -107,8 +111,7 @@ impl MapReduceRuntime {
     {
         let n = inputs.len();
         let start = Instant::now();
-        let results: Mutex<Vec<Option<(R, Duration)>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<(R, Duration)>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n.max(1));
 

@@ -125,7 +125,11 @@ where
     stats.rounds.push(round3_stats);
 
     let indices: Vec<usize> = round3_out.into_iter().flatten().collect();
-    debug_assert_eq!(indices.len(), k, "instantiation must produce exactly k points");
+    debug_assert_eq!(
+        indices.len(),
+        k,
+        "instantiation must produce exactly k points"
+    );
 
     // Final evaluation against the original input. The partition's
     // parts are clones of the original points, so evaluating through
@@ -204,14 +208,8 @@ mod tests {
         let k = 16;
         let k_prime = 20;
         let gen = three_round(Problem::RemoteTree, &parts, &Euclidean, k, k_prime, &rt());
-        let det = crate::two_round::two_round(
-            Problem::RemoteTree,
-            &parts,
-            &Euclidean,
-            k,
-            k_prime,
-            &rt(),
-        );
+        let det =
+            crate::two_round::two_round(Problem::RemoteTree, &parts, &Euclidean, k, k_prime, &rt());
         // Round-1 emission: GEN ships at most (k'+... ) pairs per part;
         // EXT ships up to k·k' points per part.
         assert!(
@@ -227,10 +225,13 @@ mod tests {
         let xs: Vec<f64> = (0..500).map(|i| ((i * 97) % 353) as f64).collect();
         let points = line(&xs);
         let parts = split_round_robin(points, 5);
-        for problem in [Problem::RemoteClique, Problem::RemoteStar, Problem::RemoteTree] {
+        for problem in [
+            Problem::RemoteClique,
+            Problem::RemoteStar,
+            Problem::RemoteTree,
+        ] {
             let three = three_round(problem, &parts, &Euclidean, 5, 10, &rt());
-            let two =
-                crate::two_round::two_round(problem, &parts, &Euclidean, 5, 10, &rt());
+            let two = crate::two_round::two_round(problem, &parts, &Euclidean, 5, 10, &rt());
             assert!(
                 three.solution.value >= 0.5 * two.solution.value,
                 "{problem}: 3-round {} vs 2-round {}",

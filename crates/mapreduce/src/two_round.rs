@@ -134,8 +134,7 @@ mod tests {
         let points = line(&xs);
         let parts = split_round_robin(points.clone(), 1);
         let mr = two_round(Problem::RemoteEdge, &parts, &Euclidean, 5, 10, &rt());
-        let direct =
-            pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, 5, 10);
+        let direct = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, 5, 10);
         assert_eq!(mr.solution.value, direct.value);
     }
 

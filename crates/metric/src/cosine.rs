@@ -74,10 +74,7 @@ mod tests {
             &SparseVector::new(vec![(0, 1.0), (1, 2.0)]),
             &SparseVector::new(vec![(0, 2.0), (1, 1.0)]),
         );
-        let dd = CosineDistance.distance(
-            &VecPoint::from([1.0, 2.0]),
-            &VecPoint::from([2.0, 1.0]),
-        );
+        let dd = CosineDistance.distance(&VecPoint::from([1.0, 2.0]), &VecPoint::from([2.0, 1.0]));
         assert!((ds - dd).abs() < 1e-12);
     }
 

@@ -92,12 +92,7 @@ pub fn estimate_doubling_dimension<P, M: Metric<P>>(
 /// centered at members of `ball`; returns the number of balls used.
 /// Uses farthest-first center selection, which both terminates in cover
 /// size ≤ the 2-approximation of the optimal cover and is deterministic.
-fn greedy_cover_size<P, M: Metric<P>>(
-    points: &[P],
-    metric: &M,
-    ball: &[usize],
-    r: f64,
-) -> usize {
+fn greedy_cover_size<P, M: Metric<P>>(points: &[P], metric: &M, ball: &[usize], r: f64) -> usize {
     let mut dist_to_centers = vec![f64::INFINITY; ball.len()];
     let mut covers = 0usize;
     loop {
@@ -156,11 +151,7 @@ mod tests {
         let est = estimate_doubling_dimension(&line(200), &Euclidean, 6, 7);
         // The real line has doubling dimension 1; greedy covering with
         // data centers can cost roughly one extra doubling.
-        assert!(
-            est.dimension <= 3.0,
-            "line estimated at {}",
-            est.dimension
-        );
+        assert!(est.dimension <= 3.0, "line estimated at {}", est.dimension);
         assert!(est.dimension >= 1.0);
     }
 

@@ -36,7 +36,10 @@ mod tests {
 
     #[test]
     fn byte_hamming() {
-        assert_eq!(Hamming.distance(b"karolin".as_slice(), b"kathrin".as_slice()), 3.0);
+        assert_eq!(
+            Hamming.distance(b"karolin".as_slice(), b"kathrin".as_slice()),
+            3.0
+        );
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl SparseVector {
     /// Approximate number of bytes this vector occupies (for memory
     /// accounting).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.entries.len() * std::mem::size_of::<(u32, f64)>()
+        std::mem::size_of::<Self>() + self.entries.len() * std::mem::size_of::<(u32, f64)>()
     }
 }
 

@@ -5,8 +5,8 @@
 //! the contract the rest of the workspace relies on.
 
 use metric::{
-    BitSetPoint, Chebyshev, CosineDistance, Discrete, Euclidean, Hamming, Jaccard, Levenshtein,
-    Lp, Manhattan, Metric, SparseVector, VecPoint,
+    BitSetPoint, Chebyshev, CosineDistance, Discrete, Euclidean, Hamming, Jaccard, Levenshtein, Lp,
+    Manhattan, Metric, SparseVector, VecPoint,
 };
 use proptest::prelude::*;
 
@@ -24,8 +24,7 @@ fn sparse_vector() -> impl Strategy<Value = SparseVector> {
 }
 
 fn bitset() -> impl Strategy<Value = BitSetPoint> {
-    prop::collection::vec(0usize..96, 0..20)
-        .prop_map(|els| BitSetPoint::from_elements(96, &els))
+    prop::collection::vec(0usize..96, 0..20).prop_map(|els| BitSetPoint::from_elements(96, &els))
 }
 
 /// Checks the three metric axioms on a triple, with a small tolerance for
@@ -40,7 +39,10 @@ fn check_axioms<P, M: Metric<P>>(m: &M, a: &P, b: &P, c: &P) {
     assert!(dab >= 0.0, "non-negativity violated: {dab}");
     assert!(dab.is_finite(), "distance must be finite: {dab}");
     assert!(daa.abs() <= EPS, "d(a,a) = {daa} != 0");
-    assert!((dab - dba).abs() <= EPS, "symmetry violated: {dab} vs {dba}");
+    assert!(
+        (dab - dba).abs() <= EPS,
+        "symmetry violated: {dab} vs {dba}"
+    );
     assert!(
         dac <= dab + dbc + EPS,
         "triangle inequality violated: d(a,c)={dac} > d(a,b)+d(b,c)={}",

@@ -45,11 +45,7 @@ pub fn solve_on<P: Clone, M: Metric<P>>(
     coreset: Vec<P>,
 ) -> StreamSolution<P> {
     let sol = seq::solve(problem, &coreset, metric, k);
-    let points = sol
-        .indices
-        .iter()
-        .map(|&i| coreset[i].clone())
-        .collect();
+    let points = sol.indices.iter().map(|&i| coreset[i].clone()).collect();
     StreamSolution {
         points,
         value: sol.value,
@@ -87,10 +83,7 @@ mod tests {
         // guarantee (≥ 500) is what the theorem promises, and at least
         // one planted extreme must be selected.
         assert!(sol.value >= 500.0, "value {} below α-guarantee", sol.value);
-        assert!(sol
-            .points
-            .iter()
-            .any(|p| p.coords()[0].abs() == 500.0));
+        assert!(sol.points.iter().any(|p| p.coords()[0].abs() == 500.0));
     }
 
     #[test]
@@ -101,8 +94,16 @@ mod tests {
         xs.insert(777, 500.0);
         xs.insert(1234, -500.0);
         let res = crate::Smm::run(Euclidean, 2, 8, stream(&xs));
-        let max = res.coreset.iter().map(|p| p.coords()[0]).fold(f64::NEG_INFINITY, f64::max);
-        let min = res.coreset.iter().map(|p| p.coords()[0]).fold(f64::INFINITY, f64::min);
+        let max = res
+            .coreset
+            .iter()
+            .map(|p| p.coords()[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = res
+            .coreset
+            .iter()
+            .map(|p| p.coords()[0])
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(max, 500.0);
         assert_eq!(min, -500.0);
     }

@@ -65,7 +65,11 @@ impl<P: Clone, M: Metric<P>> Smm<P, M> {
     /// Resumes from a checkpointed state.
     pub fn resume(metric: M, state: DoublingCore<P, ()>) -> Self {
         let k = state.k();
-        Self { core: state, metric, k }
+        Self {
+            core: state,
+            metric,
+            k,
+        }
     }
 
     /// Ends the stream and extracts the core-set.
@@ -92,7 +96,12 @@ impl<P: Clone, M: Metric<P>> Smm<P, M> {
     }
 
     /// Convenience: run over an iterator and finish.
-    pub fn run(metric: M, k: usize, k_prime: usize, stream: impl IntoIterator<Item = P>) -> SmmResult<P> {
+    pub fn run(
+        metric: M,
+        k: usize,
+        k_prime: usize,
+        stream: impl IntoIterator<Item = P>,
+    ) -> SmmResult<P> {
         let mut smm = Self::new(metric, k, k_prime);
         for p in stream {
             smm.push(p);
@@ -113,7 +122,9 @@ mod tests {
     #[test]
     fn output_at_least_k_points() {
         // A long clustered stream that forces many merges.
-        let xs: Vec<f64> = (0..400).map(|i| (i % 4) as f64 * 1000.0 + (i as f64) * 0.001).collect();
+        let xs: Vec<f64> = (0..400)
+            .map(|i| (i % 4) as f64 * 1000.0 + (i as f64) * 0.001)
+            .collect();
         let res = Smm::run(Euclidean, 8, 12, stream(&xs));
         assert!(
             res.coreset.len() >= 8,

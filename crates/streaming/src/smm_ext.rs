@@ -1,47 +1,11 @@
 //! SMM-EXT: streaming core-set with delegates (Section 4, Theorem 2).
 
-use crate::doubling::{DoublingCore, Payload};
+use crate::doubling::DoublingCore;
 use metric::Metric;
-use serde::{Deserialize, Serialize};
 
-/// Delegate set `E_t` of a center: up to `k` points including the
-/// center itself.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct DelegateSet<P> {
-    delegates: Vec<P>,
-}
-
-impl<P: Clone> Payload<P> for DelegateSet<P> {
-    fn new_center(point: &P) -> Self {
-        Self {
-            delegates: vec![point.clone()],
-        }
-    }
-
-    /// Merge-step inheritance. The paper's text says the surviving set
-    /// inherits "max{|E_t1|, k − |E_t2|}" points — read as `min` (one
-    /// cannot inherit more points than `E_t1` holds nor beyond the cap
-    /// `k`); the surrounding proofs (Lemma 4) only need that full sets
-    /// stay full and mass is preserved up to the cap.
-    fn absorb(&mut self, other: Self, k: usize) {
-        let room = k.saturating_sub(self.delegates.len());
-        self.delegates
-            .extend(other.delegates.into_iter().take(room));
-    }
-
-    fn offer(&mut self, point: &P, k: usize) -> bool {
-        if self.delegates.len() < k {
-            self.delegates.push(point.clone());
-            true
-        } else {
-            false
-        }
-    }
-
-    fn mass(&self) -> usize {
-        self.delegates.len()
-    }
-}
+// The delegate-set payload is shared with the dynamic engine and lives
+// in `diversity_core::doubling`; re-exported here for compatibility.
+pub use crate::doubling::DelegateSet;
 
 /// One-pass core-set construction for remote-clique, remote-star,
 /// remote-bipartition and remote-tree: each center accumulates up to
@@ -102,7 +66,11 @@ impl<P: Clone, M: Metric<P>> SmmExt<P, M> {
     /// Resumes from a checkpointed state.
     pub fn resume(metric: M, state: DoublingCore<P, DelegateSet<P>>) -> Self {
         let k = state.k();
-        Self { core: state, metric, k }
+        Self {
+            core: state,
+            metric,
+            k,
+        }
     }
 
     /// Ends the stream and extracts the delegate-augmented core-set.
@@ -113,7 +81,7 @@ impl<P: Clone, M: Metric<P>> SmmExt<P, M> {
         let kernel: Vec<P> = centers.iter().map(|c| c.point.clone()).collect();
         let mut coreset: Vec<P> = Vec::new();
         for c in centers {
-            coreset.extend(c.payload.delegates);
+            coreset.extend(c.payload.into_delegates());
         }
         // Safety net mirroring SMM's padding: delegates normally keep
         // |T'| >= k for streams of >= k points, but pad from M anyway
@@ -160,7 +128,9 @@ mod tests {
 
     #[test]
     fn coreset_at_least_k_for_long_streams() {
-        let xs: Vec<f64> = (0..500).map(|i| (i % 3) as f64 * 100.0 + i as f64 * 1e-4).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i % 3) as f64 * 100.0 + i as f64 * 1e-4)
+            .collect();
         let res = SmmExt::run(Euclidean, 6, 8, stream(&xs));
         assert!(res.coreset.len() >= 6, "got {}", res.coreset.len());
     }

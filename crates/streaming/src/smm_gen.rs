@@ -1,40 +1,13 @@
 //! SMM-GEN: streaming *generalized* core-set — delegate counts instead
 //! of delegate points (Section 6.1, first pass of Theorem 9).
 
-use crate::doubling::{DoublingCore, Payload};
+use crate::doubling::DoublingCore;
 use diversity_core::{GenPair, GeneralizedCoreset};
 use metric::Metric;
-use serde::{Deserialize, Serialize};
 
-/// Count payload: how many stream points this center stands for
-/// (capped at `k`, itself included).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct DelegateCount {
-    count: usize,
-}
-
-impl<P> Payload<P> for DelegateCount {
-    fn new_center(_: &P) -> Self {
-        Self { count: 1 }
-    }
-
-    fn absorb(&mut self, other: Self, k: usize) {
-        self.count = (self.count + other.count).min(k);
-    }
-
-    fn offer(&mut self, _: &P, k: usize) -> bool {
-        if self.count < k {
-            self.count += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn mass(&self) -> usize {
-        1 // only the center is resident; the count is O(1) memory
-    }
-}
+// The count payload is shared machinery and lives in
+// `diversity_core::doubling`; re-exported here for compatibility.
+pub use crate::doubling::DelegateCount;
 
 /// One-pass generalized core-set: the SMM-EXT bookkeeping with counts
 /// instead of materialized delegates, shrinking memory from
@@ -91,7 +64,10 @@ impl<P: Clone, M: Metric<P>> SmmGen<P, M> {
 
     /// Resumes from a checkpointed state.
     pub fn resume(metric: M, state: DoublingCore<P, DelegateCount>) -> Self {
-        Self { core: state, metric }
+        Self {
+            core: state,
+            metric,
+        }
     }
 
     /// Ends the stream, returning kernel + counts.
@@ -104,7 +80,7 @@ impl<P: Clone, M: Metric<P>> SmmGen<P, M> {
         for (i, c) in centers.into_iter().enumerate() {
             pairs.push(GenPair {
                 index: i,
-                multiplicity: c.payload.count,
+                multiplicity: c.payload.count(),
             });
             kernel.push(c.point);
         }

@@ -57,7 +57,11 @@ where
     Throughput {
         points: n,
         seconds,
-        points_per_sec: if seconds > 0.0 { n as f64 / seconds } else { f64::INFINITY },
+        points_per_sec: if seconds > 0.0 {
+            n as f64 / seconds
+        } else {
+            f64::INFINITY
+        },
     }
 }
 

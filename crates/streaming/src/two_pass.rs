@@ -175,9 +175,8 @@ where
                 }
             }
         }
-        peak_memory = peak_memory.max(
-            assigned.iter().map(Vec::len).sum::<usize>() + reservoir.len() + n_pairs,
-        );
+        peak_memory = peak_memory
+            .max(assigned.iter().map(Vec::len).sum::<usize>() + reservoir.len() + n_pairs);
     }
 
     // Distribute the reservoir by maximum bipartite matching
@@ -334,7 +333,9 @@ mod tests {
     #[should_panic]
     fn rejects_non_injective_problems() {
         let data = pts(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
-        let _ = two_pass(Problem::RemoteEdge, Euclidean, 2, 4, || data.iter().cloned());
+        let _ = two_pass(Problem::RemoteEdge, Euclidean, 2, 4, || {
+            data.iter().cloned()
+        });
     }
 
     #[test]

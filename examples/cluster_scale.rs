@@ -43,7 +43,11 @@ fn main() {
     let parts = mapreduce::partition::split_random(points.clone(), ell, 11);
 
     let det = two_round::two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
-    print_stats("deterministic 2-round (Theorem 6)", det.solution.value, &det.stats);
+    print_stats(
+        "deterministic 2-round (Theorem 6)",
+        det.solution.value,
+        &det.stats,
+    );
 
     let rand = randomized::randomized_two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
     print_stats(

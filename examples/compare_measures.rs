@@ -30,7 +30,10 @@ fn main() {
     let points: Vec<VecPoint> = coords.iter().map(|&c| VecPoint::from(c)).collect();
     let k = 5;
 
-    println!("exact optima (n={}, k={k}) and the α-approximations:\n", points.len());
+    println!(
+        "exact optima (n={}, k={k}) and the α-approximations:\n",
+        points.len()
+    );
     println!(
         "{:<16} {:>9} {:>9} {:>7} {:>9}  optimal subset",
         "objective", "exact", "approx", "ratio", "α-bound"

@@ -21,8 +21,16 @@ fn catalog() -> Vec<String> {
         "stark induction kettle",
     ];
     let variants = [
-        "", " v2", " pro", " (black)", " (white)", " 2024 edition", " XL", " mini",
-        " - refurbished", " bundle",
+        "",
+        " v2",
+        " pro",
+        " (black)",
+        " (white)",
+        " 2024 edition",
+        " XL",
+        " mini",
+        " - refurbished",
+        " bundle",
     ];
     let mut out = Vec::new();
     for f in families {
@@ -46,7 +54,10 @@ fn main() {
         4 * k,
         names.iter().cloned(),
     );
-    println!("diverse panel (remote-clique, edit distance, value {}):", panel.value);
+    println!(
+        "diverse panel (remote-clique, edit distance, value {}):",
+        panel.value
+    );
     for name in &panel.points {
         println!("  - {name}");
     }

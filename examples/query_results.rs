@@ -41,7 +41,8 @@ fn main() {
 
     // Optional refinement: the paper's remote-clique solution can be
     // polished by the (more expensive) swap local search.
-    let base = pipeline::coreset_then_solve(Problem::RemoteClique, &products, &Euclidean, k, k_prime);
+    let base =
+        pipeline::coreset_then_solve(Problem::RemoteClique, &products, &Euclidean, k, k_prime);
     let refined = local_search_clique(
         &products,
         &Euclidean,
@@ -59,7 +60,5 @@ fn main() {
     let naive_val = eval::evaluate_subset(Problem::RemoteEdge, &products, &Euclidean, &naive);
     let panel_val =
         eval::evaluate_subset(Problem::RemoteEdge, &products, &Euclidean, &base.indices);
-    println!(
-        "min pairwise distance: naive top-{k} = {naive_val:.4}, diversified = {panel_val:.4}"
-    );
+    println!("min pairwise distance: naive top-{k} = {naive_val:.4}, diversified = {panel_val:.4}");
 }

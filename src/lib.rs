@@ -1,0 +1,9 @@
+//! Workspace umbrella for the diversity-maximization stack.
+//!
+//! This crate exists to anchor the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface
+//! simply re-exports the facade crate and the dynamic engine.
+
+pub use diversity;
+pub use diversity_dynamic as dynamic;
+pub use metric;

@@ -37,7 +37,11 @@ fn coreset_beta_bound_exact_small() {
 fn composable_coreset_quality() {
     let (points, _) = datasets::sphere_shell(90, 3, 2, 13);
     let third = points.len() / 3;
-    for problem in [Problem::RemoteEdge, Problem::RemoteClique, Problem::RemoteTree] {
+    for problem in [
+        Problem::RemoteEdge,
+        Problem::RemoteClique,
+        Problem::RemoteTree,
+    ] {
         let full = exact::divk_exact(problem, &points, &Euclidean, 3);
         let mut union: Vec<VecPoint> = Vec::new();
         for chunk in points.chunks(third) {
@@ -46,11 +50,11 @@ fn composable_coreset_quality() {
         }
         let on_union = exact::divk_exact(problem, &union, &Euclidean, 3);
         let beta = full.value / on_union.value;
+        assert!(beta <= 1.5 + 1e-9, "{problem}: composable β = {beta}");
         assert!(
-            beta <= 1.5 + 1e-9,
-            "{problem}: composable β = {beta}"
+            on_union.value <= full.value + 1e-9,
+            "{problem}: gained value?"
         );
-        assert!(on_union.value <= full.value + 1e-9, "{problem}: gained value?");
     }
 }
 
@@ -76,8 +80,7 @@ fn kernel_sizing_helper() {
 fn small_k_prime_suffices_in_practice() {
     let k = 8;
     let (points, planted) = datasets::sphere_shell(30_000, k, 3, 19);
-    let planted_value =
-        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+    let planted_value = eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
     let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, 2 * k);
     let ratio = planted_value / sol.value;
     assert!(ratio < 1.5, "k'=2k ratio {ratio}");

@@ -1,0 +1,87 @@
+//! Workspace-level scenario test: a sliding-window stream — the
+//! workload class the dynamic engine opens up. Items expire after a
+//! fixed window; the engine must track the surviving set through the
+//! churn and answer solves that match a from-scratch rebuild.
+
+use diversity::prelude::*;
+use diversity_dynamic::{DynamicDiversity, PointId};
+use std::collections::VecDeque;
+
+#[test]
+fn sliding_window_matches_recompute() {
+    let k = 6;
+    let budget = 48;
+    let window = 400;
+    let (stream, _) = datasets::sphere_shell(2000, k, 3, 99);
+
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let mut live: VecDeque<(PointId, VecPoint)> = VecDeque::new();
+
+    for (t, p) in stream.into_iter().enumerate() {
+        let id = engine.insert(p.clone());
+        live.push_back((id, p));
+        if live.len() > window {
+            let (old, _) = live.pop_front().expect("window non-empty");
+            assert!(engine.delete(old), "expired id must still be alive");
+        }
+
+        // Solve every 250 steps once the window is warm.
+        if t >= window && t % 250 == 0 {
+            let sol = engine.solve_with_budget(Problem::RemoteEdge, k, budget);
+            assert_eq!(sol.ids.len(), k);
+            for id in &sol.ids {
+                assert!(engine.contains(*id), "solution references expired item");
+            }
+
+            // From-scratch rebuild on the exact window contents.
+            let snapshot: Vec<VecPoint> = live.iter().map(|(_, p)| p.clone()).collect();
+            let rebuilt =
+                pipeline::coreset_then_solve(Problem::RemoteEdge, &snapshot, &Euclidean, k, budget);
+
+            // Both are (α+ε)-approximations over the same window; the
+            // dynamic answer must not trail the rebuild by more than
+            // the coreset slack either side carries (bounded here by
+            // the structure-reported radius).
+            assert!(
+                sol.value >= rebuilt.value / 2.0 - 2.0 * sol.coreset.radius - 1e-9,
+                "t={t}: dynamic {} too far below rebuild {} (radius {})",
+                sol.value,
+                rebuilt.value,
+                sol.coreset.radius
+            );
+            assert!(sol.value > 0.0);
+        }
+    }
+
+    assert_eq!(engine.len(), window);
+    engine.validate();
+}
+
+#[test]
+fn update_work_stays_structure_bounded_through_churn() {
+    // The dynamic engine's promise: per-update distance evaluations do
+    // not scale with the alive-set size. Compare churn cost at window
+    // 200 vs window 1600 on the same stream.
+    let stream = datasets::gaussian_clusters(4000, 8, 2, 25.0, 7);
+    let mut costs = Vec::new();
+    for window in [200usize, 1600] {
+        let mut engine = DynamicDiversity::new(Euclidean);
+        let mut live: VecDeque<PointId> = VecDeque::new();
+        for p in stream.iter().cloned() {
+            let id = engine.insert(p);
+            live.push_back(id);
+            if live.len() > window {
+                engine.delete(live.pop_front().expect("non-empty"));
+            }
+        }
+        let per_update = engine.stats().distance_evals_per_update();
+        assert!(per_update > 0.0);
+        costs.push(per_update);
+    }
+    // 8x more alive points must not mean 8x the per-update work; allow
+    // 3x for depth growth (the structure is deeper, not wider).
+    assert!(
+        costs[1] <= costs[0] * 3.0 + 50.0,
+        "per-update cost scaled with window size: {costs:?}"
+    );
+}

@@ -14,15 +14,9 @@ fn sphere_shell_all_problems_all_frontends() {
 
     for problem in Problem::ALL {
         let seq_sol = seq::solve(problem, &points, &Euclidean, k);
-        let stream_sol = streaming::pipeline::one_pass(
-            problem,
-            Euclidean,
-            k,
-            k_prime,
-            points.iter().cloned(),
-        );
-        let mr_sol =
-            mapreduce::two_round::two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
+        let stream_sol =
+            streaming::pipeline::one_pass(problem, Euclidean, k, k_prime, points.iter().cloned());
+        let mr_sol = mapreduce::two_round::two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
 
         assert_eq!(stream_sol.points.len(), k, "{problem}: stream size");
         assert_eq!(mr_sol.solution.indices.len(), k, "{problem}: MR size");
@@ -97,8 +91,7 @@ fn planted_solution_is_recovered_within_epsilon() {
     // rather than proved at this scale).
     let k = 8;
     let (points, planted) = datasets::sphere_shell(20_000, k, 3, 17);
-    let planted_value =
-        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+    let planted_value = eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
 
     let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, 16 * k);
     let ratio = planted_value / sol.value;

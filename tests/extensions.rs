@@ -68,8 +68,7 @@ fn suggested_kernel_size_yields_good_ratio() {
     );
     assert!(k_prime >= k);
     let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, k_prime);
-    let planted_value =
-        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
+    let planted_value = eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
     assert!(
         planted_value / sol.value < 1.3,
         "suggested k'={k_prime} gave ratio {}",
@@ -95,8 +94,8 @@ fn lp_metric_through_the_full_stack() {
 #[test]
 fn levenshtein_through_streaming_and_exact() {
     let words: Vec<String> = [
-        "alpha", "alphas", "beta", "betas", "gamma", "gammas", "delta", "deltas",
-        "epsilon", "zeta", "eta", "theta",
+        "alpha", "alphas", "beta", "betas", "gamma", "gammas", "delta", "deltas", "epsilon",
+        "zeta", "eta", "theta",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -48,13 +48,8 @@ fn duplicate_heavy_stream() {
     // 90% duplicates of a single point.
     let mut points: Vec<VecPoint> = (0..900).map(|_| VecPoint::from([1.0, 1.0])).collect();
     points.extend((0..100).map(|i| VecPoint::from([i as f64, 0.0])));
-    let sol = streaming::pipeline::one_pass(
-        Problem::RemoteEdge,
-        Euclidean,
-        4,
-        8,
-        points.iter().cloned(),
-    );
+    let sol =
+        streaming::pipeline::one_pass(Problem::RemoteEdge, Euclidean, 4, 8, points.iter().cloned());
     assert_eq!(sol.points.len(), 4);
     assert!(sol.value > 0.0, "must find 4 distinct locations");
 }

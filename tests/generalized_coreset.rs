@@ -65,9 +65,18 @@ fn two_pass_streaming_instantiation_is_valid() {
 #[test]
 fn gen_coreset_serde_roundtrip() {
     let pairs = vec![
-        GenPair { index: 0, multiplicity: 3 },
-        GenPair { index: 7, multiplicity: 1 },
-        GenPair { index: 9, multiplicity: 2 },
+        GenPair {
+            index: 0,
+            multiplicity: 3,
+        },
+        GenPair {
+            index: 7,
+            multiplicity: 1,
+        },
+        GenPair {
+            index: 9,
+            multiplicity: 2,
+        },
     ];
     let gcs = GeneralizedCoreset::new(pairs);
     let json = serde_json::to_string(&gcs).expect("serialize");
@@ -97,13 +106,29 @@ fn multiset_solve_respects_alpha_on_small_instances() {
         .map(|&x| VecPoint::from([x]))
         .collect();
     let gcs = GeneralizedCoreset::new(vec![
-        GenPair { index: 0, multiplicity: 2 },
-        GenPair { index: 1, multiplicity: 1 },
-        GenPair { index: 2, multiplicity: 2 },
-        GenPair { index: 3, multiplicity: 1 },
+        GenPair {
+            index: 0,
+            multiplicity: 2,
+        },
+        GenPair {
+            index: 1,
+            multiplicity: 1,
+        },
+        GenPair {
+            index: 2,
+            multiplicity: 2,
+        },
+        GenPair {
+            index: 3,
+            multiplicity: 1,
+        },
     ]);
     let k = 3;
-    for problem in [Problem::RemoteClique, Problem::RemoteStar, Problem::RemoteTree] {
+    for problem in [
+        Problem::RemoteClique,
+        Problem::RemoteStar,
+        Problem::RemoteTree,
+    ] {
         let got = solve_multiset(problem, &points, &Euclidean, &gcs, k);
         let got_val = gen_div(problem, &points, &Euclidean, &got);
         // Brute-force best coherent sub-multiset of expanded size k.

@@ -74,7 +74,15 @@ fn recursive_variant_tracks_two_round() {
     let (points, _) = datasets::sphere_shell(20_000, k, 3, 33);
     let parts = mapreduce::partition::split_random(points.clone(), 4, 7);
     let base = two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, 4 * k, &rt());
-    let rec = recursive::recursive(Problem::RemoteEdge, &points, &Euclidean, k, 4 * k, 2_000, &rt());
+    let rec = recursive::recursive(
+        Problem::RemoteEdge,
+        &points,
+        &Euclidean,
+        k,
+        4 * k,
+        2_000,
+        &rt(),
+    );
     assert!(rec.stats.num_rounds() >= 2);
     let gap = base.solution.value / rec.solution.value;
     assert!(
@@ -93,11 +101,17 @@ fn adversarial_partitioning_degrades_mildly() {
     let k = 16;
     let (points, _) = datasets::sphere_shell(20_000, k, 3, 41);
     let random = mapreduce::partition::split_random(points.clone(), 8, 5);
-    let adversarial =
-        mapreduce::partition::split_sorted_by(points.clone(), 8, |p| p.coords()[0]);
+    let adversarial = mapreduce::partition::split_sorted_by(points.clone(), 8, |p| p.coords()[0]);
 
     let r = two_round::two_round(Problem::RemoteEdge, &random, &Euclidean, k, 2 * k, &rt());
-    let a = two_round::two_round(Problem::RemoteEdge, &adversarial, &Euclidean, k, 2 * k, &rt());
+    let a = two_round::two_round(
+        Problem::RemoteEdge,
+        &adversarial,
+        &Euclidean,
+        k,
+        2 * k,
+        &rt(),
+    );
     let degradation = r.solution.value / a.solution.value;
     assert!(
         degradation < 1.35,

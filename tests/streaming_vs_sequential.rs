@@ -106,10 +106,7 @@ fn streaming_memory_independent_of_stream_length() {
     // Table 3's headline: memory depends on k and k', not n.
     let max = *peaks.iter().max().unwrap();
     let min = *peaks.iter().min().unwrap();
-    assert!(
-        max <= min + (k_prime + 1),
-        "peaks {peaks:?} grow with n"
-    );
+    assert!(max <= min + (k_prime + 1), "peaks {peaks:?} grow with n");
 }
 
 #[test]

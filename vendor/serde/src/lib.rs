@@ -1,0 +1,517 @@
+//! Offline stand-in for `serde`, vendored because this build environment
+//! has no access to a crate registry.
+//!
+//! It provides the subset of the serde surface this workspace actually
+//! uses: the [`Serialize`] / [`Deserialize`] traits, derive macros for
+//! plain structs and fieldless enums, and impls for the primitive and
+//! container types that appear in checkpointable state. The data model
+//! is deliberately simple — values serialize directly to a JSON string
+//! builder and deserialize from a JSON token parser (see the sibling
+//! `serde_json` crate) — rather than reproducing serde's
+//! serializer/visitor indirection, which nothing here needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error raised when deserialization meets malformed or mismatched input.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can write itself into a JSON string.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can reconstruct itself from a JSON token stream.
+pub trait Deserialize: Sized {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// JSON string escaping
+// ---------------------------------------------------------------------------
+
+pub fn write_escaped_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A minimal recursive-descent JSON reader.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    pub fn skip_ws(&mut self) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    pub fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Consumes `byte` if it is next; returns whether it was consumed.
+    pub fn eat(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self
+                .input
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self
+                        .input
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8: back up and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.input[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads the raw text of a number token.
+    fn number_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| self.err("invalid utf-8"))
+    }
+
+    pub fn parse_f64(&mut self) -> Result<f64, Error> {
+        // Non-finite values are serialized as strings.
+        if self.peek() == Some(b'"') {
+            let s = self.parse_string()?;
+            return match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                other => Err(Error::custom(format!("bad f64 literal {other:?}"))),
+            };
+        }
+        let tok = self.number_token()?;
+        tok.parse::<f64>()
+            .map_err(|_| Error::custom(format!("bad f64 {tok:?}")))
+    }
+
+    pub fn parse_u64(&mut self) -> Result<u64, Error> {
+        let tok = self.number_token()?;
+        tok.parse::<u64>()
+            .map_err(|_| Error::custom(format!("bad integer {tok:?}")))
+    }
+
+    pub fn parse_i64(&mut self) -> Result<i64, Error> {
+        let tok = self.number_token()?;
+        tok.parse::<i64>()
+            .map_err(|_| Error::custom(format!("bad integer {tok:?}")))
+    }
+
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.input[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.err("expected bool"))
+        }
+    }
+
+    /// Consumes `null` if it is next; returns whether it was consumed.
+    pub fn eat_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads one object key (a string followed by ':').
+    pub fn parse_key(&mut self) -> Result<String, Error> {
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        Ok(key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+/// Writes an f64 so that it round-trips exactly (shortest representation;
+/// non-finite values become tagged strings, which plain JSON lacks).
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Keep integral floats distinguishable from integers on re-read
+        // is unnecessary here: the target type drives parsing.
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self, out);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self as f64, out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(p.parse_f64()? as f32)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let v = p.parse_u64()?;
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let v = p.parse_i64()?;
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect(b'[')?;
+        let mut v = Vec::new();
+        if p.eat(b']') {
+            return Ok(v);
+        }
+        loop {
+            v.push(T::deserialize_json(p)?);
+            if p.eat(b']') {
+                return Ok(v);
+            }
+            p.expect(b',')?;
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.eat_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.eat_null() {
+            Ok(())
+        } else {
+            Err(Error::custom("expected null"))
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect(b'[')?;
+        let a = A::deserialize_json(p)?;
+        p.expect(b',')?;
+        let b = B::deserialize_json(p)?;
+        p.expect(b']')?;
+        Ok((a, b))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize_json(p)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        let mut p = Parser::new(&s);
+        let back = T::deserialize_json(&mut p).expect("deserialize");
+        assert!(p.at_end(), "trailing input after {s}");
+        assert_eq!(v, back, "via {s}");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42usize);
+        roundtrip(-7i64);
+        roundtrip(3.141592653589793f64);
+        roundtrip(1e-300f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(String::from("he\"llo\n\\world"));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1.0f64, 2.5, -3.25]);
+        roundtrip(Option::<f64>::None);
+        roundtrip(Some(9usize));
+        roundtrip((1usize, vec![2.0f64]));
+        roundtrip(Vec::<u32>::new());
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let mut s = String::new();
+        f64::NAN.serialize_json(&mut s);
+        let mut p = Parser::new(&s);
+        assert!(f64::deserialize_json(&mut p).unwrap().is_nan());
+    }
+}

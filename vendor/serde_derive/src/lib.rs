@@ -1,0 +1,299 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes this workspace derives on: structs with named
+//! fields (optionally generic over plain type parameters) and fieldless
+//! enums. Anything else is a compile error, which is the honest failure
+//! mode for a vendored subset.
+//!
+//! Implemented with direct `proc_macro` token inspection (no syn/quote —
+//! the build environment has no registry access), generating code as a
+//! string and re-parsing it into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["P", "Y"]`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    // Generics: collect top-level parameter idents between < and >.
+    let mut generics = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut expecting_param = true;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    return Err("lifetime parameters are not supported".into());
+                }
+                TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                    if id.to_string() == "const" {
+                        return Err("const generics are not supported".into());
+                    }
+                    generics.push(id.to_string());
+                    expecting_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Body.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err("where clauses are not supported".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("unit structs are not supported".into());
+            }
+            Some(_) => continue,
+            None => return Err("missing body".into()),
+        }
+    };
+
+    let kind = match kind_kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body.stream())?),
+        "enum" => Kind::Enum(parse_unit_variants(body.stream())?),
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field, got {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type: everything until a top-level ','. Only `<...>`
+        // nesting matters; bracket/paren/brace types arrive as groups.
+        let mut depth = 0usize;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err("enum variants with data are not supported".into())
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+/// `impl<P: serde::Trait, ...> serde::Trait for Name<P, ...>` header.
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        let plain = input.generics.join(", ");
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            input.name,
+            plain
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\nserde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("let __name = match self {\n");
+            for v in variants {
+                body.push_str(&format!("{}::{v} => \"{v}\",\n", input.name));
+            }
+            body.push_str("};\nserde::write_escaped_str(__name, out);\n");
+        }
+    }
+    let code = format!(
+        "{}{{\nfn serialize_json(&self, out: &mut String) {{\n{body}}}\n}}",
+        impl_header(&input, "Serialize")
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(fields) => {
+            body.push_str("__p.expect(b'{')?;\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("__p.expect(b',')?;\n");
+                }
+                body.push_str(&format!(
+                    "let __key = __p.parse_key()?;\nif __key != \"{f}\" {{ return Err(serde::Error::custom(format!(\"expected field `{f}`, found `{{__key}}`\"))); }}\nlet __f{i} = serde::Deserialize::deserialize_json(__p)?;\n"
+                ));
+            }
+            body.push_str("__p.expect(b'}')?;\n");
+            let ctor: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: __f{i}"))
+                .collect();
+            body.push_str(&format!("Ok({} {{ {} }})\n", input.name, ctor.join(", ")));
+        }
+        Kind::Enum(variants) => {
+            body.push_str("let __s = __p.parse_string()?;\nmatch __s.as_str() {\n");
+            for v in variants {
+                body.push_str(&format!("\"{v}\" => Ok({}::{v}),\n", input.name));
+            }
+            body.push_str(&format!(
+                "other => Err(serde::Error::custom(format!(\"unknown {} variant `{{other}}`\"))),\n}}\n",
+                input.name
+            ));
+        }
+    }
+    let code = format!(
+        "{}{{\nfn deserialize_json(__p: &mut serde::Parser<'_>) -> Result<Self, serde::Error> {{\n{body}}}\n}}",
+        impl_header(&input, "Deserialize")
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_json`: string (de)serialization for the
+//! vendored `serde` traits. Output is JSON, except that non-finite
+//! floats (which JSON cannot express) are encoded as the tagged strings
+//! `"inf"` / `"-inf"` / `"nan"`.
+
+pub use serde::Error;
+
+/// Serializes `value` to a JSON string. Infallible for the types in
+/// this workspace; returns `Result` for serde_json API compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("input is not UTF-8"))?;
+    from_str(s)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = serde::Parser::new(s);
+    let v = T::deserialize_json(&mut p)?;
+    if !p.at_end() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.5f64, -2.0, 0.0];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1.5,-2,0]");
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<f64>("1.0 x").is_err());
+    }
+}
