@@ -61,7 +61,7 @@ pub fn afz_clique_coreset<P, M: Metric<P>>(
 /// AFZ per-partition core-set for **remote-edge**: `GMM(S_i, k)` — as
 /// the paper notes, "for remote-edge, AFZ is equivalent to CPPU with
 /// k' = k".
-pub fn afz_edge_coreset<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+pub fn afz_edge_coreset<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
     gmm_default(points, metric, k.min(points.len())).selected
 }
 

@@ -19,7 +19,7 @@ use metric::Metric;
 
 /// Builds the IMMM per-partition core-set (`k` indices into `points`)
 /// for the given problem.
-pub fn immm_coreset<P, M: Metric<P>>(
+pub fn immm_coreset<P: Sync, M: Metric<P>>(
     problem: Problem,
     points: &[P],
     metric: &M,

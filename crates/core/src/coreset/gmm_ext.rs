@@ -37,7 +37,7 @@ pub struct GmmExtOutcome {
 ///
 /// # Panics
 /// Panics if `points` is empty or `k == 0` or `k_prime == 0`.
-pub fn gmm_ext<P, M: Metric<P>>(
+pub fn gmm_ext<P: Sync, M: Metric<P>>(
     points: &[P],
     metric: &M,
     k: usize,

@@ -28,7 +28,7 @@ pub struct GmmGenOutcome {
 ///
 /// # Panics
 /// Panics if `points` is empty or `k == 0` or `k_prime == 0`.
-pub fn gmm_gen<P, M: Metric<P>>(
+pub fn gmm_gen<P: Sync, M: Metric<P>>(
     points: &[P],
     metric: &M,
     k: usize,

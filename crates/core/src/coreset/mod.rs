@@ -31,7 +31,7 @@ use metric::Metric;
 ///
 /// # Panics
 /// Panics if `points` is empty or `k_prime == 0`.
-pub fn gmm_coreset<P, M: Metric<P>>(points: &[P], metric: &M, k_prime: usize) -> Vec<usize> {
+pub fn gmm_coreset<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k_prime: usize) -> Vec<usize> {
     gmm_default(points, metric, k_prime).selected
 }
 

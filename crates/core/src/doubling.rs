@@ -46,7 +46,7 @@
 //! *positive* pairwise center distance whenever doubling would leave it
 //! at 0; exact duplicates then merge on the next phase.
 
-use metric::Metric;
+use metric::{argmin, Metric};
 use serde::{Deserialize, Serialize};
 
 /// The distance threshold of cover level `i`: `2^i`.
@@ -71,6 +71,14 @@ pub fn distance_to_scale(d: f64) -> i32 {
 
 /// Variant-specific per-center bookkeeping.
 pub trait Payload<P>: Sized {
+    /// Whether the update step must locate the *nearest* center for a
+    /// covered point (to route the offer), or only decide coverage.
+    /// Payloads that discard offers (plain SMM's `()`) set this to
+    /// `false`, letting the update step use the early-exit
+    /// [`Metric::distance_to_set_within`] membership check instead of
+    /// a full nearest-center scan.
+    const NEEDS_NEAREST: bool = true;
+
     /// Payload for a freshly promoted center.
     fn new_center(point: &P) -> Self;
     /// Folds `other` into `self` when `other`'s center is merged away
@@ -85,6 +93,8 @@ pub trait Payload<P>: Sized {
 
 /// Payload for plain SMM: centers carry nothing.
 impl<P> Payload<P> for () {
+    const NEEDS_NEAREST: bool = false;
+
     fn new_center(_: &P) -> Self {}
     fn absorb(&mut self, _: Self, _: usize) {}
     fn offer(&mut self, _: &P, _: usize) -> bool {
@@ -199,6 +209,16 @@ pub struct Center<P, Y> {
 /// job needs to checkpoint and resume lives here (the metric is
 /// supplied again at restore time; see the `Smm*::resume` helpers in
 /// `diversity-streaming`).
+///
+/// **Checkpoint format note:** the batched-kernel work added the
+/// `center_points` mirror and `scratch` buffer to the serialized
+/// state, so checkpoints written before that change do not
+/// deserialize (the vendored serde stand-in has no field-skip/default
+/// support to paper over it). Checkpoints are versioned with the
+/// binary: replay the stream once after upgrading. A
+/// `#[serde(default)]`-style self-heal (both fields are derivable
+/// from `centers`) is the upgrade path if cross-version resume ever
+/// becomes a requirement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DoublingCore<P, Y> {
     k: usize,
@@ -207,10 +227,21 @@ pub struct DoublingCore<P, Y> {
     /// `k'+1` points have arrived (initialization).
     threshold: Option<f64>,
     centers: Vec<Center<P, Y>>,
+    /// Mirror of `centers[i].point`, kept in lockstep so the per-point
+    /// update step can run through the `&[P]` batch hooks
+    /// ([`Metric::distance_many`] / [`Metric::distance_to_set_within`])
+    /// instead of one scalar call per center. Centers mutate rarely
+    /// (promotions and merges), points arrive constantly — the mirror
+    /// trades `O(|T|)` occasional clones for a vectorizable hot loop.
+    center_points: Vec<P>,
     /// Centers removed by merge steps of the *current* phase.
     removed: Vec<P>,
     phases: usize,
     points_seen: usize,
+    /// Reusable distance buffer for the nearest-center batch scan
+    /// (contents are transient; serialized only because the derive
+    /// stand-in has no field-skip support, and harmless to restore).
+    scratch: Vec<f64>,
 }
 
 impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
@@ -226,9 +257,11 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             k_prime,
             threshold: None,
             centers: Vec::with_capacity(k_prime + 1),
+            center_points: Vec::with_capacity(k_prime + 1),
             removed: Vec::new(),
             phases: 0,
             points_seen: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -285,8 +318,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
 
         if self.threshold.is_none() {
             // Initialization: the first k'+1 points all become centers.
-            let payload = Y::new_center(&point);
-            self.centers.push(Center { point, payload });
+            self.add_center(point);
             if self.centers.len() == self.k_prime + 1 {
                 // d_1 = min pairwise distance among the initial centers.
                 let d1 = self.min_pairwise(metric).unwrap_or(0.0);
@@ -296,21 +328,45 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             return;
         }
 
-        // Update step.
+        // Update step: promote iff farther than 4·d_i from every
+        // center; otherwise the point is covered and is offered to a
+        // center's payload (or dropped).
         let d_i = self.threshold.expect("initialized");
-        let (nearest, dist) = self.nearest_center(&point, metric);
-        if dist > 4.0 * d_i {
-            let payload = Y::new_center(&point);
-            self.centers.push(Center { point, payload });
+        let limit = 4.0 * d_i;
+        let covered = if Y::NEEDS_NEAREST {
+            // Route the offer to the nearest center: one batched
+            // distance pass over the center mirror, then an argmin
+            // (first-minimum, like the scalar scan it replaces).
+            self.scratch.resize(self.center_points.len(), 0.0);
+            metric.distance_many(&point, &self.center_points, &mut self.scratch);
+            let (nearest, dist) = argmin(&self.scratch).expect("centers are non-empty");
+            if dist <= limit {
+                let retained = self.centers[nearest].payload.offer(&point, self.k);
+                let _ = retained;
+                true
+            } else {
+                false
+            }
+        } else {
+            // Coverage-only payloads: the early-exit membership check
+            // stops at the first center within range.
+            metric.distance_to_set_within(&point, &self.center_points, limit)
+        };
+        if !covered {
+            self.add_center(point);
             if self.centers.len() == self.k_prime + 1 {
                 // Phase ends: double the threshold and merge.
                 self.advance_threshold(metric);
                 self.begin_phase(metric);
             }
-        } else {
-            let retained = self.centers[nearest].payload.offer(&point, self.k);
-            let _ = retained;
         }
+    }
+
+    /// Appends a center, keeping the point mirror in lockstep.
+    fn add_center(&mut self, point: P) {
+        let payload = Y::new_center(&point);
+        self.center_points.push(point.clone());
+        self.centers.push(Center { point, payload });
     }
 
     /// Ends the stream, returning centers, the removed-set `M`, and the
@@ -368,17 +424,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             }
         }
         self.centers = kept;
-    }
-
-    fn nearest_center<M: Metric<P>>(&self, p: &P, metric: &M) -> (usize, f64) {
-        let mut best = (usize::MAX, f64::INFINITY);
-        for (i, c) in self.centers.iter().enumerate() {
-            let d = metric.distance(p, &c.point);
-            if d < best.1 {
-                best = (i, d);
-            }
-        }
-        best
+        self.center_points = self.centers.iter().map(|c| c.point.clone()).collect();
     }
 
     fn min_pairwise<M: Metric<P>>(&self, metric: &M) -> Option<f64> {

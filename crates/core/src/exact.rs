@@ -16,7 +16,7 @@ use metric::{DistanceMatrix, Metric};
 ///
 /// # Panics
 /// Panics if `k == 0`, `k > n`, or `C(n,k)` exceeds 10⁷ subsets.
-pub fn divk_exact<P, M: Metric<P>>(
+pub fn divk_exact<P: Sync, M: Metric<P>>(
     problem: Problem,
     points: &[P],
     metric: &M,

@@ -16,9 +16,20 @@
 //!
 //! The implementation is the standard `O(n·k)` one: maintain each
 //! point's distance to the nearest selected center and scan for the
-//! maximum.
+//! maximum. Two layers make that hot loop run at hardware speed:
+//!
+//! * the relax step goes through the [`Metric::relax`] batch hook, so
+//!   coordinate metrics use their vectorized, root-eliding kernels;
+//! * above [`metric::par::PAR_MIN_WORK`] points the relax+argmax pass
+//!   is chunked across scoped threads ([`gmm_with_threads`]), with the
+//!   per-chunk argmaxes combined in chunk order so the result is
+//!   **bit-identical** to the sequential traversal — same selection
+//!   order, same tie-breaks, same assignments, same distances
+//!   (enforced by `tests/parallel_gmm.rs`).
 
-use metric::{argmax, Metric};
+use metric::{par, Metric};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 /// The result of a farthest-point traversal.
 #[derive(Clone, Debug)]
@@ -51,16 +62,40 @@ impl GmmOutcome {
 
 /// Runs the farthest-point traversal from `points[start]`, selecting
 /// `min(k, n)` points. `O(n·k)` distance evaluations, `O(n)` memory.
+/// Parallelizes across [`metric::par::auto_threads`] threads on large
+/// inputs; the outcome is identical for every thread count.
 ///
 /// # Panics
 /// Panics if `points` is empty, `k == 0`, or `start >= points.len()`.
-pub fn gmm<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) -> GmmOutcome {
+pub fn gmm<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) -> GmmOutcome {
+    gmm_with_threads(points, metric, k, start, par::auto_threads(points.len()))
+}
+
+/// [`gmm`] with an explicit thread count (`threads <= 1` runs the
+/// sequential loop). Exposed for the bit-identity property tests and
+/// the kernel benches; library callers should prefer [`gmm`], which
+/// applies the sequential fallback below the parallel threshold.
+pub fn gmm_with_threads<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    start: usize,
+    threads: usize,
+) -> GmmOutcome {
     let n = points.len();
     assert!(n > 0, "GMM requires a non-empty input");
     assert!(k > 0, "GMM requires k > 0");
     assert!(start < n, "start index out of range");
     let k = k.min(n);
+    if threads > 1 {
+        gmm_parallel(points, metric, k, start, threads)
+    } else {
+        gmm_sequential(points, metric, k, start)
+    }
+}
 
+fn gmm_sequential<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) -> GmmOutcome {
+    let n = points.len();
     let mut selected = Vec::with_capacity(k);
     let mut insertion_dist = Vec::with_capacity(k);
     let mut assignment = vec![0usize; n];
@@ -73,20 +108,146 @@ pub fn gmm<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) ->
         selected.push(c);
         insertion_dist.push(next_dist);
         let cj = selected.len() - 1;
-        // Relax distances against the new center. Strict `<` keeps ties
-        // assigned to the earliest center, as Algorithm 1 requires.
-        for (i, p) in points.iter().enumerate() {
-            let d = metric.distance(p, &points[c]);
-            if d < dist_to_centers[i] {
-                dist_to_centers[i] = d;
-                assignment[i] = cj;
-            }
-        }
-        // Farthest point becomes the next candidate.
-        let far = argmax(&dist_to_centers).expect("non-empty input");
+        // Relax distances against the new center via the batch hook
+        // (bitwise-identical to the scalar loop; strict `<` keeps ties
+        // assigned to the earliest center, as Algorithm 1 requires).
+        // The hook returns the farthest survivor — the next candidate —
+        // saving the separate argmax sweep over `dist_to_centers`.
+        let (far, far_dist) = metric
+            .relax(
+                &points[c],
+                points,
+                &mut dist_to_centers,
+                &mut assignment,
+                cj,
+            )
+            .expect("non-empty input");
         next = far;
-        next_dist = dist_to_centers[far];
+        next_dist = far_dist;
     }
+
+    GmmOutcome {
+        selected,
+        insertion_dist,
+        assignment,
+        dist_to_centers,
+    }
+}
+
+/// The parallel traversal: one scoped worker per contiguous chunk,
+/// kept alive across all `k` rounds (spawning per round would pay the
+/// fork cost `k` times). Each round the coordinator publishes the new
+/// center, a barrier releases the workers to relax their chunk and
+/// compute its local `(argmax, max)`, a second barrier hands control
+/// back, and the coordinator folds the chunk results *in chunk order*
+/// with a strict `>` — which reproduces the sequential global argmax's
+/// first-max-wins tie-break exactly. Relaxation is element-wise (the
+/// [`Metric::relax`] contract), so chunking cannot change any value.
+fn gmm_parallel<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    start: usize,
+    threads: usize,
+) -> GmmOutcome {
+    let n = points.len();
+    let ranges = par::split_ranges(n, threads);
+    let workers = ranges.len();
+
+    let mut assignment = vec![0usize; n];
+    let mut dist_to_centers = vec![f64::INFINITY; n];
+    let mut selected = Vec::with_capacity(k);
+    let mut insertion_dist = Vec::with_capacity(k);
+
+    // Round state: the current center, published before the start
+    // barrier; per-worker (argmax, max) slots, read after the finish
+    // barrier. Barriers provide the happens-before edges. `aborted` is
+    // the panic escape hatch: a worker whose relax panics would
+    // otherwise skip its barrier waits and deadlock every other party,
+    // so panics are caught, flagged before the finish barrier, and
+    // every participant breaks at the same round boundary — the scope
+    // then re-raises the original payload at join, matching the
+    // sequential path's clean panic.
+    let center = AtomicUsize::new(start);
+    let aborted = std::sync::atomic::AtomicBool::new(false);
+    let start_barrier = Barrier::new(workers + 1);
+    let finish_barrier = Barrier::new(workers + 1);
+    let locals: Vec<Mutex<(usize, f64)>> = (0..workers).map(|_| Mutex::new((0, 0.0))).collect();
+
+    std::thread::scope(|s| {
+        let mut dist_rest: &mut [f64] = &mut dist_to_centers;
+        let mut assign_rest: &mut [usize] = &mut assignment;
+        for (w, range) in ranges.iter().enumerate() {
+            let (dist_chunk, dist_tail) = dist_rest.split_at_mut(range.len());
+            let (assign_chunk, assign_tail) = assign_rest.split_at_mut(range.len());
+            dist_rest = dist_tail;
+            assign_rest = assign_tail;
+            let chunk_points = &points[range.clone()];
+            let lo = range.start;
+            let (center, locals, aborted) = (&center, &locals, &aborted);
+            let (start_barrier, finish_barrier) = (&start_barrier, &finish_barrier);
+            s.spawn(move || {
+                let dist_chunk = dist_chunk;
+                let assign_chunk = assign_chunk;
+                for cj in 0..k {
+                    start_barrier.wait();
+                    let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let c = center.load(Ordering::SeqCst);
+                        let (local_far, local_dist) = metric
+                            .relax(&points[c], chunk_points, dist_chunk, assign_chunk, cj)
+                            .expect("chunks are non-empty");
+                        *locals[w].lock().expect("no poisoning") = (lo + local_far, local_dist);
+                    }));
+                    if round.is_err() {
+                        aborted.store(true, Ordering::SeqCst);
+                    }
+                    finish_barrier.wait();
+                    if aborted.load(Ordering::SeqCst) {
+                        if let Err(payload) = round {
+                            std::panic::resume_unwind(payload);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+
+        // Coordinator.
+        let mut next = start;
+        let mut next_dist = f64::INFINITY;
+        for _ in 0..k {
+            selected.push(next);
+            insertion_dist.push(next_dist);
+            center.store(next, Ordering::SeqCst);
+            start_barrier.wait();
+            finish_barrier.wait();
+            if aborted.load(Ordering::SeqCst) {
+                // A worker panicked this round; every party breaks at
+                // this barrier boundary and the scope re-raises the
+                // worker's panic after joining.
+                break;
+            }
+            // Fold chunk results in order; replace only on strict `>`
+            // so the earliest chunk (and within it the earliest index)
+            // wins ties — and a NaN chunk value never wins — exactly
+            // matching the sequential argmax rule.
+            let mut best: Option<(usize, f64)> = None;
+            for slot in locals.iter() {
+                let (i, v) = *slot.lock().expect("no poisoning");
+                match best {
+                    Some((_, bv)) => {
+                        if v > bv {
+                            best = Some((i, v));
+                        }
+                    }
+                    None => best = Some((i, v)),
+                }
+            }
+            let (far, far_dist) = best.expect("at least one worker");
+            next = far;
+            next_dist = far_dist;
+        }
+    });
 
     GmmOutcome {
         selected,
@@ -98,7 +259,7 @@ pub fn gmm<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) ->
 
 /// Convenience wrapper: GMM started from index 0 (the paper lets the
 /// initial point be arbitrary; a fixed start keeps runs deterministic).
-pub fn gmm_default<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> GmmOutcome {
+pub fn gmm_default<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> GmmOutcome {
     gmm(points, metric, k, 0)
 }
 

@@ -55,6 +55,10 @@
 pub mod coreset;
 pub mod doubling;
 pub mod eval;
+/// The scoped-thread parallel helper the hot loops are chunked with
+/// (re-exported from `metric::par`, which sits below every crate that
+/// needs it). `DIVMAX_THREADS` caps the thread budget.
+pub use metric::par;
 pub mod exact;
 pub mod generalized;
 pub mod gmm;

@@ -23,7 +23,7 @@ use metric::Metric;
 ///
 /// # Panics
 /// Panics if `points` is empty, `k == 0`, or `k_prime < k`.
-pub fn coreset_then_solve<P: Clone, M: Metric<P>>(
+pub fn coreset_then_solve<P: Clone + Sync, M: Metric<P>>(
     problem: Problem,
     points: &[P],
     metric: &M,
@@ -36,7 +36,7 @@ pub fn coreset_then_solve<P: Clone, M: Metric<P>>(
 }
 
 /// Extracts the problem-appropriate core-set (indices into `points`).
-pub fn extract_coreset<P, M: Metric<P>>(
+pub fn extract_coreset<P: Sync, M: Metric<P>>(
     problem: Problem,
     points: &[P],
     metric: &M,
@@ -52,7 +52,7 @@ pub fn extract_coreset<P, M: Metric<P>>(
 
 /// Runs the sequential algorithm on the subset `candidate_indices` of
 /// `points`, translating the result back to original indices.
-pub fn solve_on_subset<P: Clone, M: Metric<P>>(
+pub fn solve_on_subset<P: Clone + Sync, M: Metric<P>>(
     problem: Problem,
     points: &[P],
     metric: &M,

@@ -12,7 +12,7 @@ use crate::gmm::gmm_default;
 use metric::Metric;
 
 /// Selects `min(k, n)` indices by farthest-point traversal.
-pub fn select<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+pub fn select<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
     gmm_default(points, metric, k).selected
 }
 

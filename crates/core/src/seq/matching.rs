@@ -23,7 +23,7 @@ use metric::{DistanceMatrix, Metric};
 pub const MATRIX_CACHE_MAX: usize = 4096;
 
 /// Selects `min(k, n)` indices by greedy farthest-pair matching.
-pub fn select<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
+pub fn select<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> Vec<usize> {
     let n = points.len();
     let k = k.min(n);
     if n <= MATRIX_CACHE_MAX {

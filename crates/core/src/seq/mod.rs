@@ -26,7 +26,12 @@ use metric::Metric;
 ///
 /// # Panics
 /// Panics if `points` is empty or `k == 0`.
-pub fn solve<P, M: Metric<P>>(problem: Problem, points: &[P], metric: &M, k: usize) -> Solution {
+pub fn solve<P: Sync, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+) -> Solution {
     assert!(!points.is_empty(), "cannot solve on an empty input");
     assert!(k > 0, "k must be positive");
     let indices = match problem {

@@ -1,7 +1,13 @@
 //! Euclidean point-set generators.
+//!
+//! Every generator has a `*_dense` sibling that loads straight into a
+//! [`DenseStore`] (one flat coordinate buffer), the layout the batched
+//! distance kernels stream cache-linearly. The dense variants produce
+//! the *same* coordinates as their `Vec<VecPoint>` counterparts for
+//! the same seed, so results are comparable across layouts.
 
 use crate::standard_normal;
-use metric::VecPoint;
+use metric::{DenseStore, VecPoint};
 use rand::Rng;
 
 /// The paper's synthetic workload: `k` points on the surface of the unit
@@ -42,6 +48,40 @@ pub fn sphere_shell(n: usize, k: usize, dim: usize, seed: u64) -> (Vec<VecPoint>
         .collect();
     planted.sort_unstable();
     (points, planted)
+}
+
+/// [`sphere_shell`] loaded into contiguous SoA storage: same
+/// coordinates, same planted indices, cache-linear layout.
+pub fn sphere_shell_dense(n: usize, k: usize, dim: usize, seed: u64) -> (DenseStore, Vec<usize>) {
+    let (points, planted) = sphere_shell(n, k, dim, seed);
+    (DenseStore::from_points(&points), planted)
+}
+
+/// [`uniform_cube`] loaded into contiguous SoA storage.
+pub fn uniform_cube_dense(n: usize, dim: usize, seed: u64) -> DenseStore {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = crate::rng(seed);
+    let mut store = DenseStore::with_capacity(dim, n);
+    let mut row = vec![0.0f64; dim];
+    for _ in 0..n {
+        for c in row.iter_mut() {
+            *c = rng.gen::<f64>();
+        }
+        store.push(&row);
+    }
+    store
+}
+
+/// [`gaussian_clusters`] loaded into contiguous SoA storage.
+pub fn gaussian_clusters_dense(
+    n: usize,
+    centers: usize,
+    dim: usize,
+    std: f64,
+    seed: u64,
+) -> DenseStore {
+    let points = gaussian_clusters(n, centers, dim, std, seed);
+    DenseStore::from_points(&points)
 }
 
 /// `n` points uniform in the unit cube `[0, 1]^dim`.
@@ -164,6 +204,22 @@ mod tests {
     #[should_panic]
     fn sphere_shell_rejects_k_gt_n() {
         let _ = sphere_shell(5, 6, 2, 0);
+    }
+
+    #[test]
+    fn dense_variants_match_vec_variants() {
+        let (pts, planted) = sphere_shell(200, 8, 3, 17);
+        let (store, planted_d) = sphere_shell_dense(200, 8, 3, 17);
+        assert_eq!(planted, planted_d);
+        assert_eq!(store.to_points(), pts);
+
+        let cube = uniform_cube(150, 4, 9);
+        let cube_d = uniform_cube_dense(150, 4, 9);
+        assert_eq!(cube_d.to_points(), cube);
+
+        let blobs = gaussian_clusters(120, 5, 2, 0.05, 3);
+        let blobs_d = gaussian_clusters_dense(120, 5, 2, 0.05, 3);
+        assert_eq!(blobs_d.to_points(), blobs);
     }
 
     #[test]

@@ -28,7 +28,10 @@ mod euclidean_sets;
 mod zipf;
 
 pub use bag_of_words::{musixmatch_like, BagOfWordsConfig};
-pub use euclidean_sets::{gaussian_clusters, grid, sphere_shell, uniform_cube};
+pub use euclidean_sets::{
+    gaussian_clusters, gaussian_clusters_dense, grid, sphere_shell, sphere_shell_dense,
+    uniform_cube, uniform_cube_dense,
+};
 pub use zipf::Zipf;
 
 use rand::rngs::StdRng;

@@ -52,7 +52,7 @@ pub mod prelude {
         eval, exact, pipeline, seq, GenPair, GeneralizedCoreset, Problem, Solution,
     };
     pub use metric::{
-        CosineDistance, DistanceMatrix, Euclidean, Jaccard, Manhattan, Metric, SparseVector,
-        VecPoint,
+        CosineDistance, DenseRow, DenseStore, DistanceMatrix, Euclidean, Jaccard, Manhattan,
+        Metric, SparseVector, VecPoint,
     };
 }

@@ -159,8 +159,8 @@ impl<P: Clone> CoverHierarchy<P> {
 
         // Phase 1 — descend while covered. `views` records, per visited
         // level j, the near-view of C_j (complete for every center
-        // within 2^(j+2), by the pruning-retention induction in the
-        // module docs) and its min distance. Descent continues while
+        // within 3·2^j, by the pruning-retention induction below) and
+        // its min distance. Descent continues while
         // d(point, C_j) ≤ 2^(j+1) and stops either at the first
         // uncovered level or at the duplicate-bucket floor.
         let mut views: Vec<LevelView> = vec![(self.top_level, vec![(root, d_root)], d_root)];
@@ -173,7 +173,18 @@ impl<P: Clone> CoverHierarchy<P> {
                 break;
             }
             let mut view = self.extend_with_children(next, cands, &point, metric, stats);
-            let theta = 4.0 * scale_to_distance(next); // 2^(next+2)
+            // Pruning radius θ_j = 3·2^j. This is the tightest budget
+            // the covering argument sustains: a center c ∈ C_j with
+            // d(point, c) ≤ 3·2^j has its level-(j+1) ancestor a within
+            // d(point, a) ≤ 3·2^j + 2^(j+1) = 5·2^j ≤ θ_(j+1) = 6·2^j,
+            // so `a` survived the previous retain and `c` is in this
+            // view — inductively the view is complete out to 3·2^j.
+            // The descent and bubble-up only ever query the view for
+            // centers within the covering radius 2^(j+1) < 3·2^j, so
+            // nothing is lost, while the old θ_j = 4·2^j budget carried
+            // strictly more candidates per level (a measurable shrink
+            // in 3D; see `descent_views_complete_within_3_scale`).
+            let theta = 3.0 * scale_to_distance(next);
             view.retain(|&(_, d)| d <= theta);
             stats.max_candidates = stats.max_candidates.max(view.len());
             let d_min = view.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);

@@ -31,7 +31,7 @@ pub struct DynamicDiversity<P, M> {
     next_id: u64,
 }
 
-impl<P: Clone, M: Metric<P>> DynamicDiversity<P, M> {
+impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
     /// Creates an engine with the default configuration.
     pub fn new(metric: M) -> Self {
         Self::with_config(metric, DynamicConfig::default())

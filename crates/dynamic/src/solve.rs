@@ -73,7 +73,7 @@ pub fn extract_coreset<P: Clone>(
 
 /// Runs the sequential `α`-approximation on an extracted coreset,
 /// translating indices back to engine ids.
-pub fn solve_on_coreset<P: Clone, M: Metric<P>>(
+pub fn solve_on_coreset<P: Clone + Sync, M: Metric<P>>(
     cover: &CoverHierarchy<P>,
     metric: &M,
     problem: Problem,

@@ -152,6 +152,59 @@ proptest! {
     }
 }
 
+/// Assertion backing for the tightened insert-descent pruning radius
+/// (θ_j = 3·2^j, down from 4·2^j): after every insert — across scales
+/// from exact duplicates to 1e4 separations, in 3D — the full `O(n²)`
+/// invariant validation must hold (covering `d(p, parent) ≤
+/// 2^(level+1)`, separation `> 2^i` within `C_i`, residence-index
+/// consistency). If the slimmer views ever dropped a center the
+/// descent needed, a point would be placed without its true nearest
+/// cover parent and `validate` would trip the covering or separation
+/// assertion here.
+#[test]
+fn descent_views_complete_within_3_scale() {
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let mut alive: Vec<PointId> = Vec::new();
+    // Deterministic LCG so the workload mixes fine and coarse scales.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..220 {
+        // Scale cycles through 1e-2 .. 1e4; every 7th point duplicates
+        // an earlier coordinate exactly (bucket-floor path).
+        let scale = 10f64.powi((i % 7) as i32 - 2);
+        let p = if i % 7 == 6 && i >= 7 {
+            VecPoint::from([scale, 0.0, -scale])
+        } else {
+            VecPoint::from([
+                (next() - 0.5) * scale,
+                (next() - 0.5) * scale,
+                (next() - 0.5) * scale,
+            ])
+        };
+        alive.push(engine.insert(p));
+        engine.validate();
+        // Churn: delete an interior point every 5th insert, then
+        // validate the repair too (re-homing searches share the
+        // pruned-view machinery).
+        if i % 5 == 4 {
+            let victim = alive.remove((i * 31) % alive.len());
+            assert!(engine.delete(victim));
+            engine.validate();
+        }
+    }
+    assert_eq!(engine.len(), alive.len());
+    // The descent must still find exact-duplicate parents (the most
+    // pruning-sensitive placement: any missed candidate widens the
+    // zero-distance match into a bucket miss).
+    let sol = engine.solve_with_budget(Problem::RemoteEdge, 4, 32);
+    assert_eq!(sol.ids.len(), 4);
+}
+
 /// Deterministic end-to-end check on planted structure: k tight, far
 /// clusters; whatever interleaving of expirations happens, as long as
 /// one point per cluster survives, the dynamic solve recovers the

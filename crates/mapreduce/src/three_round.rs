@@ -143,7 +143,7 @@ where
 
 /// Evaluates a set of *global* indices by locating each point through
 /// the partition maps.
-fn evaluate_global<P: Clone, M: Metric<P>>(
+fn evaluate_global<P: Clone + Sync, M: Metric<P>>(
     problem: Problem,
     partitions: &Partitions<P>,
     metric: &M,

@@ -1,6 +1,6 @@
 //! The Chebyshev (`L∞`) metric.
 
-use crate::{Metric, VecPoint};
+use crate::{DenseRow, Metric, VecPoint};
 
 /// Chebyshev distance `d(u, v) = max |uᵢ − vᵢ|`.
 ///
@@ -12,6 +12,13 @@ pub struct Chebyshev;
 impl Metric<VecPoint> for Chebyshev {
     #[inline]
     fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+}
+
+impl Metric<DenseRow<'_>> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &DenseRow<'_>, b: &DenseRow<'_>) -> f64 {
         self.distance(a.coords(), b.coords())
     }
 }

@@ -1,6 +1,7 @@
 //! The Euclidean (`L2`) metric.
 
-use crate::{Metric, VecPoint};
+use crate::kernels;
+use crate::{DenseRow, Metric, VecPoint};
 
 /// Euclidean distance `d(u, v) = ‖u − v‖₂`.
 ///
@@ -15,10 +16,79 @@ use crate::{Metric, VecPoint};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Euclidean;
 
+/// The batch hooks are implemented once over coordinate rows
+/// (`kernels::euclidean_*`) and shared by the [`VecPoint`] and
+/// [`DenseRow`] impls; they are bitwise-identical to the scalar
+/// `distance` loop (see the `kernels` module docs for the argument,
+/// and `tests/batch_equivalence.rs` for the enforcement).
 impl Metric<VecPoint> for Euclidean {
     #[inline]
     fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
         self.distance(a.coords(), b.coords())
+    }
+
+    fn distance_many(&self, p: &VecPoint, others: &[VecPoint], out: &mut [f64]) {
+        kernels::euclidean_many(p.coords(), others.iter().map(VecPoint::coords), out);
+    }
+
+    fn relax(
+        &self,
+        center: &VecPoint,
+        points: &[VecPoint],
+        dists: &mut [f64],
+        assignment: &mut [usize],
+        cj: usize,
+    ) -> Option<(usize, f64)> {
+        kernels::euclidean_relax(
+            center.coords(),
+            points.iter().map(VecPoint::coords),
+            dists,
+            assignment,
+            cj,
+        )
+    }
+
+    fn distance_to_set_within(&self, p: &VecPoint, set: &[VecPoint], threshold: f64) -> bool {
+        kernels::euclidean_within(p.coords(), set.iter().map(VecPoint::coords), threshold)
+    }
+}
+
+/// The `DenseRow` hooks use the fused-verification kernels: each
+/// 8-point block checks whether its rows are consecutive rows of one
+/// flat buffer (exact — a permuted batch can never alias a run) and
+/// streams the flat coordinates cache-linearly when they are, falling
+/// back to per-row loads when they aren't. Both paths are
+/// bitwise-identical to the scalar loop.
+impl Metric<DenseRow<'_>> for Euclidean {
+    #[inline]
+    fn distance(&self, a: &DenseRow<'_>, b: &DenseRow<'_>) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+
+    fn distance_many(&self, p: &DenseRow<'_>, others: &[DenseRow<'_>], out: &mut [f64]) {
+        kernels::euclidean_many_rows(p.coords(), others, out);
+    }
+
+    fn relax(
+        &self,
+        center: &DenseRow<'_>,
+        points: &[DenseRow<'_>],
+        dists: &mut [f64],
+        assignment: &mut [usize],
+        cj: usize,
+    ) -> Option<(usize, f64)> {
+        kernels::euclidean_relax_rows(center.coords(), points, dists, assignment, cj)
+    }
+
+    fn distance_to_set_within(
+        &self,
+        p: &DenseRow<'_>,
+        set: &[DenseRow<'_>],
+        threshold: f64,
+    ) -> bool {
+        // Early exit beats blocking here: the first in-range row ends
+        // the scan, so the per-row kernel is the right shape.
+        kernels::euclidean_within(p.coords(), set.iter().map(DenseRow::coords), threshold)
     }
 }
 
@@ -26,12 +96,7 @@ impl Metric<[f64]> for Euclidean {
     #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-        let mut sum = 0.0;
-        for (x, y) in a.iter().zip(b.iter()) {
-            let d = x - y;
-            sum += d * d;
-        }
-        sum.sqrt()
+        crate::kernels::l2_sq(a, b).sqrt()
     }
 }
 

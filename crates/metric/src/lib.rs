@@ -46,11 +46,14 @@ pub mod doubling;
 mod euclidean;
 mod hamming;
 mod jaccard;
+mod kernels;
 mod levenshtein;
 mod lp;
 mod manhattan;
 mod matrix;
+pub mod par;
 mod sparse;
+mod store;
 mod traits;
 
 pub use bitset::BitSetPoint;
@@ -67,6 +70,7 @@ pub use lp::Lp;
 pub use manhattan::Manhattan;
 pub use matrix::DistanceMatrix;
 pub use sparse::SparseVector;
+pub use store::{DenseRow, DenseStore};
 pub use traits::Metric;
 
 /// Compares two `f64` distances, treating them as totally ordered.
@@ -85,14 +89,31 @@ pub fn cmp_dist(a: &f64, b: &f64) -> std::cmp::Ordering {
 /// which keeps the farthest-point traversals in `diversity-core`
 /// deterministic.
 pub fn argmax(values: &[f64]) -> Option<usize> {
-    let mut best: Option<(usize, f64)> = None;
-    for (i, &v) in values.iter().enumerate() {
-        match best {
-            Some((_, bv)) if v <= bv => {}
-            _ => best = Some((i, v)),
+    let (first, rest) = values.split_first()?;
+    let mut best = (0usize, *first);
+    for (i, &v) in rest.iter().enumerate() {
+        if v > best.1 {
+            best = (i + 1, v);
         }
     }
-    best.map(|(i, _)| i)
+    Some(best.0)
+}
+
+/// Returns `(index, value)` of the minimum entry, or `None` if
+/// `values` is empty. A candidate replaces iff strictly smaller
+/// (`v < best`), so ties resolve to the smallest index — the same
+/// first-minimum rule the scalar nearest-center scans use (which also
+/// means a NaN entry never wins), so batched argmin swaps stay
+/// behaviour-identical.
+pub fn argmin(values: &[f64]) -> Option<(usize, f64)> {
+    let (first, rest) = values.split_first()?;
+    let mut best = (0usize, *first);
+    for (i, &v) in rest.iter().enumerate() {
+        if v < best.1 {
+            best = (i + 1, v);
+        }
+    }
+    Some(best)
 }
 
 #[cfg(test)]

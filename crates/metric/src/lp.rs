@@ -1,6 +1,6 @@
 //! The general Minkowski (`Lp`) metric family.
 
-use crate::{Metric, VecPoint};
+use crate::{DenseRow, Metric, VecPoint};
 
 /// Minkowski distance `d(u, v) = (Σ |uᵢ − vᵢ|^p)^(1/p)` for `p ≥ 1`.
 ///
@@ -31,22 +31,66 @@ impl Lp {
     }
 }
 
+impl Lp {
+    /// The root-free inner sum `Σ |xᵢ − yᵢ|^p`, accumulated in the same
+    /// order as [`Lp::distance`] so the batched path stays
+    /// bitwise-identical.
+    #[inline]
+    fn powsum(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum()
+    }
+
+    /// Batched distances over coordinate rows: inner sums first, then
+    /// the `p`-th roots in one contiguous sweep. (`powf` is a libm
+    /// call either way, but the split keeps the memory-bound sum loop
+    /// tight; no threshold trick here — `powf` carries no strict
+    /// monotonicity guarantee, so eliding roots could flip outcomes.)
+    fn many_rows<'a>(
+        &self,
+        p: &[f64],
+        rows: impl ExactSizeIterator<Item = &'a [f64]>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), rows.len(), "output length mismatch");
+        for (o, q) in out.iter_mut().zip(rows) {
+            *o = self.powsum(p, q);
+        }
+        let inv = 1.0 / self.p;
+        for o in out.iter_mut() {
+            *o = o.powf(inv);
+        }
+    }
+}
+
 impl Metric<VecPoint> for Lp {
     #[inline]
     fn distance(&self, a: &VecPoint, b: &VecPoint) -> f64 {
         self.distance(a.coords(), b.coords())
     }
+
+    fn distance_many(&self, p: &VecPoint, others: &[VecPoint], out: &mut [f64]) {
+        self.many_rows(p.coords(), others.iter().map(VecPoint::coords), out);
+    }
+}
+
+impl Metric<DenseRow<'_>> for Lp {
+    #[inline]
+    fn distance(&self, a: &DenseRow<'_>, b: &DenseRow<'_>) -> f64 {
+        self.distance(a.coords(), b.coords())
+    }
+
+    fn distance_many(&self, p: &DenseRow<'_>, others: &[DenseRow<'_>], out: &mut [f64]) {
+        self.many_rows(p.coords(), others.iter().map(DenseRow::coords), out);
+    }
 }
 
 impl Metric<[f64]> for Lp {
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
-        let sum: f64 = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs().powf(self.p))
-            .sum();
-        sum.powf(1.0 / self.p)
+        self.powsum(a, b).powf(1.0 / self.p)
     }
 }
 

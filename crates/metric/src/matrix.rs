@@ -20,16 +20,84 @@ pub struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Computes all pairwise distances among `points` under `metric`.
-    /// `O(n²)` distance evaluations.
-    pub fn build<P, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+    /// `O(n²)` distance evaluations, parallelized over contiguous row
+    /// blocks when the pair count clears [`crate::par::PAR_MIN_WORK`]
+    /// (each block fills a disjoint span of the packed triangle, so the
+    /// result is identical to the sequential fill regardless of thread
+    /// count).
+    pub fn build<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        let pairs = points.len() * points.len().saturating_sub(1) / 2;
+        Self::build_with_threads(points, metric, crate::par::auto_threads(pairs))
+    }
+
+    /// [`DistanceMatrix::build`] with an explicit thread count
+    /// (`threads <= 1` runs sequentially). Output is identical for
+    /// every thread count; exposed for the determinism tests and the
+    /// kernel benches.
+    pub fn build_with_threads<P: Sync, M: Metric<P>>(
+        points: &[P],
+        metric: &M,
+        threads: usize,
+    ) -> Self {
         let n = points.len();
-        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for i in 1..n {
-            for j in 0..i {
-                data.push(metric.distance(&points[i], &points[j]));
+        let pairs = n * n.saturating_sub(1) / 2;
+        let mut data = vec![0.0f64; pairs];
+        if threads <= 1 {
+            Self::fill_rows(points, metric, 1, &mut data);
+        } else {
+            // Row i holds i entries: balance blocks by entry count, not
+            // row count, then hand each block its span of `data`.
+            let blocks = Self::balanced_row_blocks(n, threads);
+            let mut tasks = Vec::with_capacity(blocks.len());
+            let mut rest: &mut [f64] = &mut data;
+            for rows in blocks {
+                let span = span_len(&rows);
+                let (chunk, tail) = rest.split_at_mut(span);
+                rest = tail;
+                tasks.push(move || Self::fill_rows(&points[..rows.end], metric, rows.start, chunk));
             }
+            crate::par::run_tasks(tasks);
         }
         Self { n, data }
+    }
+
+    /// Fills `out` with the packed-triangle entries of rows
+    /// `first_row..` of `points` (row `i` contributes `d(i, j)` for all
+    /// `j < i`), stopping when `out` is full.
+    fn fill_rows<P, M: Metric<P>>(points: &[P], metric: &M, first_row: usize, out: &mut [f64]) {
+        let mut cursor = 0usize;
+        for i in first_row..points.len() {
+            for j in 0..i {
+                if cursor == out.len() {
+                    return;
+                }
+                out[cursor] = metric.distance(&points[i], &points[j]);
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, out.len(), "row block under-filled");
+    }
+
+    /// Partitions rows `1..n` into at most `parts` contiguous blocks of
+    /// near-equal total entry count (row `i` costs `i` entries).
+    fn balanced_row_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let total = n * n.saturating_sub(1) / 2;
+        if total == 0 {
+            return Vec::new();
+        }
+        let target = total.div_ceil(parts);
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 1usize;
+        let mut acc = 0usize;
+        for i in 1..n {
+            acc += i;
+            if acc >= target || i == n - 1 {
+                out.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        out
     }
 
     /// Builds a matrix from an explicit symmetric closure: `dist(i, j)`
@@ -81,6 +149,13 @@ impl DistanceMatrix {
     }
 }
 
+/// Number of packed-triangle entries contributed by rows `r.start..r.end`
+/// (row `i` contributes `i` entries).
+fn span_len(r: &std::ops::Range<usize>) -> usize {
+    let tri = |x: usize| x * x.saturating_sub(1) / 2;
+    tri(r.end) - tri(r.start)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +196,21 @@ mod tests {
         let m1 = DistanceMatrix::build(&pts(&[1.0]), &Euclidean);
         assert_eq!(m1.len(), 1);
         assert_eq!(m1.min_pairwise(), f64::INFINITY);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let points: Vec<VecPoint> = (0..97)
+            .map(|i| VecPoint::from([(i as f64) * 0.37 % 5.0, (i as f64) * 0.61 % 3.0]))
+            .collect();
+        let seq = DistanceMatrix::build_with_threads(&points, &Euclidean, 1);
+        for threads in [2usize, 3, 8, 200] {
+            let par = DistanceMatrix::build_with_threads(&points, &Euclidean, threads);
+            assert_eq!(seq.data.len(), par.data.len());
+            for (a, b) in seq.data.iter().zip(par.data.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

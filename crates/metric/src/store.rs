@@ -1,0 +1,317 @@
+//! A contiguous structure-of-arrays point store for dense `R^d` data.
+//!
+//! [`crate::VecPoint`] keeps each point's coordinates in its own heap
+//! allocation; a batch scan over `&[VecPoint]` therefore hops the heap
+//! once per point, which defeats hardware prefetching on exactly the
+//! `O(n·k)` loops the stack spends its time in. [`DenseStore`] packs
+//! all coordinates into one flat `Vec<f64>` (row-major, fixed
+//! dimension) so batched kernels stream cache-linearly, and exposes
+//! [`DenseRow`] — a zero-copy row view — so the same generic
+//! algorithms run unchanged over either representation.
+
+use crate::VecPoint;
+use serde::{Deserialize, Serialize};
+
+/// Row-major flat storage of `len` points in `R^dim`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseStore {
+    data: Vec<f64>,
+    dim: usize,
+}
+
+impl DenseStore {
+    /// An empty store of the given dimension.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            data: Vec::new(),
+            dim,
+        }
+    }
+
+    /// An empty store with room for `capacity` points.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            data: Vec::with_capacity(dim * capacity),
+            dim,
+        }
+    }
+
+    /// Wraps an existing row-major coordinate buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer length not a multiple of dim");
+        Self { data, dim }
+    }
+
+    /// Copies a slice of [`VecPoint`]s into contiguous storage.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty (the dimension would be unknown) or
+    /// the points disagree on dimension.
+    pub fn from_points(points: &[VecPoint]) -> Self {
+        assert!(!points.is_empty(), "cannot infer dimension of zero points");
+        let dim = points[0].dim();
+        let mut data = Vec::with_capacity(dim * points.len());
+        for p in points {
+            assert_eq!(p.dim(), dim, "inconsistent point dimensions");
+            data.extend_from_slice(p.coords());
+        }
+        Self { data, dim }
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dim()`.
+    pub fn push(&mut self, coords: &[f64]) {
+        assert_eq!(coords.len(), self.dim, "dimension mismatch");
+        debug_assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "coordinates must be finite"
+        );
+        self.data.extend_from_slice(coords);
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The ambient dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coordinates of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole row-major coordinate buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Zero-copy row views, in order — the `&[P]` the generic
+    /// algorithms consume. Each view carries the whole-buffer borrow,
+    /// so any contiguous chunk of this vector lets the batched kernels
+    /// recover the underlying flat slice (see
+    /// [`DenseRow::contiguous_run`]).
+    pub fn rows(&self) -> Vec<DenseRow<'_>> {
+        (0..self.len())
+            .map(|i| DenseRow::in_buffer(&self.data, i * self.dim, self.dim))
+            .collect()
+    }
+
+    /// Iterates over the coordinate rows.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Materializes row `i` as an owning [`VecPoint`].
+    pub fn point(&self, i: usize) -> VecPoint {
+        VecPoint::new(self.row(i).to_vec())
+    }
+
+    /// Materializes every row (for interop with owning APIs).
+    pub fn to_points(&self) -> Vec<VecPoint> {
+        (0..self.len()).map(|i| self.point(i)).collect()
+    }
+}
+
+/// A borrowed view of one [`DenseStore`] row; implements the same
+/// metrics as [`VecPoint`], so every algorithm generic over
+/// `(P, M: Metric<P>)` accepts `&[DenseRow]` unchanged.
+///
+/// The view keeps a borrow of the store's *entire* flat buffer plus
+/// the row's offset (rather than just the row's own slice). That lets
+/// the batched kernels detect when a `&[DenseRow]` batch is a
+/// contiguous run of one buffer — the common case, `store.rows()` or
+/// any chunk of it — and reassemble the underlying flat slice to
+/// stream it with one cache-linear, bounds-check-free blocked loop.
+/// Subsets and permutations still work; they just take the per-row
+/// path.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseRow<'a> {
+    pub(crate) flat: &'a [f64],
+    pub(crate) offset: usize,
+    pub(crate) dim: usize,
+}
+
+impl<'a> DenseRow<'a> {
+    /// Wraps a standalone coordinate slice (a run of one row).
+    #[inline]
+    pub fn new(coords: &'a [f64]) -> Self {
+        Self {
+            flat: coords,
+            offset: 0,
+            dim: coords.len(),
+        }
+    }
+
+    /// A view of row `offset/dim` inside a shared flat buffer.
+    #[inline]
+    fn in_buffer(flat: &'a [f64], offset: usize, dim: usize) -> Self {
+        debug_assert!(offset + dim <= flat.len());
+        Self { flat, offset, dim }
+    }
+
+    /// Coordinate slice view.
+    #[inline]
+    pub fn coords(&self) -> &'a [f64] {
+        &self.flat[self.offset..self.offset + self.dim]
+    }
+
+    /// The ambient dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// An owning copy.
+    pub fn to_point(&self) -> VecPoint {
+        VecPoint::new(self.coords().to_vec())
+    }
+
+    /// If `rows` is a contiguous run of consecutive rows of one flat
+    /// buffer, returns that run as `(flat_slice, dim)`; otherwise
+    /// `None`. One pointer/offset comparison per row — cheap relative
+    /// to any distance kernel — and exact: every row is checked, so a
+    /// permuted or subsetted batch can never masquerade as a run.
+    pub fn contiguous_run(rows: &[DenseRow<'a>]) -> Option<(&'a [f64], usize)> {
+        let first = rows.first()?;
+        let dim = first.dim;
+        if dim == 0 {
+            return None;
+        }
+        let base = first.offset;
+        for (i, r) in rows.iter().enumerate() {
+            if !std::ptr::eq(r.flat, first.flat) || r.dim != dim || r.offset != base + i * dim {
+                return None;
+            }
+        }
+        Some((&first.flat[base..base + rows.len() * dim], dim))
+    }
+}
+
+impl PartialEq for DenseRow<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords() == other.coords()
+    }
+}
+
+impl std::ops::Index<usize> for DenseRow<'_> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords()[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_row_roundtrip() {
+        let mut s = DenseStore::new(3);
+        s.push(&[1.0, 2.0, 3.0]);
+        s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.rows()[0].coords(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_points_matches_to_points() {
+        let pts = vec![VecPoint::from([1.0, 2.0]), VecPoint::from([3.0, 4.0])];
+        let s = DenseStore::from_points(&pts);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.to_points(), pts);
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        let s = DenseStore::from_flat(vec![0.0; 12], 4);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_flat_rejects_ragged() {
+        let _ = DenseStore::from_flat(vec![0.0; 7], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_wrong_dim() {
+        let mut s = DenseStore::new(2);
+        s.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let mut s = DenseStore::new(2);
+        s.push(&[1.0, 2.0]);
+        s.push(&[3.0, 4.0]);
+        let flat = s.as_flat();
+        assert_eq!(flat, &[1.0, 2.0, 3.0, 4.0]);
+        let r0 = s.row(0).as_ptr();
+        let r1 = s.row(1).as_ptr();
+        assert_eq!(unsafe { r0.add(2) }, r1, "rows back to back in memory");
+    }
+
+    #[test]
+    fn contiguous_run_detection() {
+        let s = DenseStore::from_flat((0..30).map(|i| i as f64).collect(), 3);
+        let rows = s.rows();
+        // Full view and any chunk are runs.
+        let (flat, dim) = DenseRow::contiguous_run(&rows).expect("full view is a run");
+        assert_eq!(dim, 3);
+        assert_eq!(flat, s.as_flat());
+        let (chunk, _) = DenseRow::contiguous_run(&rows[2..7]).expect("chunk is a run");
+        assert_eq!(chunk, &s.as_flat()[6..21]);
+        // Permutations, subsets with gaps, and cross-store mixtures are not.
+        let perm = vec![rows[0], rows[2], rows[1], rows[3]];
+        assert!(DenseRow::contiguous_run(&perm).is_none());
+        let gap = vec![rows[0], rows[2]];
+        assert!(DenseRow::contiguous_run(&gap).is_none());
+        let other = DenseStore::from_flat(vec![0.0; 6], 3);
+        let mixed = vec![rows[0], other.rows()[0]];
+        assert!(DenseRow::contiguous_run(&mixed).is_none());
+        // Standalone rows (DenseRow::new) are single-row runs.
+        let lone = [DenseRow::new(&[1.0, 2.0])];
+        assert!(DenseRow::contiguous_run(&lone).is_some());
+        assert!(DenseRow::contiguous_run(&[]).is_none());
+    }
+
+    #[test]
+    fn iter_rows_agrees_with_row() {
+        let s = DenseStore::from_flat((0..12).map(|i| i as f64).collect(), 3);
+        for (i, r) in s.iter_rows().enumerate() {
+            assert_eq!(r, s.row(i));
+        }
+        assert_eq!(s.iter_rows().len(), 4);
+    }
+}

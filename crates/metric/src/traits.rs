@@ -34,14 +34,132 @@ pub trait Metric<P: ?Sized>: Send + Sync {
             .map(|q| self.distance(p, q))
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Batch hook: writes `d(p, others[i])` into `out[i]` for every `i`.
+    ///
+    /// The default is the obvious loop over [`Metric::distance`];
+    /// metrics with a cheap coordinate representation (Euclidean,
+    /// Manhattan, Lp) override it with an auto-vectorizable kernel.
+    /// Overrides MUST be *bitwise-identical* to the default loop — the
+    /// algorithms in `diversity-core` rely on this for deterministic,
+    /// layout-independent results, and the property tests in
+    /// `tests/batch_equivalence.rs` enforce it.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != others.len()`.
+    fn distance_many(&self, p: &P, others: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        assert_eq!(out.len(), others.len(), "output length mismatch");
+        for (o, q) in out.iter_mut().zip(others.iter()) {
+            *o = self.distance(p, q);
+        }
+    }
+
+    /// Batch hook: the GMM relaxation step. For every `i`, computes
+    /// `d = d(center, points[i])` and, **iff `d < dists[i]`**, sets
+    /// `dists[i] = d` and `assignment[i] = cj` (strict `<` keeps ties
+    /// assigned to the earliest center, matching Algorithm 1). Returns
+    /// the farthest survivor — `(index, value)` of the maximum of the
+    /// *updated* `dists`, ties to the smallest index (the argmax GMM
+    /// needs next, folded in so the traversal saves a second sweep) —
+    /// or `None` when `points` is empty.
+    ///
+    /// This is *threshold-aware*: an override may skip the expensive
+    /// part of a distance (e.g. the square root) whenever it can prove
+    /// the comparison fails, but the observable effect on `dists` /
+    /// `assignment` and the returned argmax MUST be bitwise-identical
+    /// to the default loop, and each index must be treated
+    /// independently (element-wise) so the parallel GMM may relax
+    /// disjoint chunks on separate threads.
+    ///
+    /// # Panics
+    /// Panics if `dists.len()` or `assignment.len()` differ from
+    /// `points.len()`.
+    fn relax(
+        &self,
+        center: &P,
+        points: &[P],
+        dists: &mut [f64],
+        assignment: &mut [usize],
+        cj: usize,
+    ) -> Option<(usize, f64)>
+    where
+        P: Sized,
+    {
+        assert_eq!(dists.len(), points.len(), "dists length mismatch");
+        assert_eq!(assignment.len(), points.len(), "assignment length mismatch");
+        for (i, p) in points.iter().enumerate() {
+            let d = self.distance(center, p);
+            if d < dists[i] {
+                dists[i] = d;
+                assignment[i] = cj;
+            }
+        }
+        crate::argmax(dists).map(|i| (i, dists[i]))
+    }
+
+    /// Early-exit membership check: `true` iff some `q ∈ set` has
+    /// `d(p, q) <= threshold`. Scanning stops at the first hit, so on
+    /// covered inputs this inspects far fewer points than
+    /// [`Metric::distance_to_set`]; overrides may additionally skip the
+    /// expensive tail of each distance (see the Euclidean kernel), but
+    /// must decide every comparison exactly as the default does.
+    fn distance_to_set_within(&self, p: &P, set: &[P], threshold: f64) -> bool
+    where
+        P: Sized,
+    {
+        set.iter().any(|q| self.distance(p, q) <= threshold)
+    }
 }
 
 // A reference to a metric is itself a metric: this lets algorithms take
-// metrics by value while callers keep ownership.
+// metrics by value while callers keep ownership. Every method forwards
+// so batch-kernel overrides survive the indirection.
 impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
     #[inline]
     fn distance(&self, a: &P, b: &P) -> f64 {
         (**self).distance(a, b)
+    }
+
+    #[inline]
+    fn distance_to_set(&self, p: &P, set: &[P]) -> f64
+    where
+        P: Sized,
+    {
+        (**self).distance_to_set(p, set)
+    }
+
+    #[inline]
+    fn distance_many(&self, p: &P, others: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        (**self).distance_many(p, others, out)
+    }
+
+    #[inline]
+    fn relax(
+        &self,
+        center: &P,
+        points: &[P],
+        dists: &mut [f64],
+        assignment: &mut [usize],
+        cj: usize,
+    ) -> Option<(usize, f64)>
+    where
+        P: Sized,
+    {
+        (**self).relax(center, points, dists, assignment, cj)
+    }
+
+    #[inline]
+    fn distance_to_set_within(&self, p: &P, set: &[P], threshold: f64) -> bool
+    where
+        P: Sized,
+    {
+        (**self).distance_to_set_within(p, set, threshold)
     }
 }
 

@@ -22,7 +22,7 @@ pub fn one_pass<P, M, I>(
     stream: I,
 ) -> StreamSolution<P>
 where
-    P: Clone,
+    P: Clone + Sync,
     M: Metric<P>,
     I: IntoIterator<Item = P>,
 {
@@ -38,7 +38,7 @@ where
 /// Runs the sequential algorithm on an in-memory core-set, producing a
 /// [`StreamSolution`]. Shared by [`one_pass`] and the experiment
 /// harnesses (which need to time the two stages separately).
-pub fn solve_on<P: Clone, M: Metric<P>>(
+pub fn solve_on<P: Clone + Sync, M: Metric<P>>(
     problem: Problem,
     metric: &M,
     k: usize,

@@ -55,7 +55,7 @@ pub fn two_pass<P, M, I, F>(
     mut stream: F,
 ) -> TwoPassResult<P>
 where
-    P: Clone + PartialEq,
+    P: Clone + PartialEq + Sync,
     M: Metric<P>,
     I: IntoIterator<Item = P>,
     F: FnMut() -> I,
@@ -116,7 +116,7 @@ fn instantiation_pass<P, M, I>(
     stream: I,
 ) -> PassTwoOutcome<P>
 where
-    P: Clone + PartialEq,
+    P: Clone + PartialEq + Sync,
     M: Metric<P>,
     I: IntoIterator<Item = P>,
 {

@@ -491,7 +491,7 @@ mod tests {
     fn primitives_roundtrip() {
         roundtrip(42usize);
         roundtrip(-7i64);
-        roundtrip(3.141592653589793f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(1e-300f64);
         roundtrip(f64::INFINITY);
         roundtrip(true);
