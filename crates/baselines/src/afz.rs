@@ -142,6 +142,7 @@ where
         }
     }
 
+    let solve_input_size = union_points.len();
     let union_input = vec![(union_points, union_globals)];
     let (mut round2_out, round2_stats) = runtime.run_round(
         "round2:solve",
@@ -161,6 +162,7 @@ where
     AfzOutcome {
         mr: MrOutcome {
             solution: round2_out.pop().expect("single reducer"),
+            solve_input_size,
             stats,
         },
         total_swaps,

@@ -1,6 +1,7 @@
 //! GMM-EXT (Algorithm 1 of the paper): kernel plus delegates.
 
-use crate::gmm::gmm_default;
+use crate::gmm::gmm_with_threads;
+use crate::par;
 use metric::Metric;
 
 /// Output of [`gmm_ext`].
@@ -43,8 +44,24 @@ pub fn gmm_ext<P: Sync, M: Metric<P>>(
     k: usize,
     k_prime: usize,
 ) -> GmmExtOutcome {
+    gmm_ext_with_threads(points, metric, k, k_prime, par::auto_threads(points.len()))
+}
+
+/// [`gmm_ext`] with an explicit thread count for the underlying
+/// farthest-point traversal (`threads <= 1` runs sequentially; the
+/// outcome is bit-identical for every thread count).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0` or `k_prime == 0`.
+pub fn gmm_ext_with_threads<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    threads: usize,
+) -> GmmExtOutcome {
     assert!(k > 0, "k must be positive");
-    let outcome = gmm_default(points, metric, k_prime);
+    let outcome = gmm_with_threads(points, metric, k_prime, 0, threads);
     let radius = outcome.radius();
     let kernel = outcome.selected;
 

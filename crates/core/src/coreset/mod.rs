@@ -19,7 +19,7 @@
 mod gmm_ext;
 mod gmm_gen;
 
-pub use gmm_ext::{gmm_ext, GmmExtOutcome};
+pub use gmm_ext::{gmm_ext, gmm_ext_with_threads, GmmExtOutcome};
 pub use gmm_gen::{gmm_gen, GmmGenOutcome};
 
 use crate::gmm::gmm_default;
@@ -33,6 +33,21 @@ use metric::Metric;
 /// Panics if `points` is empty or `k_prime == 0`.
 pub fn gmm_coreset<P: Sync, M: Metric<P>>(points: &[P], metric: &M, k_prime: usize) -> Vec<usize> {
     gmm_default(points, metric, k_prime).selected
+}
+
+/// [`gmm_coreset`] with an explicit thread count for the underlying
+/// farthest-point traversal (`threads <= 1` runs sequentially; the
+/// selection is bit-identical for every thread count).
+///
+/// # Panics
+/// Panics if `points` is empty or `k_prime == 0`.
+pub fn gmm_coreset_with_threads<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k_prime: usize,
+    threads: usize,
+) -> Vec<usize> {
+    crate::gmm::gmm_with_threads(points, metric, k_prime, 0, threads).selected
 }
 
 /// Suggested kernel size `k'` for a target accuracy `ε` and doubling
@@ -59,6 +74,14 @@ pub fn theoretical_kernel_size(problem: crate::Problem, k: usize, eps: f64, dim:
 /// (theory constants are pessimistic — the paper's experiments show
 /// small multiples of `k` suffice, so callers typically cap at
 /// `8k`–`64k`).
+///
+/// **Clamp caveat:** the result is clamped to `[k, max(max_size, k)]`,
+/// so a `max_size` *below* `k` is silently inflated to `k` rather than
+/// honoured or rejected — a core-set smaller than `k` could never
+/// contain a `k`-point solution. This legacy behaviour is kept for
+/// compatibility; the high-level `diversity::Budget::Auto` path
+/// surfaces the same situation as a typed `BudgetTooSmall` error
+/// instead of clamping.
 ///
 /// # Panics
 /// Panics if `sample` is empty or `k == 0` or `eps` outside `(0, 1]`.

@@ -252,12 +252,18 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
     pub fn new(k: usize, k_prime: usize) -> Self {
         assert!(k >= 1, "k must be positive");
         assert!(k_prime >= k, "k' must be at least k");
+        // The reservation is only a warm-up optimization: resident
+        // centers are bounded by min(k'+1, points seen), so a huge k'
+        // (theory-driven sizing can produce astronomical values) must
+        // not translate into a huge upfront allocation — growth beyond
+        // the cap is amortized as centers actually appear.
+        let reserve = k_prime.saturating_add(1).min(1 << 16);
         Self {
             k,
             k_prime,
             threshold: None,
-            centers: Vec::with_capacity(k_prime + 1),
-            center_points: Vec::with_capacity(k_prime + 1),
+            centers: Vec::with_capacity(reserve),
+            center_points: Vec::with_capacity(reserve),
             removed: Vec::new(),
             phases: 0,
             points_seen: 0,

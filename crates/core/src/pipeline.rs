@@ -5,8 +5,17 @@
 //! memory and the best sequential algorithm runs on it. This module is
 //! that final step, used directly for single-machine runs and reused by
 //! the `diversity-streaming` and `diversity-mapreduce` crates.
+//!
+//! These free functions are the stable **low-level layer**: they take
+//! raw `(k, k')` parameters and `panic!` on degenerate inputs, which
+//! suits experiment harnesses that control their own arguments. The
+//! `diversity` facade crate's `Task` builder wraps this layer with
+//! upfront validation (typed errors instead of panics), accuracy-budget
+//! sizing, and a uniform report type — prefer it at application
+//! boundaries.
 
-use crate::coreset::{gmm_coreset, gmm_ext};
+use crate::coreset::{gmm_coreset_with_threads, gmm_ext_with_threads};
+use crate::par;
 use crate::{seq, Problem, Solution};
 use metric::Metric;
 
@@ -30,8 +39,33 @@ pub fn coreset_then_solve<P: Clone + Sync, M: Metric<P>>(
     k: usize,
     k_prime: usize,
 ) -> Solution {
+    coreset_then_solve_with_threads(
+        problem,
+        points,
+        metric,
+        k,
+        k_prime,
+        par::auto_threads(points.len()),
+    )
+}
+
+/// [`coreset_then_solve`] with an explicit thread count for the
+/// core-set extraction stage (`threads <= 1` runs it sequentially; the
+/// result is bit-identical for every thread count).
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `k_prime < k`.
+pub fn coreset_then_solve_with_threads<P: Clone + Sync, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    threads: usize,
+) -> Solution {
     assert!(k_prime >= k, "k' must be at least k (k'={k_prime}, k={k})");
-    let coreset_indices = extract_coreset(problem, points, metric, k, k_prime);
+    let coreset_indices =
+        extract_coreset_with_threads(problem, points, metric, k, k_prime, threads);
     solve_on_subset(problem, points, metric, k, &coreset_indices)
 }
 
@@ -43,10 +77,30 @@ pub fn extract_coreset<P: Sync, M: Metric<P>>(
     k: usize,
     k_prime: usize,
 ) -> Vec<usize> {
+    extract_coreset_with_threads(
+        problem,
+        points,
+        metric,
+        k,
+        k_prime,
+        par::auto_threads(points.len()),
+    )
+}
+
+/// [`extract_coreset`] with an explicit thread count for the underlying
+/// farthest-point traversal.
+pub fn extract_coreset_with_threads<P: Sync, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    threads: usize,
+) -> Vec<usize> {
     if problem.needs_injective_proxy() {
-        gmm_ext(points, metric, k, k_prime).coreset
+        gmm_ext_with_threads(points, metric, k, k_prime, threads).coreset
     } else {
-        gmm_coreset(points, metric, k_prime)
+        gmm_coreset_with_threads(points, metric, k_prime, threads)
     }
 }
 

@@ -1,0 +1,114 @@
+//! The typed error vocabulary of the [`crate::Task`] front door.
+//!
+//! The low-level free functions (`core::pipeline`,
+//! `streaming::pipeline`, the MapReduce drivers, the dynamic engine)
+//! keep their documented `panic!` contracts — they are experiment-
+//! harness plumbing whose callers control every argument. `Task`
+//! validates the same conditions *upfront* and returns these errors
+//! instead, so a serving layer can reject a malformed job spec without
+//! unwinding.
+
+use crate::task::Strategy;
+use diversity_core::Problem;
+
+/// Everything that can go wrong between building a [`crate::Task`] and
+/// obtaining a [`crate::Report`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DivError {
+    /// The input point set (or partitioned input, or dynamic engine)
+    /// contains no points.
+    EmptyInput,
+    /// The stream yielded no items. Detected on the first poll of the
+    /// iterator — *before* any processing — unlike the legacy
+    /// `streaming::pipeline::one_pass`, which consumed the entire
+    /// stream before panicking on emptiness.
+    EmptyStream,
+    /// `k` is outside `1..=n`. `n` is `None` when the input size is
+    /// unknowable upfront (a stream rejected for `k == 0`); a stream
+    /// that ends with fewer than `k` items reports `n = Some(seen)`.
+    InvalidK { k: usize, n: Option<usize> },
+    /// The resolved kernel budget `k'` is smaller than `k`: a core-set
+    /// smaller than `k` can never contain a `k`-point solution. Raised
+    /// by [`crate::Budget::KPrime`] with `k' < k` and by
+    /// [`crate::Budget::Auto`] with a cap below `k` (which the legacy
+    /// `coreset::suggest_kernel_size` silently clamps instead).
+    BudgetTooSmall { k_prime: usize, k: usize },
+    /// An accuracy target outside `(0, 1]` (the range Theorems 4–5
+    /// cover).
+    InvalidEps { eps: f64 },
+    /// The strategy's preconditions exclude this problem: the 3-round
+    /// and randomized algorithms save *delegates*, which only the four
+    /// injective-proxy problems carry (remote-edge/cycle have none —
+    /// use [`Strategy::TwoRound`]).
+    UnsupportedStrategy {
+        problem: Problem,
+        strategy: Strategy,
+    },
+    /// [`Strategy::Recursive`] with a zero per-reducer memory budget.
+    InvalidMemoryLimit,
+    /// The caller-built [`crate::mapreduce::Partitions`] is
+    /// inconsistent: part/index rows of different lengths, or
+    /// `global_indices` not a permutation of `0..n`. (The partition
+    /// constructors in `mapreduce::partition` always produce consistent
+    /// ones; this guards hand-assembled or wire-received partitions.)
+    MalformedPartitions { reason: String },
+}
+
+impl std::fmt::Display for DivError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivError::EmptyInput => write!(f, "input contains no points"),
+            DivError::EmptyStream => write!(f, "stream yielded no items"),
+            DivError::InvalidK { k, n: Some(n) } => {
+                write!(f, "k must satisfy 1 <= k <= n (k={k}, n={n})")
+            }
+            DivError::InvalidK { k, n: None } => {
+                write!(f, "k must be positive (k={k})")
+            }
+            DivError::BudgetTooSmall { k_prime, k } => {
+                write!(f, "kernel budget k'={k_prime} cannot hold a k={k} solution")
+            }
+            DivError::InvalidEps { eps } => {
+                write!(f, "accuracy target eps={eps} outside (0, 1]")
+            }
+            DivError::UnsupportedStrategy { problem, strategy } => {
+                write!(
+                    f,
+                    "{strategy:?} saves delegates, which {problem} does not use; \
+                     use Strategy::TwoRound"
+                )
+            }
+            DivError::InvalidMemoryLimit => {
+                write!(f, "recursive strategy needs a positive memory limit")
+            }
+            DivError::MalformedPartitions { reason } => {
+                write!(f, "malformed partitions: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DivError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DivError::BudgetTooSmall { k_prime: 3, k: 5 };
+        assert!(e.to_string().contains("k'=3"));
+        assert!(e.to_string().contains("k=5"));
+        let e = DivError::InvalidK { k: 9, n: Some(4) };
+        assert!(e.to_string().contains("k=9"));
+        assert!(e.to_string().contains("n=4"));
+        let e = DivError::InvalidK { k: 0, n: None };
+        assert!(e.to_string().contains("k=0"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&DivError::EmptyInput);
+    }
+}

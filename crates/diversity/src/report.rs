@@ -1,0 +1,164 @@
+//! The uniform result type every [`crate::Task`] entry point returns.
+//!
+//! The paper's pipelines all end the same way — a core-set in one
+//! machine's memory, the sequential `α`-approximation run on it — but
+//! the legacy free functions return differently-shaped results
+//! (`Solution` with indices, `StreamSolution` with owned points,
+//! `MrOutcome`/`DynamicSolution` wrappers). [`Report`] unifies them:
+//! selected **indices and owned points**, the objective value, core-set
+//! provenance, per-stage timings, and — when the task was sized from an
+//! accuracy target — the theory-side `(α + ε)` certificate.
+
+use diversity_core::Problem;
+use serde::{Deserialize, Serialize};
+
+/// Which execution substrate produced a [`Report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Single-machine core-set pipeline (`pipeline::coreset_then_solve`).
+    Sequential,
+    /// One-pass streaming (Theorem 3).
+    Streaming,
+    /// Simulated MapReduce (Theorems 6–8, 10).
+    MapReduce,
+    /// The fully dynamic cover-hierarchy engine.
+    Dynamic,
+}
+
+/// Wall-clock time of one named pipeline stage (a MapReduce round, the
+/// core-set extraction, the final sequential solve, ...).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage label, e.g. `"coreset"`, `"solve"`, `"round1:coreset"`.
+    pub stage: String,
+    /// Stage wall-clock in seconds.
+    pub secs: f64,
+}
+
+/// The theory-side accuracy certificate attached when the task was
+/// sized with [`crate::Budget::Eps`]: on inputs of doubling dimension
+/// at most the budget's `dim`, the executing backend's theorem
+/// (Theorem 3 streaming, Theorems 5–6 MapReduce, their `ℓ = 1` case
+/// sequentially — each with its own kernel sizing, which the budget
+/// resolution applies) guarantees `value >= OPT / (alpha + eps)`. The
+/// dynamic backend never attaches one (see
+/// [`crate::Task::run_dynamic`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The sequential algorithm's approximation factor `α` (Table 1).
+    pub alpha: f64,
+    /// The accuracy target the kernel was sized for.
+    pub eps: f64,
+    /// The combined guarantee `α + ε`.
+    pub factor: f64,
+}
+
+/// The uniform result of a diversity task, identical in shape across
+/// all four backends.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report<P> {
+    /// The objective that was maximized.
+    pub problem: Problem,
+    /// The substrate that executed the task.
+    pub backend: Backend,
+    /// Requested solution size; `indices`/`points` have exactly this
+    /// many entries.
+    pub k: usize,
+    /// The resolved kernel budget `k'` the core-set was built with.
+    pub k_prime: usize,
+    /// Size of the core-set the final sequential solve ran on (for
+    /// MapReduce: the union of per-partition core-sets shipped out of
+    /// the last extraction round).
+    pub coreset_size: usize,
+    /// The selected points' positions in the backend's index space:
+    /// slice positions (sequential), original positions through the
+    /// partition mapping (MapReduce), stream arrival order (streaming),
+    /// or [`diversity_dynamic::PointId`] values (dynamic — insertion
+    /// order on an insert-only engine).
+    pub indices: Vec<usize>,
+    /// The selected points themselves, aligned with `indices`.
+    pub points: Vec<P>,
+    /// `div(points)` under `problem`'s objective.
+    pub value: f64,
+    /// Per-stage wall-clock timings, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// Present iff the task's budget was [`crate::Budget::Eps`].
+    pub certificate: Option<Certificate>,
+}
+
+impl<P> Report<P> {
+    /// Number of selected points (always `k` on success).
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` if nothing was selected (never the case on success).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Total wall-clock across all recorded stages, in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.timings.iter().map(|t| t.secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric::VecPoint;
+
+    fn sample() -> Report<VecPoint> {
+        Report {
+            problem: Problem::RemoteClique,
+            backend: Backend::MapReduce,
+            k: 2,
+            k_prime: 8,
+            coreset_size: 5,
+            indices: vec![3, 7],
+            points: vec![VecPoint::from([0.0, 1.0]), VecPoint::from([2.5, -1.0])],
+            value: 4.25,
+            timings: vec![
+                StageTiming {
+                    stage: "round1:coreset".into(),
+                    secs: 0.25,
+                },
+                StageTiming {
+                    stage: "round2:solve".into(),
+                    secs: 0.5,
+                },
+            ],
+            certificate: Some(Certificate {
+                alpha: 2.0,
+                eps: 0.5,
+                factor: 2.5,
+            }),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!((r.total_secs() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn certificate_none_roundtrips() {
+        let mut r = sample();
+        r.certificate = None;
+        let json = serde_json::to_string(&r).expect("serialize");
+        assert!(json.contains("\"certificate\":null"));
+        let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(r, back);
+    }
+}

@@ -12,6 +12,15 @@ use metric::Metric;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PointId(pub(crate) u64);
 
+impl PointId {
+    /// The numeric id. Ids count up from 0 in insertion order, so on an
+    /// engine that has only seen inserts this doubles as the insertion
+    /// index (the `diversity::Task` front door reports it as such).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 impl std::fmt::Display for PointId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "#{}", self.0)

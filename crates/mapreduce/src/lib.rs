@@ -31,6 +31,13 @@
 //! Partitioning strategies (round-robin, seeded random, and the
 //! adversarial sorted-chunk partitioning of Section 7.2) live in
 //! [`partition`].
+//!
+//! The per-algorithm free functions are the stable low-level layer:
+//! raw `(k, k')` parameters, panicking contracts, full [`MrStats`]
+//! accounting. The `diversity` facade's `Task::run_mapreduce` wraps
+//! them behind one validated, non-panicking entry point that selects
+//! the algorithm via a `Strategy` value and returns the cross-backend
+//! `Report` shape.
 
 pub mod partition;
 pub mod randomized;
@@ -50,6 +57,11 @@ use diversity_core::Solution;
 pub struct MrOutcome {
     /// Solution with indices into the caller's original point slice.
     pub solution: Solution,
+    /// Size of the core-set the final sequential solve consumed: the
+    /// union of per-partition core-sets (2-round variants), the union
+    /// generalized core-set's size (3-round), or the surviving working
+    /// set (recursive).
+    pub solve_input_size: usize,
     /// Per-round statistics (memory, shuffle, wall time).
     pub stats: MrStats,
 }

@@ -39,6 +39,35 @@ where
     P: Clone + Send + Sync,
     M: Metric<P>,
 {
+    recursive_owned(
+        problem,
+        points.to_vec(),
+        metric,
+        k,
+        k_prime,
+        memory_limit,
+        runtime,
+    )
+}
+
+/// [`recursive`] taking ownership of the input: the level-0 working set
+/// *is* the passed vector, avoiding one full copy of the dataset.
+///
+/// # Panics
+/// Same contract as [`recursive`].
+pub fn recursive_owned<P, M>(
+    problem: Problem,
+    points: Vec<P>,
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    memory_limit: usize,
+    runtime: &MapReduceRuntime,
+) -> MrOutcome
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
     assert!(!points.is_empty(), "empty input");
     assert!(k > 0, "k must be positive");
     assert!(k_prime >= k, "k' must be at least k");
@@ -46,8 +75,8 @@ where
 
     let mut stats = MrStats::default();
     // Working set: points + their indices into the original input.
-    let mut working: Vec<P> = points.to_vec();
     let mut globals: Vec<usize> = (0..points.len()).collect();
+    let mut working: Vec<P> = points;
     let mut level = 0usize;
 
     while working.len() > memory_limit {
@@ -90,6 +119,7 @@ where
     }
 
     // Final sequential solve on the surviving working set.
+    let solve_input_size = working.len();
     let final_input = vec![(working, globals)];
     let (mut final_out, final_stats) = runtime.run_round(
         "final:solve",
@@ -108,6 +138,7 @@ where
 
     MrOutcome {
         solution: final_out.pop().expect("single reducer"),
+        solve_input_size,
         stats,
     }
 }

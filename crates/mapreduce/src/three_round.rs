@@ -82,6 +82,7 @@ where
     let union_gcs = GeneralizedCoreset::new(union_pairs);
 
     // ---- Round 2: multiset sequential algorithm ----------------------
+    let solve_input_size = union_gcs.size();
     let round2_input = vec![union_gcs];
     let (mut round2_out, round2_stats) = runtime.run_round(
         "round2:multiset-solve",
@@ -137,6 +138,7 @@ where
     let value = evaluate_global(problem, partitions, metric, &indices);
     MrOutcome {
         solution: Solution { indices, value },
+        solve_input_size,
         stats,
     }
 }

@@ -65,6 +65,7 @@ where
     }
 
     // ---- Round 2: sequential algorithm on the union ------------------
+    let solve_input_size = union_points.len();
     let union_input = vec![(union_points, union_globals)];
     let (mut round2_out, round2_stats) = runtime.run_round(
         "round2:solve",
@@ -83,6 +84,7 @@ where
 
     MrOutcome {
         solution: round2_out.pop().expect("single reducer"),
+        solve_input_size,
         stats,
     }
 }

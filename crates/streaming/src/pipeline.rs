@@ -12,6 +12,12 @@ use metric::Metric;
 /// Runs the 1-pass streaming algorithm for `problem` over `stream`,
 /// with solution size `k` and center budget `k_prime`.
 ///
+/// This is the stable low-level entry point (zero overhead, panicking
+/// contract). Note that an empty stream is only detected *after* the
+/// pass completes; the `diversity` facade's `Task::run_stream` instead
+/// rejects it on the first poll with a typed `EmptyStream` error, and
+/// additionally reports the selected points' arrival positions.
+///
 /// # Panics
 /// Panics unless `1 <= k <= k_prime`, or if the stream is empty.
 pub fn one_pass<P, M, I>(

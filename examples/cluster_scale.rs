@@ -1,35 +1,15 @@
-//! Simulated-cluster scale demo: the MapReduce algorithms side by side
-//! on a larger input, with the paper's memory/shuffle accounting
-//! (Table 3) made visible.
-//!
-//! Shows: deterministic 2-round vs randomized 2-round vs 3-round
-//! generalized core-sets vs multi-round recursive — same dataset, same
-//! `k`, very different `M_L` / shuffle profiles.
+//! Simulated-cluster scale demo: one `Task`, every MapReduce strategy —
+//! deterministic 2-round vs randomized 2-round vs 3-round generalized
+//! core-sets vs multi-round recursive — on the same larger input, with
+//! the per-round timings and core-set (= shuffle) sizes the reports
+//! carry. (The low-level `mapreduce::*` drivers additionally expose the
+//! full `MrStats` memory accounting of Table 3.)
 //!
 //! Run with: `cargo run --release --example cluster_scale`
 
-use diversity::mapreduce::{randomized, recursive, three_round, two_round, MapReduceRuntime};
 use diversity::prelude::*;
 
-fn print_stats(label: &str, value: f64, stats: &diversity::mapreduce::MrStats) {
-    println!("\n=== {label} (value {value:.4}) ===");
-    println!(
-        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "round", "reducers", "M_L(pts)", "shuffle", "wall", "critical"
-    );
-    for r in &stats.rounds {
-        println!(
-            "{:<28} {:>8} {:>10} {:>10} {:>10.1?} {:>10.1?}",
-            r.name, r.reducers, r.max_local_points, r.emitted_points, r.wall, r.critical_path
-        );
-    }
-    println!(
-        "simulated parallel time (sum of critical paths): {:.1?}",
-        stats.simulated_wall()
-    );
-}
-
-fn main() {
+fn main() -> Result<(), DivError> {
     let n = 200_000;
     let k = 16;
     let k_prime = 32;
@@ -39,42 +19,51 @@ fn main() {
     let (points, _) = datasets::sphere_shell(n, k, 3, 7);
     println!("dataset: {n} points in R^3; problem {problem}, k={k}, k'={k_prime}, l={ell}");
 
-    let rt = MapReduceRuntime::default();
-    let parts = mapreduce::partition::split_random(points.clone(), ell, 11);
+    let rt = mapreduce::MapReduceRuntime::default();
+    let parts = mapreduce::partition::split_random(points, ell, 11);
+    let task = Task::new(problem, k).budget(Budget::KPrime(k_prime));
 
-    let det = two_round::two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
-    print_stats(
-        "deterministic 2-round (Theorem 6)",
-        det.solution.value,
-        &det.stats,
-    );
+    let strategies = [
+        ("deterministic 2-round (Theorem 6)", Strategy::TwoRound),
+        (
+            "randomized 2-round (Theorem 7)",
+            Strategy::Randomized { seed: 11 },
+        ),
+        (
+            "3-round generalized core-sets (Theorem 10)",
+            Strategy::ThreeRound,
+        ),
+        (
+            "multi-round recursive, M_L=20k pts (Theorem 8)",
+            Strategy::Recursive {
+                memory_limit: 20_000,
+            },
+        ),
+    ];
 
-    let rand = randomized::randomized_two_round(problem, &parts, &Euclidean, k, k_prime, &rt);
-    print_stats(
-        "randomized 2-round (Theorem 7)",
-        rand.solution.value,
-        &rand.stats,
-    );
+    let mut summary = Vec::new();
+    for (label, strategy) in strategies {
+        let report = task.run_mapreduce(&parts, &Euclidean, &rt, strategy)?;
+        println!("\n=== {label} (value {:.4}) ===", report.value);
+        for stage in &report.timings {
+            println!("  {:<28} {:>9.1} ms", stage.stage, stage.secs * 1e3);
+        }
+        println!(
+            "  solve-stage core-set: {} points (of {n} total)",
+            report.coreset_size
+        );
+        summary.push((label, report));
+    }
 
-    let gen = three_round::three_round(problem, &parts, &Euclidean, k, k_prime, &rt);
-    print_stats(
-        "3-round generalized core-sets (Theorem 10)",
-        gen.solution.value,
-        &gen.stats,
-    );
-
-    let rec = recursive::recursive(problem, &points, &Euclidean, k, k_prime, 20_000, &rt);
-    print_stats(
-        "multi-round recursive, M_L=20k pts (Theorem 8)",
-        rec.solution.value,
-        &rec.stats,
-    );
-
-    println!(
-        "\nsummary: det-2r shuffles {} pts; rand-2r {}; 3-round {} pairs — \
-         the Table 3 memory hierarchy in action",
-        det.stats.rounds[0].emitted_points,
-        rand.stats.rounds[0].emitted_points,
-        gen.stats.rounds[0].emitted_points,
-    );
+    println!("\nsummary: same task, same report shape, very different profiles:");
+    for (label, report) in &summary {
+        println!(
+            "  {:<46} value {:>9.4}  core-set {:>6}  total {:>7.1} ms",
+            label,
+            report.value,
+            report.coreset_size,
+            report.total_secs() * 1e3
+        );
+    }
+    Ok(())
 }

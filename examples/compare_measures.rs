@@ -2,13 +2,15 @@
 //! optimal solution with respect to one measure is not necessarily
 //! optimal with respect to another". This example makes that concrete
 //! on a small instance where exact optima are computable, then checks
-//! each sequential algorithm's α-guarantee against the exact optimum.
+//! each `Task`'s α-guarantee against the exact optimum (with `k' = n`
+//! the core-set is lossless and the task reduces to the sequential
+//! α-approximation).
 //!
 //! Run with: `cargo run --release --example compare_measures`
 
 use diversity::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DivError> {
     // A 14-point configuration with structure: two tight clusters, a
     // loose arc, and two outliers.
     let coords: [[f64; 2]; 14] = [
@@ -41,7 +43,9 @@ fn main() {
     let mut optima: Vec<(Problem, Vec<usize>)> = Vec::new();
     for problem in Problem::ALL {
         let best = exact::divk_exact(problem, &points, &Euclidean, k);
-        let approx = seq::solve(problem, &points, &Euclidean, k);
+        let approx = Task::new(problem, k)
+            .budget(Budget::KPrime(points.len()))
+            .run_seq(&points, &Euclidean)?;
         let ratio = best.value / approx.value;
         println!(
             "{:<16} {:>9.3} {:>9.3} {:>7.3} {:>9.1}  {:?}",
@@ -75,4 +79,5 @@ fn main() {
         println!();
     }
     println!("\n(diagonal = {k}; off-diagonal < {k} shows the measures genuinely disagree)");
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Diversity maximization over *strings* — no vectors, no embeddings,
-//! just the Levenshtein metric. Demonstrates that the whole stack is
-//! generic over any `Metric<P>`: here we pick a panel of maximally
-//! dissimilar product names from a noisy catalog of near-duplicates.
+//! just the Levenshtein metric. Demonstrates that the whole stack —
+//! including the `Task` front door — is generic over any `Metric<P>`:
+//! here we pick a panel of maximally dissimilar product names from a
+//! noisy catalog of near-duplicates.
 //!
 //! Run with: `cargo run --release --example diverse_strings`
 
@@ -41,25 +42,22 @@ fn catalog() -> Vec<String> {
     out
 }
 
-fn main() {
+fn main() -> Result<(), DivError> {
     let names = catalog();
     let k = 6;
     println!("catalog: {} product names, {} families\n", names.len(), 6);
 
-    // Streaming front end over strings with edit distance.
-    let panel = streaming::pipeline::one_pass(
-        Problem::RemoteClique,
-        Levenshtein,
-        k,
-        4 * k,
-        names.iter().cloned(),
-    );
+    // Streaming front end over strings with edit distance — the report
+    // carries both the names and their arrival positions.
+    let panel = Task::new(Problem::RemoteClique, k)
+        .budget(Budget::KPrime(4 * k))
+        .run_stream(names.iter().cloned(), &Levenshtein)?;
     println!(
         "diverse panel (remote-clique, edit distance, value {}):",
         panel.value
     );
-    for name in &panel.points {
-        println!("  - {name}");
+    for (name, pos) in panel.points.iter().zip(&panel.indices) {
+        println!("  - {name}  (arrival #{pos})");
     }
 
     // Each family should be represented at most ~once: check pairwise
@@ -84,4 +82,5 @@ fn main() {
         exact.value,
         exact.value / seq_sol.value
     );
+    Ok(())
 }

@@ -1,15 +1,15 @@
 //! A news feed with expiring items: the fully dynamic engine keeps an
 //! ε-coreset through the churn, so picking k diverse headlines costs
-//! microseconds instead of a from-scratch rebuild per refresh.
+//! microseconds instead of a from-scratch rebuild per refresh. The
+//! *same* `Task` answers from the dynamic engine and from the rebuild —
+//! the unified API's point: substrates change, the job doesn't.
 //!
 //! Run with `cargo run --release --example dynamic_window`.
 
 use diversity::prelude::*;
-use diversity_dynamic::{DynamicDiversity, PointId};
 use std::collections::VecDeque;
-use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), DivError> {
     let k = 8; // headlines on the front page
     let window = 2_000; // stories stay live for 2k arrivals
     let total = 10_000;
@@ -18,6 +18,7 @@ fn main() {
     // Embeddings of incoming stories: drifting topic clusters.
     let stream = datasets::gaussian_clusters(total, 12, 3, 30.0, 2024);
 
+    let task = Task::new(Problem::RemoteEdge, k).budget(Budget::KPrime(budget));
     let mut engine = DynamicDiversity::new(Euclidean);
     let mut live: VecDeque<(PointId, VecPoint)> = VecDeque::new();
     let mut dynamic_total = 0.0f64;
@@ -30,7 +31,7 @@ fn main() {
         "arrival", "dyn value", "dyn solve", "rebuild", "speedup"
     );
 
-    let churn_start = Instant::now();
+    let churn_start = std::time::Instant::now();
     for (t, story) in stream.into_iter().enumerate() {
         let id = engine.insert(story.clone());
         live.push_back((id, story));
@@ -39,17 +40,15 @@ fn main() {
             engine.delete(expired);
         }
 
-        // Refresh the front page every 1000 arrivals.
+        // Refresh the front page every 1000 arrivals: the same task,
+        // answered by two backends.
         if t >= window && t % 1_000 == 0 {
-            let t0 = Instant::now();
-            let sol = engine.solve_with_budget(Problem::RemoteEdge, k, budget);
-            let dyn_secs = t0.elapsed().as_secs_f64();
+            let dynamic = task.run_dynamic(&engine)?;
+            let dyn_secs = dynamic.total_secs();
 
             let snapshot: Vec<VecPoint> = live.iter().map(|(_, p)| p.clone()).collect();
-            let t1 = Instant::now();
-            let rebuilt =
-                pipeline::coreset_then_solve(Problem::RemoteEdge, &snapshot, &Euclidean, k, budget);
-            let rebuild_secs = t1.elapsed().as_secs_f64();
+            let rebuilt = task.run_seq(&snapshot, &Euclidean)?;
+            let rebuild_secs = rebuilt.total_secs();
 
             dynamic_total += dyn_secs;
             rebuild_total += rebuild_secs;
@@ -57,7 +56,7 @@ fn main() {
             println!(
                 "{:>8}  {:>12.3}  {:>11.2}µs  {:>11.2}µs  {:>11.1}x",
                 t,
-                sol.value / rebuilt.value,
+                dynamic.value / rebuilt.value,
                 dyn_secs * 1e6,
                 rebuild_secs * 1e6,
                 rebuild_secs / dyn_secs
@@ -81,4 +80,5 @@ fn main() {
         rebuild_total / refreshes as f64 * 1e6,
         rebuild_total / dynamic_total
     );
+    Ok(())
 }

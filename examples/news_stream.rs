@@ -4,16 +4,15 @@
 //! throughput against tweet rates).
 //!
 //! Articles are bag-of-words vectors under the angular cosine distance
-//! (exactly the musiXmatch setup); SMM-EXT summarizes an unbounded
-//! stream into a small core-set, and remote-clique selects the final
-//! diverse panel.
+//! (exactly the musiXmatch setup); one `Task::run_stream` call
+//! summarizes the unbounded stream into a small core-set and selects
+//! the final remote-clique panel, reporting per-stage timings.
 //!
 //! Run with: `cargo run --release --example news_stream`
 
 use diversity::prelude::*;
-use diversity::streaming::SmmExt;
 
-fn main() {
+fn main() -> Result<(), DivError> {
     let k = 10; // articles shown to the user
     let k_prime = 40; // streaming center budget
 
@@ -28,7 +27,8 @@ fn main() {
         cfg.vocabulary
     );
 
-    // Throughput of the streaming kernel alone (Figure 3's metric).
+    // Throughput of the raw streaming kernel alone (Figure 3's metric;
+    // the zero-overhead low-level path).
     let t = diversity::streaming::throughput::measure(
         Problem::RemoteClique,
         CosineDistance,
@@ -41,32 +41,26 @@ fn main() {
         t.points_per_sec, t.points, t.seconds
     );
 
-    // The actual pipeline: core-set in one pass, then remote-clique on
-    // the core-set picks the panel.
-    let mut smm = SmmExt::new(CosineDistance, k, k_prime);
-    for a in &articles {
-        smm.push(a.clone());
-    }
-    let res = smm.finish();
+    // The actual pipeline: one pass builds the core-set, remote-clique
+    // on the core-set picks the panel — one call, one report.
+    let panel = Task::new(Problem::RemoteClique, k)
+        .budget(Budget::KPrime(k_prime))
+        .run_stream(articles.iter().cloned(), &CosineDistance)?;
     println!(
-        "core-set: {} articles resident (of {} seen), {} phases",
-        res.coreset.len(),
+        "core-set: {} articles resident (of {} seen)",
+        panel.coreset_size,
         articles.len(),
-        res.phases
     );
+    for stage in &panel.timings {
+        println!("  stage {:<16} {:>8.1} ms", stage.stage, stage.secs * 1e3);
+    }
 
-    let panel = diversity::streaming::pipeline::solve_on(
-        Problem::RemoteClique,
-        &CosineDistance,
-        k,
-        res.coreset,
-    );
     println!("\ndiverse panel (remote-clique value {:.3}):", panel.value);
-    for (i, doc) in panel.points.iter().enumerate() {
+    for (doc, pos) in panel.points.iter().zip(&panel.indices) {
         let top: Vec<u32> = doc.entries().iter().take(5).map(|&(w, _)| w).collect();
         println!(
-            "  article {:>2}: {:>3} distinct words, top word-ids {:?}",
-            i + 1,
+            "  article #{:<6} {:>3} distinct words, top word-ids {:?}",
+            pos,
             doc.nnz(),
             top
         );
@@ -85,4 +79,5 @@ fn main() {
         dm.min_pairwise(),
         mean
     );
+    Ok(())
 }

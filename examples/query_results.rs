@@ -5,8 +5,9 @@
 //!
 //! Products are feature vectors (price tier, brand embedding, category
 //! signals); the example contrasts what the *six* different diversity
-//! objectives consider the "most diverse" 6 products, and refines the
-//! remote-clique panel with local search.
+//! objectives consider the "most diverse" 6 products — one `Task` per
+//! objective, same dataset, same report shape — and refines the
+//! remote-clique panel with the low-level swap local search.
 //!
 //! Run with: `cargo run --release --example query_results`
 
@@ -22,7 +23,7 @@ fn catalog(n: usize, seed: u64) -> Vec<VecPoint> {
     clustered.into_iter().chain(niche).collect()
 }
 
-fn main() {
+fn main() -> Result<(), DivError> {
     let products = catalog(5_000, 99);
     let k = 6;
     let k_prime = 48;
@@ -33,16 +34,25 @@ fn main() {
 
     println!("{:<16} {:>10}  selected product ids", "objective", "value");
     for problem in Problem::ALL {
-        let sol = pipeline::coreset_then_solve(problem, &products, &Euclidean, k, k_prime);
-        let mut ids = sol.indices.clone();
+        let report = Task::new(problem, k)
+            .budget(Budget::KPrime(k_prime))
+            .run_seq(&products, &Euclidean)?;
+        let mut ids = report.indices.clone();
         ids.sort_unstable();
-        println!("{:<16} {:>10.4}  {:?}", problem.to_string(), sol.value, ids);
+        println!(
+            "{:<16} {:>10.4}  {:?}",
+            problem.to_string(),
+            report.value,
+            ids
+        );
     }
 
     // Optional refinement: the paper's remote-clique solution can be
-    // polished by the (more expensive) swap local search.
-    let base =
-        pipeline::coreset_then_solve(Problem::RemoteClique, &products, &Euclidean, k, k_prime);
+    // polished by the (more expensive) swap local search — a low-level
+    // tool, fed directly from the report's indices.
+    let base = Task::new(Problem::RemoteClique, k)
+        .budget(Budget::KPrime(k_prime))
+        .run_seq(&products, &Euclidean)?;
     let refined = local_search_clique(
         &products,
         &Euclidean,
@@ -61,4 +71,5 @@ fn main() {
     let panel_val =
         eval::evaluate_subset(Problem::RemoteEdge, &products, &Euclidean, &base.indices);
     println!("min pairwise distance: naive top-{k} = {naive_val:.4}, diversified = {panel_val:.4}");
+    Ok(())
 }

@@ -1,15 +1,15 @@
 //! Quickstart: pick `k` maximally diverse points three ways —
 //! single-machine core-set pipeline, one-pass streaming, and simulated
-//! MapReduce — on the paper's sphere-shell workload.
+//! MapReduce — on the paper's sphere-shell workload, all through the
+//! one `Task` front door.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use diversity::prelude::*;
 
-fn main() {
+fn main() -> Result<(), DivError> {
     let n = 20_000;
     let k = 8;
-    let k_prime = 4 * k;
 
     // The paper's challenging synthetic distribution: k planted points
     // on the unit sphere, the rest uniform in a 0.8-radius ball.
@@ -22,51 +22,40 @@ fn main() {
     let planted_value = eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &planted);
     println!("planted remote-edge value: {planted_value:.4}\n");
 
+    // One job description: remote-edge, k = 8, kernel budget k' = 4k.
+    let task = Task::new(Problem::RemoteEdge, k).budget(Budget::KPrime(4 * k));
+
     // --- 1. Single machine: core-set -> sequential algorithm ---------
-    let sol = pipeline::coreset_then_solve(Problem::RemoteEdge, &points, &Euclidean, k, k_prime);
+    let seq = task.run_seq(&points, &Euclidean)?;
 
     // --- 2. Streaming: one pass, memory independent of n -------------
-    let stream_sol = streaming::pipeline::one_pass(
-        Problem::RemoteEdge,
-        Euclidean,
-        k,
-        k_prime,
-        points.iter().cloned(),
-    );
+    let stream = task.run_stream(points.iter().cloned(), &Euclidean)?;
 
     // --- 3. MapReduce: 2 rounds over 8 simulated reducers ------------
     let parts = mapreduce::partition::split_random(points.clone(), 8, 7);
     let rt = mapreduce::MapReduceRuntime::with_threads(8);
-    let mr =
-        mapreduce::two_round::two_round(Problem::RemoteEdge, &parts, &Euclidean, k, k_prime, &rt);
+    let mr = task.run_mapreduce(&parts, &Euclidean, &rt, Strategy::TwoRound)?;
 
-    // Approximation ratios relative to the best value found (the
-    // paper's normalization).
-    let best = planted_value
-        .max(sol.value)
-        .max(stream_sol.value)
-        .max(mr.solution.value);
-    println!(
-        "single-machine  value {:.4}  (ratio {:.3})",
-        sol.value,
-        best / sol.value
-    );
-    println!(
-        "streaming       value {:.4}  (ratio {:.3})",
-        stream_sol.value,
-        best / stream_sol.value
-    );
-    println!(
-        "mapreduce       value {:.4}  (ratio {:.3})",
-        mr.solution.value,
-        best / mr.solution.value
-    );
-    for round in &mr.stats.rounds {
+    // One report shape everywhere. Approximation ratios are relative to
+    // the best value found (the paper's normalization).
+    let best = planted_value.max(seq.value).max(stream.value).max(mr.value);
+    for report in [&seq, &stream, &mr] {
         println!(
-            "  {:<16} reducers={:<3} M_L={:<6} shuffle={:<6} wall={:?}",
-            round.name, round.reducers, round.max_local_points, round.emitted_points, round.wall
+            "{:<12?} value {:.4}  (ratio {:.3})  core-set {:>3} pts  {:.1} ms",
+            report.backend,
+            report.value,
+            report.value / best,
+            report.coreset_size,
+            report.total_secs() * 1e3,
         );
     }
 
-    println!("\nselected indices (mapreduce): {:?}", mr.solution.indices);
+    // Reports carry provenance: indices into the backend's index space
+    // plus the owned points themselves.
+    println!(
+        "\nsequential picked indices {:?} — the same subset re-evaluates to {:.4}",
+        seq.indices,
+        eval::evaluate_subset(Problem::RemoteEdge, &points, &Euclidean, &seq.indices)
+    );
+    Ok(())
 }

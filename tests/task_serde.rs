@@ -1,0 +1,145 @@
+//! Serde round-trip property tests for the wire-format types of the
+//! unified API: a serving layer will ship `Task`/`Budget` job specs and
+//! `Report` results over the wire, so every value must survive
+//! serialize → deserialize bit-for-bit.
+
+use diversity::prelude::*;
+use diversity::Strategy; // disambiguate from proptest's Strategy trait
+use proptest::prelude::*;
+use proptest::Strategy as _; // ...while keeping the trait's methods in scope
+
+fn arb_problem() -> impl proptest::Strategy<Value = Problem> {
+    (0usize..Problem::ALL.len()).prop_map(|i| Problem::ALL[i])
+}
+
+fn arb_budget() -> impl proptest::Strategy<Value = Budget> {
+    (0u8..3, 0.001f64..1.0, 1usize..10_000, 0u32..8, 0u8..2).prop_map(
+        |(variant, eps, size, dim, cap_some)| match variant {
+            0 => Budget::Auto {
+                eps,
+                cap: (cap_some == 1).then_some(size),
+            },
+            1 => Budget::KPrime(size),
+            _ => Budget::Eps { eps, dim },
+        },
+    )
+}
+
+fn arb_strategy() -> impl proptest::Strategy<Value = Strategy> {
+    (0u8..4, 0u64..u64::MAX, 1usize..100_000).prop_map(|(variant, seed, limit)| match variant {
+        0 => Strategy::TwoRound,
+        1 => Strategy::ThreeRound,
+        2 => Strategy::Randomized { seed },
+        _ => Strategy::Recursive {
+            memory_limit: limit,
+        },
+    })
+}
+
+fn arb_task() -> impl proptest::Strategy<Value = Task> {
+    (arb_problem(), 1usize..1000, arb_budget(), 0usize..9).prop_map(
+        |(problem, k, budget, threads)| Task::new(problem, k).budget(budget).threads(threads),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn budget_roundtrips(budget in arb_budget()) {
+        let json = serde_json::to_string(&budget).unwrap();
+        let back: Budget = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(budget, back);
+    }
+
+    #[test]
+    fn strategy_roundtrips(strategy in arb_strategy()) {
+        let json = serde_json::to_string(&strategy).unwrap();
+        let back: Strategy = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(strategy, back);
+    }
+
+    #[test]
+    fn task_roundtrips(task in arb_task()) {
+        let json = serde_json::to_string(&task).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(task, back);
+    }
+
+    /// An executed report — the full result shape, generic payload
+    /// included — survives the wire.
+    #[test]
+    fn executed_report_roundtrips(
+        seed in 0u64..1000,
+        k in 2usize..6,
+        problem in arb_problem(),
+    ) {
+        let points: Vec<VecPoint> = (0..80)
+            .map(|i| {
+                let x = (((i * 37 + seed as usize) % 113) as f64) * 0.75;
+                let y = ((i * 53 % 71) as f64) * 1.25;
+                VecPoint::from([x, y])
+            })
+            .collect();
+        let report = Task::new(problem, k)
+            .budget(Budget::KPrime(4 * k))
+            .run_seq(&points, &Euclidean)
+            .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: Report<VecPoint> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(report, back);
+    }
+}
+
+/// The wire format itself is part of the contract: a serving layer's
+/// clients will construct these by hand.
+#[test]
+fn wire_format_is_stable() {
+    let task = Task::new(Problem::RemoteClique, 8)
+        .budget(Budget::Eps { eps: 0.5, dim: 3 })
+        .threads(4);
+    assert_eq!(
+        serde_json::to_string(&task).unwrap(),
+        r#"{"problem":"RemoteClique","k":8,"budget":{"Eps":{"eps":0.5,"dim":3}},"threads":4}"#
+    );
+
+    let task = Task::new(Problem::RemoteEdge, 2);
+    assert_eq!(
+        serde_json::to_string(&task).unwrap(),
+        r#"{"problem":"RemoteEdge","k":2,"budget":{"Auto":{"eps":0.5,"cap":null}},"threads":null}"#
+    );
+
+    let spec: Task = serde_json::from_str(
+        r#"{"problem":"RemoteTree","k":5,"budget":{"KPrime":40},"threads":null}"#,
+    )
+    .unwrap();
+    assert_eq!(spec.problem(), Problem::RemoteTree);
+    assert_eq!(spec.k(), 5);
+    assert_eq!(spec.budget_spec(), Budget::KPrime(40));
+    assert_eq!(spec.thread_cap(), None);
+
+    assert_eq!(
+        serde_json::to_string(&Strategy::TwoRound).unwrap(),
+        r#""TwoRound""#
+    );
+    assert_eq!(
+        serde_json::to_string(&Strategy::Randomized { seed: 7 }).unwrap(),
+        r#"{"Randomized":{"seed":7}}"#
+    );
+}
+
+#[test]
+fn malformed_specs_are_rejected() {
+    for bad in [
+        r#"{"problem":"RemoteEdge","k":2,"budget":{"Nope":3},"threads":null}"#,
+        r#"{"problem":"NotAProblem","k":2,"budget":{"KPrime":4},"threads":null}"#,
+        r#"{"k":2}"#,
+        "",
+    ] {
+        assert!(
+            serde_json::from_str::<Task>(bad).is_err(),
+            "accepted malformed spec: {bad}"
+        );
+    }
+    assert!(serde_json::from_str::<Strategy>(r#""FourRound""#).is_err());
+}
