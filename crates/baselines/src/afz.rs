@@ -163,6 +163,11 @@ where
         mr: MrOutcome {
             solution: round2_out.pop().expect("single reducer"),
             solve_input_size,
+            // AFZ's round-1 output is a local-search *solution*, not a
+            // covering core-set: it makes no radius claim over the
+            // points it dropped (exactly the gap the composable-coreset
+            // algorithms close), so no finite certificate exists.
+            coreset_radius: f64::INFINITY,
             stats,
         },
         total_swaps,

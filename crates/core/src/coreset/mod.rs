@@ -15,10 +15,19 @@
 //!   generalized core-set of size `s(T) = k'` instead of `k·k'`
 //!   (Section 6.2, Lemma 8), traded against an extra instantiation
 //!   round.
+//!
+//! What the constructions *hand to other machines* is the typed
+//! [`Coreset`] artifact: points + provenance + weights + the `(k',
+//! radius)` certificate, with the composition laws
+//! ([`Coreset::merge`], [`Coreset::deepen`]) stated once for every
+//! substrate. [`CoresetSource`] is the extraction capability the
+//! random-access substrates implement.
 
+mod artifact;
 mod gmm_ext;
 mod gmm_gen;
 
+pub use artifact::{Coreset, CoresetSource};
 pub use gmm_ext::{gmm_ext, gmm_ext_with_threads, GmmExtOutcome};
 pub use gmm_gen::{gmm_gen, GmmGenOutcome};
 

@@ -70,6 +70,13 @@ pub fn distance_to_scale(d: f64) -> i32 {
 }
 
 /// Variant-specific per-center bookkeeping.
+///
+/// Every hook receives the stream point's **arrival position** (0-based
+/// index in the stream) alongside the point itself, so payloads that
+/// retain points can retain their provenance too — which is how the
+/// streaming substrate's [`crate::coreset::Coreset`] artifacts carry
+/// real source indices without wrapping the point type (wrapping would
+/// hide the metric's batched kernels behind scalar forwarding).
 pub trait Payload<P>: Sized {
     /// Whether the update step must locate the *nearest* center for a
     /// covered point (to route the offer), or only decide coverage.
@@ -79,14 +86,16 @@ pub trait Payload<P>: Sized {
     /// a full nearest-center scan.
     const NEEDS_NEAREST: bool = true;
 
-    /// Payload for a freshly promoted center.
-    fn new_center(point: &P) -> Self;
+    /// Payload for a freshly promoted center that arrived at stream
+    /// position `pos`.
+    fn new_center(point: &P, pos: u64) -> Self;
     /// Folds `other` into `self` when `other`'s center is merged away
     /// (the paper's "inherit `min(|E_t1|, k − |E_t2|)` delegates").
     fn absorb(&mut self, other: Self, k: usize);
-    /// Offers a non-center stream point to this center. Returns `true`
-    /// if retained (delegate added / count bumped), `false` to discard.
-    fn offer(&mut self, point: &P, k: usize) -> bool;
+    /// Offers a non-center stream point (arrived at `pos`) to this
+    /// center. Returns `true` if retained (delegate added / count
+    /// bumped), `false` to discard.
+    fn offer(&mut self, point: &P, pos: u64, k: usize) -> bool;
     /// Number of points this payload accounts for (center included).
     fn mass(&self) -> usize;
 }
@@ -95,9 +104,9 @@ pub trait Payload<P>: Sized {
 impl<P> Payload<P> for () {
     const NEEDS_NEAREST: bool = false;
 
-    fn new_center(_: &P) -> Self {}
+    fn new_center(_: &P, _: u64) -> Self {}
     fn absorb(&mut self, _: Self, _: usize) {}
-    fn offer(&mut self, _: &P, _: usize) -> bool {
+    fn offer(&mut self, _: &P, _: u64, _: usize) -> bool {
         false
     }
     fn mass(&self) -> usize {
@@ -111,6 +120,8 @@ impl<P> Payload<P> for () {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DelegateSet<P> {
     delegates: Vec<P>,
+    /// Stream arrival positions, in lockstep with `delegates`.
+    positions: Vec<u64>,
 }
 
 impl<P> DelegateSet<P> {
@@ -119,16 +130,28 @@ impl<P> DelegateSet<P> {
         &self.delegates
     }
 
+    /// The delegates' stream arrival positions, aligned with
+    /// [`delegates`](Self::delegates).
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
     /// Consumes the set, yielding the delegate points.
     pub fn into_delegates(self) -> Vec<P> {
         self.delegates
     }
+
+    /// Consumes the set, yielding `(points, arrival positions)`.
+    pub fn into_indexed_delegates(self) -> (Vec<P>, Vec<u64>) {
+        (self.delegates, self.positions)
+    }
 }
 
 impl<P: Clone> Payload<P> for DelegateSet<P> {
-    fn new_center(point: &P) -> Self {
+    fn new_center(point: &P, pos: u64) -> Self {
         Self {
             delegates: vec![point.clone()],
+            positions: vec![pos],
         }
     }
 
@@ -141,11 +164,14 @@ impl<P: Clone> Payload<P> for DelegateSet<P> {
         let room = k.saturating_sub(self.delegates.len());
         self.delegates
             .extend(other.delegates.into_iter().take(room));
+        self.positions
+            .extend(other.positions.into_iter().take(room));
     }
 
-    fn offer(&mut self, point: &P, k: usize) -> bool {
+    fn offer(&mut self, point: &P, pos: u64, k: usize) -> bool {
         if self.delegates.len() < k {
             self.delegates.push(point.clone());
+            self.positions.push(pos);
             true
         } else {
             false
@@ -173,7 +199,7 @@ impl DelegateCount {
 }
 
 impl<P> Payload<P> for DelegateCount {
-    fn new_center(_: &P) -> Self {
+    fn new_center(_: &P, _: u64) -> Self {
         Self { count: 1 }
     }
 
@@ -181,7 +207,7 @@ impl<P> Payload<P> for DelegateCount {
         self.count = (self.count + other.count).min(k);
     }
 
-    fn offer(&mut self, _: &P, k: usize) -> bool {
+    fn offer(&mut self, _: &P, _: u64, k: usize) -> bool {
         if self.count < k {
             self.count += 1;
             true
@@ -195,11 +221,29 @@ impl<P> Payload<P> for DelegateCount {
     }
 }
 
-/// A center and its payload.
+/// A center, its payload, and its stream arrival position.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Center<P, Y> {
     pub point: P,
     pub payload: Y,
+    /// 0-based arrival position of the center's own point.
+    pub pos: u64,
+}
+
+/// Everything [`DoublingCore::finish`] hands back at stream end.
+#[derive(Clone, Debug)]
+pub struct FinishedCore<P, Y> {
+    /// The final centers, payloads and arrival positions included.
+    pub centers: Vec<Center<P, Y>>,
+    /// Centers removed by the final phase's merges (SMM's `M`).
+    pub removed: Vec<P>,
+    /// Arrival positions of `removed`, in lockstep.
+    pub removed_positions: Vec<u64>,
+    /// Final threshold `d_ℓ`; every processed point is within
+    /// `4·d_ℓ` of the centers (Lemma 3's `r_T ≤ 4 d_ℓ`).
+    pub final_threshold: f64,
+    /// Number of completed phases.
+    pub phases: usize,
 }
 
 /// The shared doubling-algorithm state. `k` is the solution size
@@ -212,13 +256,14 @@ pub struct Center<P, Y> {
 ///
 /// **Checkpoint format note:** the batched-kernel work added the
 /// `center_points` mirror and `scratch` buffer to the serialized
-/// state, so checkpoints written before that change do not
-/// deserialize (the vendored serde stand-in has no field-skip/default
-/// support to paper over it). Checkpoints are versioned with the
-/// binary: replay the stream once after upgrading. A
-/// `#[serde(default)]`-style self-heal (both fields are derivable
-/// from `centers`) is the upgrade path if cross-version resume ever
-/// becomes a requirement.
+/// state, and the composable-coreset work added arrival-position
+/// provenance (`Center::pos`, `DelegateSet::positions`,
+/// `removed_positions`), so checkpoints written before those changes
+/// do not deserialize (the vendored serde stand-in has no
+/// field-skip/default support to paper over it). Checkpoints are
+/// versioned with the binary: replay the stream once after upgrading.
+/// A `#[serde(default)]`-style self-heal is the upgrade path if
+/// cross-version resume ever becomes a requirement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DoublingCore<P, Y> {
     k: usize,
@@ -236,6 +281,8 @@ pub struct DoublingCore<P, Y> {
     center_points: Vec<P>,
     /// Centers removed by merge steps of the *current* phase.
     removed: Vec<P>,
+    /// Arrival positions of `removed`, in lockstep.
+    removed_positions: Vec<u64>,
     phases: usize,
     points_seen: usize,
     /// Reusable distance buffer for the nearest-center batch scan
@@ -265,6 +312,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             centers: Vec::with_capacity(reserve),
             center_points: Vec::with_capacity(reserve),
             removed: Vec::new(),
+            removed_positions: Vec::new(),
             phases: 0,
             points_seen: 0,
             scratch: Vec::new(),
@@ -312,6 +360,11 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
         &self.removed
     }
 
+    /// Arrival positions of [`removed`](Self::removed), in lockstep.
+    pub fn removed_positions(&self) -> &[u64] {
+        &self.removed_positions
+    }
+
     /// Number of points currently resident (centers + removed + payload
     /// delegates) — the quantity Table 3's memory bounds govern.
     pub fn memory_points(&self) -> usize {
@@ -320,11 +373,12 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
 
     /// Processes one stream point.
     pub fn push<M: Metric<P>>(&mut self, point: P, metric: &M) {
+        let pos = self.points_seen as u64;
         self.points_seen += 1;
 
         if self.threshold.is_none() {
             // Initialization: the first k'+1 points all become centers.
-            self.add_center(point);
+            self.add_center(point, pos);
             if self.centers.len() == self.k_prime + 1 {
                 // d_1 = min pairwise distance among the initial centers.
                 let d1 = self.min_pairwise(metric).unwrap_or(0.0);
@@ -347,7 +401,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             metric.distance_many(&point, &self.center_points, &mut self.scratch);
             let (nearest, dist) = argmin(&self.scratch).expect("centers are non-empty");
             if dist <= limit {
-                let retained = self.centers[nearest].payload.offer(&point, self.k);
+                let retained = self.centers[nearest].payload.offer(&point, pos, self.k);
                 let _ = retained;
                 true
             } else {
@@ -359,7 +413,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
             metric.distance_to_set_within(&point, &self.center_points, limit)
         };
         if !covered {
-            self.add_center(point);
+            self.add_center(point, pos);
             if self.centers.len() == self.k_prime + 1 {
                 // Phase ends: double the threshold and merge.
                 self.advance_threshold(metric);
@@ -369,17 +423,27 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
     }
 
     /// Appends a center, keeping the point mirror in lockstep.
-    fn add_center(&mut self, point: P) {
-        let payload = Y::new_center(&point);
+    fn add_center(&mut self, point: P, pos: u64) {
+        let payload = Y::new_center(&point, pos);
         self.center_points.push(point.clone());
-        self.centers.push(Center { point, payload });
+        self.centers.push(Center {
+            point,
+            payload,
+            pos,
+        });
     }
 
-    /// Ends the stream, returning centers, the removed-set `M`, and the
-    /// final threshold.
-    pub fn finish(self) -> (Vec<Center<P, Y>>, Vec<P>, f64, usize) {
-        let d = self.threshold.unwrap_or(0.0);
-        (self.centers, self.removed, d, self.phases)
+    /// Ends the stream, returning the final state — centers (with
+    /// payloads and arrival positions), the removed-set `M` with its
+    /// positions, the final threshold, and the phase count.
+    pub fn finish(self) -> FinishedCore<P, Y> {
+        FinishedCore {
+            final_threshold: self.threshold.unwrap_or(0.0),
+            centers: self.centers,
+            removed: self.removed,
+            removed_positions: self.removed_positions,
+            phases: self.phases,
+        }
     }
 
     /// Doubles the threshold, or advances it to the smallest positive
@@ -400,6 +464,7 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
         loop {
             self.phases += 1;
             self.removed.clear();
+            self.removed_positions.clear();
             self.merge_step(metric);
             if self.centers.len() <= self.k_prime {
                 return;
@@ -422,9 +487,10 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
                 .iter()
                 .position(|kc| metric.distance(&kc.point, &cand.point) <= limit);
             match home {
-                Some(pos) => {
+                Some(survivor) => {
                     self.removed.push(cand.point.clone());
-                    kept[pos].payload.absorb(cand.payload, self.k);
+                    self.removed_positions.push(cand.pos);
+                    kept[survivor].payload.absorb(cand.payload, self.k);
                 }
                 None => kept.push(cand),
             }
@@ -561,34 +627,65 @@ mod tests {
         let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(2, 10);
         feed(&mut core, &[0.0, 5.0, 9.0]);
         assert_eq!(core.centers().len(), 3);
-        let (centers, removed, d, phases) = core.finish();
-        assert_eq!(centers.len(), 3);
-        assert!(removed.is_empty());
-        assert_eq!(d, 0.0);
-        assert_eq!(phases, 0);
+        let fin = core.finish();
+        assert_eq!(fin.centers.len(), 3);
+        assert!(fin.removed.is_empty());
+        assert!(fin.removed_positions.is_empty());
+        assert_eq!(fin.final_threshold, 0.0);
+        assert_eq!(fin.phases, 0);
     }
 
     #[test]
     fn delegate_set_caps_at_k() {
         let p = VecPoint::from([0.0]);
-        let mut set: DelegateSet<VecPoint> = DelegateSet::new_center(&p);
+        let mut set: DelegateSet<VecPoint> = DelegateSet::new_center(&p, 0);
         for i in 0..10 {
-            set.offer(&VecPoint::from([i as f64]), 4);
+            set.offer(&VecPoint::from([i as f64]), i + 1, 4);
         }
         assert_eq!(set.mass(), 4);
         assert_eq!(set.delegates().len(), 4);
+        // Positions stay in lockstep: the center's own, then the first
+        // three retained offers.
+        assert_eq!(set.positions(), &[0, 1, 2, 3]);
     }
 
     #[test]
     fn delegate_count_caps_at_k() {
         let p = VecPoint::from([0.0]);
-        let mut count: DelegateCount = <DelegateCount as Payload<VecPoint>>::new_center(&p);
+        let mut count: DelegateCount = <DelegateCount as Payload<VecPoint>>::new_center(&p, 0);
         for i in 0..10 {
-            <DelegateCount as Payload<VecPoint>>::offer(&mut count, &VecPoint::from([i as f64]), 4);
+            <DelegateCount as Payload<VecPoint>>::offer(
+                &mut count,
+                &VecPoint::from([i as f64]),
+                i + 1,
+                4,
+            );
         }
         assert_eq!(count.count(), 4);
         let other = count;
         <DelegateCount as Payload<VecPoint>>::absorb(&mut count, other, 6);
         assert_eq!(count.count(), 6, "absorb caps at k");
+    }
+
+    #[test]
+    fn center_positions_are_arrival_positions() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64 * 1.3).collect();
+        let mut core: DoublingCore<VecPoint, ()> = DoublingCore::new(3, 5);
+        feed(&mut core, &xs);
+        let fin = core.finish();
+        for c in &fin.centers {
+            assert_eq!(
+                c.point,
+                VecPoint::from([xs[c.pos as usize]]),
+                "center position must recover the stream item"
+            );
+        }
+        for (p, &pos) in fin.removed.iter().zip(&fin.removed_positions) {
+            assert_eq!(
+                p,
+                &VecPoint::from([xs[pos as usize]]),
+                "removed position must recover the stream item"
+            );
+        }
     }
 }

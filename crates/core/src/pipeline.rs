@@ -14,7 +14,7 @@
 //! sizing, and a uniform report type — prefer it at application
 //! boundaries.
 
-use crate::coreset::{gmm_coreset_with_threads, gmm_ext_with_threads};
+use crate::coreset::{gmm_coreset_with_threads, gmm_ext_with_threads, Coreset, CoresetSource};
 use crate::par;
 use crate::{seq, Problem, Solution};
 use metric::Metric;
@@ -64,9 +64,158 @@ pub fn coreset_then_solve_with_threads<P: Clone + Sync, M: Metric<P>>(
     threads: usize,
 ) -> Solution {
     assert!(k_prime >= k, "k' must be at least k (k'={k_prime}, k={k})");
-    let coreset_indices =
-        extract_coreset_with_threads(problem, points, metric, k, k_prime, threads);
-    solve_on_subset(problem, points, metric, k, &coreset_indices)
+    let coreset =
+        extract_coreset_artifact_with_threads(problem, points, metric, k, k_prime, threads);
+    solve_coreset(problem, &coreset, metric, k)
+}
+
+/// Extracts the problem-appropriate core-set of `points` as the typed
+/// [`Coreset`] artifact: owned points, provenance (positions in
+/// `points`), unit weights, and the kernel's covering radius as the
+/// certificate. This is what the sequential substrate hands to the
+/// composition layer; [`extract_coreset`] remains the index-only view
+/// for callers that keep the slice.
+pub fn extract_coreset_artifact<P: Clone + Sync, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+) -> Coreset<P> {
+    extract_coreset_artifact_with_threads(
+        problem,
+        points,
+        metric,
+        k,
+        k_prime,
+        par::auto_threads(points.len()),
+    )
+}
+
+/// [`extract_coreset_artifact`] with an explicit thread count.
+pub fn extract_coreset_artifact_with_threads<P: Clone + Sync, M: Metric<P>>(
+    problem: Problem,
+    points: &[P],
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    threads: usize,
+) -> Coreset<P> {
+    let (indices, radius) = if problem.needs_injective_proxy() {
+        let out = gmm_ext_with_threads(points, metric, k, k_prime, threads);
+        (out.coreset, out.radius)
+    } else {
+        let out = crate::gmm::gmm_with_threads(points, metric, k_prime, 0, threads);
+        let radius = out.radius();
+        (out.selected, radius)
+    };
+    let owned: Vec<P> = indices.iter().map(|&i| points[i].clone()).collect();
+    let sources: Vec<u64> = indices.iter().map(|&i| i as u64).collect();
+    Coreset::unweighted(owned, sources, k_prime, radius)
+}
+
+/// Runs the sequential algorithm on a [`Coreset`] artifact, returning
+/// a solution whose indices are the artifact's *sources* — positions
+/// in whatever index space the producing substrate used.
+///
+/// # Panics
+/// Panics if the core-set is empty or carries non-unit weights (a
+/// weighted/generalized core-set needs the multiset machinery in
+/// [`crate::generalized`], not the plain sequential algorithm).
+pub fn solve_coreset<P: Clone + Sync, M: Metric<P>>(
+    problem: Problem,
+    coreset: &Coreset<P>,
+    metric: &M,
+    k: usize,
+) -> Solution {
+    assert!(!coreset.is_empty(), "cannot solve on an empty core-set");
+    assert!(
+        coreset.is_unweighted(),
+        "plain sequential solve requires an unweighted core-set"
+    );
+    let local = seq::solve(problem, coreset.points(), metric, k);
+    Solution {
+        indices: local
+            .indices
+            .iter()
+            .map(|&i| coreset.sources()[i] as usize)
+            .collect(),
+        value: local.value,
+    }
+}
+
+/// Re-extracts a core-set *from* a core-set (the recursion step of the
+/// multi-round MapReduce driver): runs the problem-appropriate
+/// extraction over `parent`'s points, maps provenance through
+/// `parent`'s sources, and composes the certificate **additively**
+/// ([`Coreset::deepen`] — the Lemma 3–4 telescope).
+///
+/// # Panics
+/// Panics if `parent` is empty or weighted.
+pub fn shrink_coreset<P: Clone + Sync, M: Metric<P>>(
+    problem: Problem,
+    parent: &Coreset<P>,
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    threads: usize,
+) -> Coreset<P> {
+    assert!(
+        parent.is_unweighted(),
+        "re-extraction requires an unweighted core-set"
+    );
+    let fresh = extract_coreset_artifact_with_threads(
+        problem,
+        parent.points(),
+        metric,
+        k,
+        k_prime,
+        threads,
+    );
+    fresh
+        .map_sources(|local| parent.sources()[local as usize])
+        .deepen(parent.radius())
+}
+
+/// The sequential substrate as a [`CoresetSource`]: a point slice plus
+/// its metric (and an optional thread cap for the extraction).
+pub struct PointSet<'a, P, M> {
+    points: &'a [P],
+    metric: &'a M,
+    threads: usize,
+}
+
+impl<'a, P, M> PointSet<'a, P, M> {
+    /// A source over `points` with automatic threading.
+    pub fn new(points: &'a [P], metric: &'a M) -> Self {
+        Self {
+            points,
+            metric,
+            threads: par::auto_threads(points.len()),
+        }
+    }
+
+    /// A source with an explicit thread count (`<= 1` sequential).
+    pub fn with_threads(points: &'a [P], metric: &'a M, threads: usize) -> Self {
+        Self {
+            points,
+            metric,
+            threads,
+        }
+    }
+}
+
+impl<P: Clone + Sync, M: Metric<P>> CoresetSource<P> for PointSet<'_, P, M> {
+    fn extract_coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
+        extract_coreset_artifact_with_threads(
+            problem,
+            self.points,
+            self.metric,
+            k,
+            k_prime,
+            self.threads,
+        )
+    }
 }
 
 /// Extracts the problem-appropriate core-set (indices into `points`).
@@ -180,5 +329,72 @@ mod tests {
     fn rejects_k_prime_below_k() {
         let pts = line(&[0.0, 1.0, 2.0]);
         let _ = coreset_then_solve(Problem::RemoteEdge, &pts, &Euclidean, 3, 2);
+    }
+
+    #[test]
+    fn artifact_matches_index_extraction() {
+        let pts = line(&(0..60).map(|i| ((i * 31) % 47) as f64).collect::<Vec<_>>());
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique] {
+            let indices = extract_coreset(problem, &pts, &Euclidean, 3, 8);
+            let artifact = extract_coreset_artifact(problem, &pts, &Euclidean, 3, 8);
+            let sources: Vec<usize> = artifact.sources().iter().map(|&s| s as usize).collect();
+            assert_eq!(sources, indices, "{problem}");
+            for (&s, p) in artifact.sources().iter().zip(artifact.points()) {
+                assert_eq!(&pts[s as usize], p, "{problem}: provenance recovers point");
+            }
+            assert!(artifact.is_unweighted());
+            assert_eq!(artifact.k_prime(), 8);
+        }
+    }
+
+    #[test]
+    fn artifact_radius_certifies_the_input() {
+        let pts = line(&(0..80).map(|i| ((i * 53) % 67) as f64).collect::<Vec<_>>());
+        for problem in [Problem::RemoteEdge, Problem::RemoteTree] {
+            let artifact = extract_coreset_artifact(problem, &pts, &Euclidean, 4, 10);
+            assert!(
+                artifact.certifies(&pts, &Euclidean, 1e-9),
+                "{problem}: radius certificate must cover every input point"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_coreset_matches_solve_on_subset() {
+        let pts = line(&(0..50).map(|i| ((i * 17) % 41) as f64).collect::<Vec<_>>());
+        let artifact = extract_coreset_artifact(Problem::RemoteClique, &pts, &Euclidean, 3, 6);
+        let via_artifact = solve_coreset(Problem::RemoteClique, &artifact, &Euclidean, 3);
+        let indices: Vec<usize> = artifact.sources().iter().map(|&s| s as usize).collect();
+        let via_subset = solve_on_subset(Problem::RemoteClique, &pts, &Euclidean, 3, &indices);
+        assert_eq!(via_artifact.indices, via_subset.indices);
+        assert_eq!(via_artifact.value, via_subset.value);
+    }
+
+    #[test]
+    fn shrink_composes_radii_and_provenance() {
+        let pts = line(
+            &(0..120)
+                .map(|i| ((i * 37) % 101) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let parent = extract_coreset_artifact(Problem::RemoteEdge, &pts, &Euclidean, 4, 24);
+        let child = shrink_coreset(Problem::RemoteEdge, &parent, &Euclidean, 4, 8, 1);
+        assert!(child.len() <= 8);
+        assert!(child.radius() >= parent.radius());
+        // Child provenance points straight at the original slice.
+        for (&s, p) in child.sources().iter().zip(child.points()) {
+            assert_eq!(&pts[s as usize], p);
+        }
+        // And the composed radius really covers the original input.
+        assert!(child.certifies(&pts, &Euclidean, 1e-9));
+    }
+
+    #[test]
+    fn point_set_is_a_coreset_source() {
+        let pts = line(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        let source = PointSet::new(&pts, &Euclidean);
+        let a = source.extract_coreset(Problem::RemoteEdge, 3, 6);
+        let b = extract_coreset_artifact(Problem::RemoteEdge, &pts, &Euclidean, 3, 6);
+        assert_eq!(a, b);
     }
 }

@@ -23,6 +23,10 @@ pub enum Backend {
     MapReduce,
     /// The fully dynamic cover-hierarchy engine.
     Dynamic,
+    /// The sharded composition: per-shard dynamic engines whose
+    /// extracted core-sets merge through the 2-round MapReduce
+    /// combiner ([`crate::Task::run_sharded`]).
+    ShardedDynamic,
 }
 
 /// Wall-clock time of one named pipeline stage (a MapReduce round, the
@@ -33,6 +37,26 @@ pub struct StageTiming {
     pub stage: String,
     /// Stage wall-clock in seconds.
     pub secs: f64,
+}
+
+/// Memory accounting of one pipeline stage, in **points** — the
+/// quantity the paper's `M_L` / `M_T` bounds govern (Table 3). For
+/// MapReduce backends this surfaces the per-round
+/// `diversity_mapreduce::RoundStats` that used to stay inside
+/// `MrOutcome`; for streaming it reports the pass's peak residency.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Stage label, aligned with the [`StageTiming`] of the same stage.
+    pub stage: String,
+    /// Number of logical reducers (1 for non-MapReduce stages).
+    pub reducers: usize,
+    /// Largest number of points resident in a single reducer — the
+    /// paper's per-machine `M_L`.
+    pub max_local_points: usize,
+    /// Total points resident across reducers (`M_T` is linear in this).
+    pub total_points: usize,
+    /// Points shipped out of the stage (shuffle volume into the next).
+    pub emitted_points: usize,
 }
 
 /// The theory-side accuracy certificate attached when the task was
@@ -70,6 +94,16 @@ pub struct Report<P> {
     /// MapReduce: the union of per-partition core-sets shipped out of
     /// the last extraction round).
     pub coreset_size: usize,
+    /// Covering-radius certificate of that core-set, when the backend
+    /// produces one: every input point is within this distance of some
+    /// core-set point (the `δ` of the proxy-function lemmas, composed
+    /// across partitions/levels/shards by the
+    /// [`Coreset`](diversity_core::coreset::Coreset) laws — `max` under
+    /// union, `+` under re-extraction). `None` only when the backend
+    /// has no certificate for the run (e.g. a recursive run is reported
+    /// with its composed sum; a plain sequential run with its kernel
+    /// range).
+    pub coreset_radius: Option<f64>,
     /// The selected points' positions in the backend's index space:
     /// slice positions (sequential), original positions through the
     /// partition mapping (MapReduce), stream arrival order (streaming),
@@ -82,6 +116,12 @@ pub struct Report<P> {
     pub value: f64,
     /// Per-stage wall-clock timings, in execution order.
     pub timings: Vec<StageTiming>,
+    /// Per-stage memory accounting (points resident / shipped), in
+    /// execution order. Populated by the backends that measure
+    /// residency — every MapReduce round and the streaming pass; empty
+    /// for the sequential and dynamic backends, which hold the input
+    /// (or the maintained structure) wholesale.
+    pub memory: Vec<StageMemory>,
     /// Present iff the task's budget was [`crate::Budget::Eps`].
     pub certificate: Option<Certificate>,
 }
@@ -115,6 +155,7 @@ mod tests {
             k: 2,
             k_prime: 8,
             coreset_size: 5,
+            coreset_radius: Some(1.5),
             indices: vec![3, 7],
             points: vec![VecPoint::from([0.0, 1.0]), VecPoint::from([2.5, -1.0])],
             value: 4.25,
@@ -128,6 +169,13 @@ mod tests {
                     secs: 0.5,
                 },
             ],
+            memory: vec![StageMemory {
+                stage: "round1:coreset".into(),
+                reducers: 3,
+                max_local_points: 40,
+                total_points: 100,
+                emitted_points: 5,
+            }],
             certificate: Some(Certificate {
                 alpha: 2.0,
                 eps: 0.5,

@@ -26,12 +26,16 @@ use std::cell::Cell;
 use std::time::Instant;
 
 use crate::error::DivError;
-use crate::report::{Backend, Certificate, Report, StageTiming};
+use crate::report::{Backend, Certificate, Report, StageMemory, StageTiming};
+use diversity_core::coreset::Coreset;
 use diversity_core::{coreset, par, pipeline, seq, Problem};
 use diversity_dynamic::DynamicDiversity;
 use diversity_mapreduce::{
-    randomized::randomized_two_round, recursive::recursive_owned, three_round::three_round,
-    two_round::two_round, MapReduceRuntime, MrOutcome, Partitions,
+    randomized::randomized_two_round,
+    recursive::recursive_owned,
+    three_round::three_round,
+    two_round::{solve_union, two_round},
+    MapReduceRuntime, MrOutcome, MrStats, Partitions,
 };
 use diversity_streaming::{Smm, SmmExt};
 use metric::Metric;
@@ -230,6 +234,12 @@ pub enum Strategy {
         /// Per-reducer memory budget in points (must be positive).
         memory_limit: usize,
     },
+    /// The sharded-dynamic composition ([`Task::run_sharded`]): one
+    /// fully dynamic engine per partition extracts its maintained
+    /// core-set, and the artifacts merge through the 2-round combiner.
+    /// Works for all six problems; the report's backend is
+    /// [`Backend::ShardedDynamic`].
+    ShardedDynamic,
 }
 
 impl Serialize for Strategy {
@@ -237,6 +247,7 @@ impl Serialize for Strategy {
         match self {
             Strategy::TwoRound => out.push_str("\"TwoRound\""),
             Strategy::ThreeRound => out.push_str("\"ThreeRound\""),
+            Strategy::ShardedDynamic => out.push_str("\"ShardedDynamic\""),
             Strategy::Randomized { seed } => {
                 out.push_str("{\"Randomized\":{\"seed\":");
                 seed.serialize_json(out);
@@ -258,6 +269,7 @@ impl Deserialize for Strategy {
             return match tag.as_str() {
                 "TwoRound" => Ok(Strategy::TwoRound),
                 "ThreeRound" => Ok(Strategy::ThreeRound),
+                "ShardedDynamic" => Ok(Strategy::ShardedDynamic),
                 other => Err(serde::Error::custom(format!(
                     "unknown Strategy variant `{other}`"
                 ))),
@@ -469,7 +481,7 @@ impl Task {
             .unwrap_or_else(|| par::auto_threads(points.len()));
 
         let t0 = Instant::now();
-        let coreset_indices = pipeline::extract_coreset_with_threads(
+        let coreset = pipeline::extract_coreset_artifact_with_threads(
             self.problem,
             points,
             metric,
@@ -480,7 +492,7 @@ impl Task {
         let coreset_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let sol = pipeline::solve_on_subset(self.problem, points, metric, self.k, &coreset_indices);
+        let sol = pipeline::solve_coreset(self.problem, &coreset, metric, self.k);
         let solve_secs = t1.elapsed().as_secs_f64();
 
         Ok(Report {
@@ -488,7 +500,8 @@ impl Task {
             backend: Backend::Sequential,
             k: self.k,
             k_prime,
-            coreset_size: coreset_indices.len(),
+            coreset_size: coreset.len(),
+            coreset_radius: Some(coreset.radius()),
             points: sol.indices.iter().map(|&i| points[i].clone()).collect(),
             indices: sol.indices,
             value: sol.value,
@@ -502,6 +515,7 @@ impl Task {
                     secs: solve_secs,
                 },
             ],
+            memory: Vec::new(),
             certificate: self.certificate(),
         })
     }
@@ -510,9 +524,12 @@ impl Task {
 
     /// Runs the one-pass streaming algorithm (Theorem 3) over
     /// `stream`. Indices in the report are stream arrival positions
-    /// (0-based), tracked through the pass. An empty stream is detected
-    /// on the *first* poll — no data is buffered before the error —
-    /// and a stream shorter than `k` reports
+    /// (0-based) — the provenance the streaming pass itself records in
+    /// its [`Coreset`](diversity_core::coreset::Coreset) artifact, so
+    /// the stream feeds the metric's **batched kernels** directly (no
+    /// tagging wrapper hiding them behind scalar loops). An empty
+    /// stream is detected on the *first* poll — no data is buffered
+    /// before the error — and a stream shorter than `k` reports
     /// [`DivError::InvalidK`] with the observed length.
     pub fn run_stream<P, M, I>(&self, stream: I, metric: &M) -> Result<Report<P>, DivError>
     where
@@ -531,20 +548,19 @@ impl Task {
         };
 
         let seen = Cell::new(0usize);
-        let tagged_stream = std::iter::once(first)
-            .chain(iter)
-            .enumerate()
-            .map(|(pos, point)| {
-                seen.set(pos + 1);
-                Tagged { pos, point }
-            });
-        let tag_metric = TagMetric(metric);
+        let counted_stream = std::iter::once(first).chain(iter).inspect(|_| {
+            seen.set(seen.get() + 1);
+        });
 
         let t0 = Instant::now();
-        let coreset: Vec<Tagged<P>> = if self.problem.needs_injective_proxy() {
-            SmmExt::run(&tag_metric, self.k, k_prime, tagged_stream).coreset
+        let (coreset, peak_memory) = if self.problem.needs_injective_proxy() {
+            let res = SmmExt::run(metric, self.k, k_prime, counted_stream);
+            let peak = res.peak_memory_points;
+            (res.into_coreset(), peak)
         } else {
-            Smm::run(&tag_metric, self.k, k_prime, tagged_stream).coreset
+            let res = Smm::run(metric, self.k, k_prime, counted_stream);
+            let peak = res.peak_memory_points;
+            (res.into_coreset(), peak)
         };
         let coreset_secs = t0.elapsed().as_secs_f64();
 
@@ -557,7 +573,7 @@ impl Task {
         }
 
         let t1 = Instant::now();
-        let sol = seq::solve(self.problem, &coreset, &tag_metric, self.k);
+        let sol = seq::solve(self.problem, coreset.points(), metric, self.k);
         let solve_secs = t1.elapsed().as_secs_f64();
 
         Ok(Report {
@@ -566,11 +582,16 @@ impl Task {
             k: self.k,
             k_prime,
             coreset_size: coreset.len(),
-            indices: sol.indices.iter().map(|&i| coreset[i].pos).collect(),
+            coreset_radius: Some(coreset.radius()),
+            indices: sol
+                .indices
+                .iter()
+                .map(|&i| coreset.sources()[i] as usize)
+                .collect(),
             points: sol
                 .indices
                 .iter()
-                .map(|&i| coreset[i].point.clone())
+                .map(|&i| coreset.points()[i].clone())
                 .collect(),
             value: sol.value,
             timings: vec![
@@ -583,6 +604,13 @@ impl Task {
                     secs: solve_secs,
                 },
             ],
+            memory: vec![StageMemory {
+                stage: "stream-coreset".into(),
+                reducers: 1,
+                max_local_points: peak_memory,
+                total_points: peak_memory,
+                emitted_points: coreset.len(),
+            }],
             certificate: self.certificate(),
         })
     }
@@ -666,14 +694,26 @@ impl Task {
                     runtime,
                 )
             }
+            Strategy::ShardedDynamic => self.sharded_outcome(partitions, metric, runtime, k_prime),
+        };
+
+        // The sharded composition carries its own backend tag, and —
+        // like `run_dynamic` — never an `(α+ε)` certificate: per-shard
+        // accuracy is governed by the engines' cover structure, with
+        // the composed `coreset_radius` as the honest witness.
+        let (backend, certificate) = if strategy == Strategy::ShardedDynamic {
+            (Backend::ShardedDynamic, None)
+        } else {
+            (Backend::MapReduce, self.certificate())
         };
 
         Ok(Report {
             problem: self.problem,
-            backend: Backend::MapReduce,
+            backend,
             k: self.k,
             k_prime,
             coreset_size: outcome.solve_input_size,
+            coreset_radius: Some(outcome.coreset_radius),
             points: outcome
                 .solution
                 .indices
@@ -694,7 +734,8 @@ impl Task {
                     secs: r.wall.as_secs_f64(),
                 })
                 .collect(),
-            certificate: self.certificate(),
+            memory: memory_stages(&outcome.stats),
+            certificate,
         })
     }
 
@@ -745,6 +786,7 @@ impl Task {
             k: self.k,
             k_prime,
             coreset_size: sol.coreset.size,
+            coreset_radius: Some(sol.coreset.radius),
             indices: sol.ids.iter().map(|id| id.raw() as usize).collect(),
             points: sol
                 .ids
@@ -761,30 +803,131 @@ impl Task {
                 stage: "extract+solve".into(),
                 secs: solve_secs,
             }],
+            memory: Vec::new(),
             certificate: None,
         })
     }
-}
 
-/// A stream point tagged with its arrival position, so streaming
-/// reports can carry provenance like every other backend.
-#[derive(Clone)]
-struct Tagged<P> {
-    pos: usize,
-    point: P,
-}
+    // ---- sharded dynamic ---------------------------------------------
 
-/// Forwards distances to the inner metric, ignoring the tag. The
-/// batched kernels of the inner metric are not reachable through the
-/// tag wrapper (the defaults run instead) — the low-level
-/// `streaming::pipeline::one_pass` remains the zero-overhead path when
-/// provenance is not needed.
-struct TagMetric<'a, M>(&'a M);
-
-impl<P, M: Metric<P>> Metric<Tagged<P>> for TagMetric<'_, M> {
-    fn distance(&self, a: &Tagged<P>, b: &Tagged<P>) -> f64 {
-        self.0.distance(&a.point, &b.point)
+    /// The composition the coreset artifact unlocks, as a fifth
+    /// backend: one **fully dynamic engine per partition** builds its
+    /// cover hierarchy and extracts its maintained core-set
+    /// ([`DynamicDiversity::extract_coreset`]), and the per-shard
+    /// artifacts merge through the existing **2-round MapReduce
+    /// combiner** (`mapreduce::two_round::solve_union`). Also reachable
+    /// as [`Strategy::ShardedDynamic`] through
+    /// [`run_mapreduce`](Task::run_mapreduce).
+    ///
+    /// **Why the composed certificate is sound** (the paper's own
+    /// glue): each shard's extraction guarantees every shard point is
+    /// within `r_i` of its artifact (the cover level's telescoped
+    /// covering radius — the additive `Σ_j 2^j < 2^(i+1)` argument that
+    /// also underlies the streaming Lemmas 3–4); the union of the
+    /// artifacts then covers the *whole* input within `max_i r_i`
+    /// (Definition 2's composition, [`Coreset::merge`]), so the
+    /// report's `coreset_radius` is exactly that max and bounds the
+    /// solve's value loss through the proxy-function Lemmas 1–2. Had
+    /// the combiner re-extracted before solving, the radii would add
+    /// ([`Coreset::deepen`]); it solves the union directly, so no
+    /// second term appears.
+    ///
+    /// Indices in the report are positions in the original input
+    /// (through the partition's validated `global_indices`). No
+    /// `(α+ε)` [`Certificate`] is attached — like
+    /// [`run_dynamic`](Task::run_dynamic), per-shard accuracy is
+    /// governed by the engines' cover structure, and the per-run
+    /// `coreset_radius` is the honest accuracy witness. On the
+    /// `tests/unified_api.rs` conformance problems the result stays
+    /// within the sequential backend's `α` of `run_seq` (property-
+    /// tested in `tests/coreset_laws.rs`).
+    pub fn run_sharded<P, M>(
+        &self,
+        partitions: &Partitions<P>,
+        metric: &M,
+        runtime: &MapReduceRuntime,
+    ) -> Result<Report<P>, DivError>
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P>,
+    {
+        // One driver, two doors: the shared MapReduce path owns
+        // validation, budget resolution and report assembly; only the
+        // round-1 substrate (and the backend tag) differ.
+        self.run_mapreduce(partitions, metric, runtime, Strategy::ShardedDynamic)
     }
+
+    /// The sharded round driver behind [`Strategy::ShardedDynamic`]:
+    /// per-shard dynamic engines, artifact merge, shared combiner.
+    fn sharded_outcome<P, M>(
+        &self,
+        partitions: &Partitions<P>,
+        metric: &M,
+        runtime: &MapReduceRuntime,
+        k_prime: usize,
+    ) -> MrOutcome
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P>,
+    {
+        let mut stats = MrStats::default();
+
+        // Round 1: per-shard dynamic engines. Each reducer builds the
+        // cover hierarchy for its shard (in a serving deployment the
+        // engine is long-lived and this is amortized over updates) and
+        // extracts the maintained core-set with global provenance.
+        let (round1_out, round1_stats) = runtime.run_round(
+            "round1:dynamic-coreset",
+            &partitions.parts,
+            |part_id, part: &Vec<P>| {
+                if part.is_empty() {
+                    return Coreset::unweighted(Vec::new(), Vec::new(), k_prime, 0.0);
+                }
+                let mut engine = DynamicDiversity::new(metric);
+                for p in part {
+                    engine.insert(p.clone());
+                }
+                // Insert-only engine: ids are local insertion order.
+                let globals = &partitions.global_indices[part_id];
+                engine
+                    .extract_coreset(self.problem, self.k, k_prime)
+                    .map_sources(|local| globals[local as usize] as u64)
+            },
+            Vec::len,
+            Coreset::len,
+        );
+        stats.rounds.push(round1_stats);
+
+        // Shuffle + round 2: merge (radius = max of shards) and run the
+        // shared 2-round combiner on the union.
+        let union = Coreset::merge_all(round1_out).expect("at least one partition");
+        let (solution, solve_input_size, coreset_radius, round2_stats) =
+            solve_union(self.problem, union, metric, self.k, runtime, "round2:solve");
+        stats.rounds.push(round2_stats);
+
+        MrOutcome {
+            solution,
+            solve_input_size,
+            coreset_radius,
+            stats,
+        }
+    }
+}
+
+/// [`StageMemory`] rows from a MapReduce run's per-round stats — the
+/// `Report`-level surface of the `M_L` / `M_T` accounting.
+fn memory_stages(stats: &MrStats) -> Vec<StageMemory> {
+    stats
+        .rounds
+        .iter()
+        .map(|r| StageMemory {
+            stage: r.name.clone(),
+            reducers: r.reducers,
+            max_local_points: r.max_local_points,
+            total_points: r.total_points,
+            emitted_points: r.emitted_points,
+        })
+        .collect()
 }
 
 /// Up to [`AUTO_SAMPLE_LIMIT`] points taken at a uniform stride across
@@ -1079,6 +1222,71 @@ mod tests {
         for (&id, p) in report.indices.iter().zip(&report.points) {
             assert_eq!(&pts[id], p, "insert-only engine ids are insertion order");
         }
+    }
+
+    #[test]
+    fn mapreduce_report_exposes_memory_accounting() {
+        use diversity_mapreduce::partition::split_round_robin;
+        let pts = line(&(0..120).map(|i| ((i * 31) % 97) as f64).collect::<Vec<_>>());
+        let parts = split_round_robin(pts, 4);
+        let rt = MapReduceRuntime::with_threads(2);
+        let report = Task::new(Problem::RemoteEdge, 3)
+            .budget(Budget::KPrime(6))
+            .run_mapreduce(&parts, &Euclidean, &rt, Strategy::TwoRound)
+            .unwrap();
+        assert_eq!(report.memory.len(), report.timings.len());
+        let round1 = &report.memory[0];
+        assert_eq!(round1.stage, "round1:coreset");
+        assert_eq!(round1.reducers, 4);
+        assert_eq!(round1.max_local_points, 30);
+        assert_eq!(round1.total_points, 120);
+        assert_eq!(round1.emitted_points, 24, "4 parts x k'=6 kernels");
+        let round2 = &report.memory[1];
+        assert_eq!(round2.reducers, 1);
+        assert_eq!(round2.max_local_points, 24, "union resident on one reducer");
+    }
+
+    #[test]
+    fn sharded_backend_composes_shard_radii() {
+        use diversity_mapreduce::partition::split_round_robin;
+        let pts = line(
+            &(0..240)
+                .map(|i| ((i * 37) % 211) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let parts = split_round_robin(pts.clone(), 4);
+        let rt = MapReduceRuntime::with_threads(4);
+        let task = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(16));
+        let report = task.run_sharded(&parts, &Euclidean, &rt).unwrap();
+        assert_eq!(report.backend, Backend::ShardedDynamic);
+        assert_eq!(report.len(), 4);
+        for (&g, p) in report.indices.iter().zip(&report.points) {
+            assert_eq!(&pts[g], p, "global index must recover the point");
+        }
+        // The composed certificate is the max of the per-shard
+        // extraction radii — recompute them directly.
+        let expected = parts
+            .parts
+            .iter()
+            .map(|part| {
+                let mut engine = DynamicDiversity::new(Euclidean);
+                for p in part {
+                    engine.insert(p.clone());
+                }
+                engine.extract_coreset(Problem::RemoteEdge, 4, 16).radius()
+            })
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.coreset_radius, Some(expected));
+        assert_eq!(report.memory.len(), 2, "round1 + combiner");
+        assert_eq!(report.memory[0].stage, "round1:dynamic-coreset");
+
+        // The Strategy route lands in the same driver.
+        let via_strategy = task
+            .run_mapreduce(&parts, &Euclidean, &rt, Strategy::ShardedDynamic)
+            .unwrap();
+        assert_eq!(via_strategy.backend, Backend::ShardedDynamic);
+        assert_eq!(via_strategy.indices, report.indices);
+        assert_eq!(via_strategy.value, report.value);
     }
 
     #[test]

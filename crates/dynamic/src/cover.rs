@@ -25,13 +25,25 @@
 
 use crate::node::Node;
 use crate::stats::UpdateStats;
-use diversity_core::doubling::scale_to_distance;
+use diversity_core::doubling::{distance_to_scale, scale_to_distance};
 use metric::Metric;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One visited level during an insert descent: the level, its pruned
 /// near-view as `(id, distance)` pairs, and the view's min distance.
 type LevelView = (i32, Vec<(u64, f64)>, f64);
+
+/// The view of the lowest *visited* level at or above `level` (`views`
+/// is strictly descending by level). Levels the descent skipped have no
+/// residents, so that view's center set equals `C_level` out to its
+/// pruning radius — see the level-skip notes in `insert`.
+fn view_at_or_above(views: &[LevelView], level: i32) -> &LevelView {
+    views
+        .iter()
+        .rev()
+        .find(|v| v.0 >= level)
+        .expect("the top view covers every queried level")
+}
 
 /// The hierarchy. Generic over the point type only; the metric is
 /// passed into each operation (mirroring `DoublingCore`).
@@ -163,23 +175,54 @@ impl<P: Clone> CoverHierarchy<P> {
         // its min distance. Descent continues while
         // d(point, C_j) ≤ 2^(j+1) and stops either at the first
         // uncovered level or at the duplicate-bucket floor.
+        //
+        // **Level skip:** a level with no residents changes neither the
+        // candidate set (children extension only adds nodes residing
+        // exactly there) nor the min distance — its view would be the
+        // level above's, filtered tighter. So the descent jumps
+        // straight to the highest level that *can* change the outcome:
+        // the next occupied level, the level where the uncovered
+        // condition first triggers at the current min distance
+        // (`d_min > 2^(j+1)` ⟺ `j ≤ scale(d_min) − 2`), or the floor.
+        // On large-aspect-ratio data (top scale ≫ typical spacing) this
+        // removes the empty-level iterations entirely; the completeness
+        // induction survives because a skipped ancestor chain has no
+        // residents to lose (`descent_views_complete_within_3_scale`
+        // and `validate` hold unchanged).
         let mut views: Vec<LevelView> = vec![(self.top_level, vec![(root, d_root)], d_root)];
         let mut bucket = false;
         loop {
-            let (i, cands, _) = views.last().expect("seeded");
-            let next = i - 1;
-            if next < floor {
+            let (i, cands, d_min_here) = views.last().expect("seeded");
+            let (i, d_min_here) = (*i, *d_min_here);
+            if i <= floor {
                 bucket = true;
                 break;
+            }
+            let next_occupied = self
+                .by_level
+                .range(..i)
+                .next_back()
+                .map_or(i32::MIN, |(&l, _)| l);
+            let first_uncovered = if d_min_here > 0.0 {
+                distance_to_scale(d_min_here) - 2
+            } else {
+                i32::MIN
+            };
+            let next = next_occupied.max(first_uncovered).max(floor);
+            debug_assert!(next < i, "jump target must descend");
+            if next < i - 1 {
+                stats.levels_skipped += (i - 1 - next) as u64;
             }
             let mut view = self.extend_with_children(next, cands, &point, metric, stats);
             // Pruning radius θ_j = 3·2^j. This is the tightest budget
             // the covering argument sustains: a center c ∈ C_j with
-            // d(point, c) ≤ 3·2^j has its level-(j+1) ancestor a within
-            // d(point, a) ≤ 3·2^j + 2^(j+1) = 5·2^j ≤ θ_(j+1) = 6·2^j,
-            // so `a` survived the previous retain and `c` is in this
-            // view — inductively the view is complete out to 3·2^j.
-            // The descent and bubble-up only ever query the view for
+            // d(point, c) ≤ 3·2^j has its lowest ancestor a above j
+            // within d(point, a) ≤ 3·2^j + 2^(j+1) = 5·2^j ≤ 3·2^(j+1)
+            // ≤ θ of the previous *visited* level (levels between are
+            // unoccupied, so a resides at or above it), hence `a`
+            // survived the previous retain and `c` is in this view —
+            // inductively the view is complete out to 3·2^j. The
+            // descent and bubble-up only ever query the view for
             // centers within the covering radius 2^(j+1) < 3·2^j, so
             // nothing is lost, while the old θ_j = 4·2^j budget carried
             // strictly more candidates per level (a measurable shrink
@@ -221,13 +264,13 @@ impl<P: Clone> CoverHierarchy<P> {
         // Each level s skipped on the way certifies the separation
         // d(point, C_s) > 2^s that residing below it requires; the
         // stop level j0 certifies every residence ≤ j0 through the
-        // parent-chain telescope (see module docs).
-        let j0_index = views.len() - 1;
-        let mut r = views[j0_index].0;
+        // parent-chain telescope (see module docs). Levels the descent
+        // jumped over have no residents, so `C_(r+1)` equals the center
+        // set of the lowest *visited* level ≥ r+1 — whose recorded view
+        // answers the query.
+        let mut r = views.last().expect("seeded").0;
         loop {
-            let above_index = j0_index - (r + 1 - views[j0_index].0) as usize;
-            let (above_level, above_view, above_min) = &views[above_index];
-            debug_assert_eq!(*above_level, r + 1);
+            let (_, above_view, above_min) = view_at_or_above(&views, r + 1);
             if *above_min <= 2.0 * scale_to_distance(r) {
                 let parent = above_view
                     .iter()
@@ -385,10 +428,21 @@ impl<P: Clone> CoverHierarchy<P> {
         let mut cands: Vec<(u64, f64)> = vec![(root, d_root)];
         let mut i = self.top_level;
         while i > target_level {
-            let next = i - 1;
+            // Level skip: unoccupied levels add no children and their
+            // θ filter is subsumed by the tighter one below, so jump
+            // straight to the next occupied level (or the target).
+            let next_occupied = self
+                .by_level
+                .range(..i)
+                .next_back()
+                .map_or(i32::MIN, |(&l, _)| l);
+            let next = next_occupied.max(target_level);
+            if next < i - 1 {
+                stats.levels_skipped += (i - 1 - next) as u64;
+            }
             let mut next_cands = self.extend_with_children(next, &cands, point, metric, stats);
-            // Any center of C_target within `radius` has its level-j
-            // ancestor within radius + 2^(j+1).
+            // Any center of C_target within `radius` has its lowest
+            // ancestor above j within radius + 2^(j+1).
             let theta = radius + 2.0 * scale_to_distance(next);
             next_cands.retain(|&(cid, d)| cid != exclude && d <= theta);
             stats.max_candidates = stats.max_candidates.max(next_cands.len());

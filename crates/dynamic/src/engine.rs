@@ -2,8 +2,11 @@
 
 use crate::config::DynamicConfig;
 use crate::cover::CoverHierarchy;
-use crate::solve::{extract_coreset, solve_on_coreset, CoresetInfo, DynamicSolution};
+use crate::solve::{
+    extract_artifact, extract_coreset, solve_on_coreset, CoresetInfo, DynamicSolution,
+};
 use crate::stats::UpdateStats;
+use diversity_core::coreset::{Coreset, CoresetSource};
 use diversity_core::Problem;
 use metric::Metric;
 
@@ -138,8 +141,27 @@ impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
             "budget must be at least k (budget={budget}, k={k})"
         );
         assert!(!self.is_empty(), "cannot solve on an empty engine");
-        let (ids, info) = extract_coreset(&self.cover, problem, k, budget);
-        solve_on_coreset(&self.cover, &self.metric, problem, k, &ids, info)
+        let (artifact, info) = extract_artifact(&self.cover, problem, k, budget);
+        solve_on_coreset(&self.metric, problem, k, &artifact, info)
+    }
+
+    /// Extracts the engine's current core-set as the typed composable
+    /// [`Coreset`] artifact: owned points, the engine's [`PointId`] raw
+    /// values as provenance, and the extraction level's covering radius
+    /// as the certificate — every alive point is within that radius of
+    /// some artifact point. This is the dynamic substrate's hand-off to
+    /// the composition layer: per-shard engines extract, the artifacts
+    /// [`merge`](Coreset::merge) (radius = max of shards), and the
+    /// 2-round MapReduce combiner finishes the job
+    /// (`diversity::Task::run_sharded`).
+    ///
+    /// # Panics
+    /// Panics if the engine is empty, `k == 0`, or `budget < k`.
+    pub fn extract_coreset(&self, problem: Problem, k: usize, budget: usize) -> Coreset<P> {
+        assert!(k > 0, "k must be positive");
+        assert!(budget >= k, "budget must be at least k");
+        assert!(!self.is_empty(), "cannot extract from an empty engine");
+        extract_artifact(&self.cover, problem, k, budget).0
     }
 
     /// The coreset ids (and provenance) a solve would run on — exposed
@@ -160,6 +182,12 @@ impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
     /// support).
     pub fn validate(&self) {
         self.cover.validate(&self.metric);
+    }
+}
+
+impl<P: Clone + Sync, M: Metric<P>> CoresetSource<P> for DynamicDiversity<P, M> {
+    fn extract_coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
+        DynamicDiversity::extract_coreset(self, problem, k, k_prime)
     }
 }
 
@@ -293,5 +321,80 @@ mod tests {
     fn solve_on_empty_panics() {
         let e: DynamicDiversity<VecPoint, _> = DynamicDiversity::new(Euclidean);
         let _ = e.solve(Problem::RemoteEdge, 2);
+    }
+
+    #[test]
+    fn extracted_artifact_certifies_the_alive_set() {
+        let mut e = DynamicDiversity::new(Euclidean);
+        let ids: Vec<PointId> = grid(70).into_iter().map(|p| e.insert(p)).collect();
+        for id in &ids[..20] {
+            e.delete(*id);
+        }
+        for problem in [Problem::RemoteEdge, Problem::RemoteClique] {
+            let artifact = e.extract_coreset(problem, 4, 12);
+            assert!(artifact.is_unweighted(), "{problem}");
+            assert_eq!(artifact.k_prime(), 12, "{problem}");
+            // Provenance: sources are alive engine ids recovering the
+            // artifact's points.
+            for (&src, p) in artifact.sources().iter().zip(artifact.points()) {
+                assert_eq!(e.point(PointId(src)), Some(p), "{problem}");
+            }
+            // Certificate: every alive point within the radius.
+            let alive: Vec<VecPoint> = e.alive().into_iter().map(|(_, p)| p).collect();
+            assert!(
+                artifact.certifies(&alive, &Euclidean, 1e-9),
+                "{problem}: radius must cover the alive set"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_extraction_matches_inherent() {
+        use diversity_core::coreset::CoresetSource;
+        let mut e = DynamicDiversity::new(Euclidean);
+        for p in grid(40) {
+            e.insert(p);
+        }
+        let via_trait = CoresetSource::extract_coreset(&e, Problem::RemoteEdge, 3, 9);
+        let direct = e.extract_coreset(Problem::RemoteEdge, 3, 9);
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn level_skip_fires_on_large_aspect_ratio() {
+        // Two far-apart tight clusters: the hierarchy spans ~40 scales
+        // of which almost all are empty — descents must jump them.
+        let mut e = DynamicDiversity::new(Euclidean);
+        for i in 0..40 {
+            e.insert(VecPoint::from([i as f64 * 1e-3, 0.0]));
+            e.insert(VecPoint::from([1e9 + i as f64 * 1e-3, 0.0]));
+        }
+        e.validate();
+        assert!(
+            e.stats().levels_skipped > 0,
+            "empty levels must be jumped, not iterated"
+        );
+        // Deletions (re-homing descents) skip too, and repair stays sound.
+        let ids: Vec<PointId> = e.alive().into_iter().map(|(id, _)| id).collect();
+        for id in ids.iter().take(30) {
+            e.delete(*id);
+        }
+        e.validate();
+        let sol = e.solve_with_budget(Problem::RemoteEdge, 2, 8);
+        assert!(sol.value >= 1e9 - 1.0, "clusters both represented");
+    }
+
+    #[test]
+    fn skipping_matches_small_aspect_behaviour() {
+        // Dense grid (small aspect ratio): results must be identical to
+        // the exhaustive invariants regardless of how many levels were
+        // skipped — validate() is the exhaustive oracle.
+        let mut e = DynamicDiversity::new(Euclidean);
+        for p in grid(100) {
+            e.insert(p);
+        }
+        e.validate();
+        let sol = e.solve_with_budget(Problem::RemoteClique, 5, 20);
+        assert_eq!(sol.ids.len(), 5);
     }
 }

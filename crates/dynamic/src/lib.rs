@@ -63,3 +63,8 @@ pub use config::DynamicConfig;
 pub use engine::{DynamicDiversity, PointId};
 pub use solve::{CoresetInfo, DynamicSolution};
 pub use stats::UpdateStats;
+
+// The composition vocabulary the engine's extraction speaks (see
+// `DynamicDiversity::extract_coreset`), re-exported for callers that
+// shard engines and merge their artifacts.
+pub use diversity_core::coreset::{Coreset, CoresetSource};

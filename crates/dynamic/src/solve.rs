@@ -4,7 +4,8 @@
 
 use crate::cover::CoverHierarchy;
 use crate::engine::PointId;
-use diversity_core::{seq, Problem};
+use diversity_core::coreset::Coreset;
+use diversity_core::{pipeline, Problem};
 use metric::Metric;
 
 /// Provenance of an extracted coreset.
@@ -71,28 +72,38 @@ pub fn extract_coreset<P: Clone>(
     (ids, info)
 }
 
-/// Runs the sequential `α`-approximation on an extracted coreset,
-/// translating indices back to engine ids.
-pub fn solve_on_coreset<P: Clone + Sync, M: Metric<P>>(
+/// Materializes an extraction as the typed composable [`Coreset`]
+/// artifact: owned points, engine ids as provenance, unit weights, and
+/// the cover level's covering radius as the certificate.
+pub fn extract_artifact<P: Clone>(
     cover: &CoverHierarchy<P>,
-    metric: &M,
     problem: Problem,
     k: usize,
-    coreset_ids: &[u64],
-    info: CoresetInfo,
-) -> DynamicSolution {
-    assert!(!coreset_ids.is_empty(), "cannot solve on an empty engine");
-    let points: Vec<P> = coreset_ids
+    budget: usize,
+) -> (Coreset<P>, CoresetInfo) {
+    let (ids, info) = extract_coreset(cover, problem, k, budget);
+    let points: Vec<P> = ids
         .iter()
         .map(|&id| cover.point(id).expect("coreset ids are alive").clone())
         .collect();
-    let local = seq::solve(problem, &points, metric, k);
+    (Coreset::unweighted(points, ids, budget, info.radius), info)
+}
+
+/// Runs the sequential `α`-approximation on an extracted [`Coreset`]
+/// artifact, translating the artifact's sources back to engine ids.
+pub fn solve_on_coreset<P: Clone + Sync, M: Metric<P>>(
+    metric: &M,
+    problem: Problem,
+    k: usize,
+    coreset: &Coreset<P>,
+    info: CoresetInfo,
+) -> DynamicSolution {
+    assert!(!coreset.is_empty(), "cannot solve on an empty engine");
+    let local = pipeline::solve_coreset(problem, coreset, metric, k);
     DynamicSolution {
-        ids: local
-            .indices
-            .iter()
-            .map(|&i| PointId(coreset_ids[i]))
-            .collect(),
+        // `solve_coreset` maps indices through the artifact's sources,
+        // which are exactly the engine ids the extraction recorded.
+        ids: local.indices.iter().map(|&i| PointId(i as u64)).collect(),
         value: local.value,
         coreset: info,
     }

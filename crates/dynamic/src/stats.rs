@@ -22,6 +22,11 @@ pub struct UpdateStats {
     pub max_candidates: usize,
     /// Times the root level was raised to cover a far point.
     pub root_raises: u64,
+    /// Empty levels jumped over by descents (insert and re-homing
+    /// searches). On large-aspect-ratio data — top scale far above the
+    /// typical point spacing — most levels of the hierarchy are empty,
+    /// and this counter is the work the skip saved.
+    pub levels_skipped: u64,
 }
 
 impl UpdateStats {

@@ -32,6 +32,18 @@
 //! adversarial sorted-chunk partitioning of Section 7.2) live in
 //! [`partition`].
 //!
+//! ## The hand-off is a typed artifact
+//!
+//! What round 1 ships to round 2 — and what every recursion level
+//! ships to the next — is the composable
+//! [`diversity_core::coreset::Coreset`] artifact, not a bare vector:
+//! points travel with their global provenance, their weights
+//! (multiplicities, for the generalized 3-round variant) and a
+//! covering-radius certificate that the composition laws maintain
+//! (`max` under [`Coreset::merge`](diversity_core::coreset::Coreset::merge),
+//! `+` under re-extraction). The union step of every driver *is*
+//! `Coreset::merge`, so the (α+ε) bookkeeping lives in one place.
+//!
 //! The per-algorithm free functions are the stable low-level layer:
 //! raw `(k, k')` parameters, panicking contracts, full [`MrStats`]
 //! accounting. The `diversity` facade's `Task::run_mapreduce` wraps
@@ -62,6 +74,11 @@ pub struct MrOutcome {
     /// generalized core-set's size (3-round), or the surviving working
     /// set (recursive).
     pub solve_input_size: usize,
+    /// Covering-radius certificate of that core-set over the full
+    /// input, composed by the `Coreset` laws: `max` of the
+    /// per-partition radii under union (Definition 2), `+` across
+    /// recursion levels (the Lemma 3–4 telescope).
+    pub coreset_radius: f64,
     /// Per-round statistics (memory, shuffle, wall time).
     pub stats: MrStats,
 }

@@ -8,9 +8,10 @@
 //! so that many delegates suffice, shrinking `M_L` as in Theorem 7.
 
 use crate::runtime::MapReduceRuntime;
+use crate::two_round::solve_union;
 use crate::{MrOutcome, MrStats, Partitions};
-use diversity_core::coreset::gmm_ext;
-use diversity_core::{Problem, Solution};
+use diversity_core::coreset::{gmm_ext, Coreset};
+use diversity_core::Problem;
 use metric::Metric;
 
 /// Delegate cap `Θ(max{log n, k/ℓ})` with the constant used in our
@@ -59,48 +60,33 @@ where
     let (round1_out, round1_stats) = runtime.run_round(
         "round1:coreset(randomized)",
         &partitions.parts,
-        |_, part: &Vec<P>| {
+        |part_id, part: &Vec<P>| {
             if part.is_empty() {
-                return Vec::new();
+                return Coreset::unweighted(Vec::new(), Vec::new(), k_prime, 0.0);
             }
             // GMM-EXT with the reduced delegate cap: `k` in Algorithm 1
             // is exactly the per-cluster delegate budget.
-            gmm_ext(part, metric, cap, k_prime).coreset
+            let out = gmm_ext(part, metric, cap, k_prime);
+            let globals = &partitions.global_indices[part_id];
+            let points: Vec<P> = out.coreset.iter().map(|&i| part[i].clone()).collect();
+            let sources: Vec<u64> = out.coreset.iter().map(|&i| globals[i] as u64).collect();
+            Coreset::unweighted(points, sources, k_prime, out.radius)
         },
         Vec::len,
-        Vec::len,
+        Coreset::len,
     );
     stats.rounds.push(round1_stats);
 
-    let mut union_points: Vec<P> = Vec::new();
-    let mut union_globals: Vec<usize> = Vec::new();
-    for (part_id, locals) in round1_out.iter().enumerate() {
-        for &local in locals {
-            union_points.push(partitions.parts[part_id][local].clone());
-            union_globals.push(partitions.global_indices[part_id][local]);
-        }
-    }
-
-    let solve_input_size = union_points.len();
-    let union_input = vec![(union_points, union_globals)];
-    let (mut round2_out, round2_stats) = runtime.run_round(
-        "round2:solve",
-        &union_input,
-        |_, (points, globals): &(Vec<P>, Vec<usize>)| {
-            let local = diversity_core::seq::solve(problem, points, metric, k);
-            Solution {
-                indices: local.indices.iter().map(|&i| globals[i]).collect(),
-                value: local.value,
-            }
-        },
-        |(points, _)| points.len(),
-        |sol| sol.indices.len(),
-    );
+    // Shuffle + round 2: the shared composition-law combiner.
+    let union = Coreset::merge_all(round1_out).expect("at least one partition");
+    let (solution, solve_input_size, coreset_radius, round2_stats) =
+        solve_union(problem, union, metric, k, runtime, "round2:solve");
     stats.rounds.push(round2_stats);
 
     MrOutcome {
-        solution: round2_out.pop().expect("single reducer"),
+        solution,
         solve_input_size,
+        coreset_radius,
         stats,
     }
 }

@@ -7,10 +7,11 @@
 //! input. Each level multiplies the approximation loss by `(1+ε_level)`,
 //! which the parameter choice in Theorem 8 keeps summing to `ε`.
 
-use crate::partition::split_round_robin;
 use crate::runtime::MapReduceRuntime;
+use crate::two_round::solve_union;
 use crate::{MrOutcome, MrStats};
-use diversity_core::{pipeline, Problem, Solution};
+use diversity_core::coreset::Coreset;
+use diversity_core::{par, pipeline, Problem};
 use metric::Metric;
 
 /// Runs the recursive algorithm with a local-memory budget of
@@ -74,42 +75,37 @@ where
     assert!(memory_limit > 0, "memory limit must be positive");
 
     let mut stats = MrStats::default();
-    // Working set: points + their indices into the original input.
-    let mut globals: Vec<usize> = (0..points.len()).collect();
-    let mut working: Vec<P> = points;
+    // The working set *is* a `Coreset` of the original input — level 0
+    // trivially so (every point, radius 0). Each level shrinks it
+    // through `pipeline::shrink_coreset`, which composes the radius
+    // certificate **additively** across levels (the Lemma 3–4
+    // telescope behind Theorem 8's per-level `(1+ε_level)` losses).
+    let n = points.len() as u64;
+    let mut working = Coreset::unweighted(points, (0..n).collect(), k_prime, 0.0);
     let mut level = 0usize;
 
     while working.len() > memory_limit {
         level += 1;
         let ell = working.len().div_ceil(memory_limit);
-        let tagged: Vec<(P, usize)> = working.drain(..).zip(globals.drain(..)).collect();
-        let parts = split_round_robin(tagged, ell);
+        let chunks = working.split_round_robin(ell);
+        let before: usize = chunks.iter().map(Coreset::len).sum();
 
         let (outs, round_stats) = runtime.run_round(
             &format!("level{level}:coreset"),
-            &parts.parts,
-            |_, part: &Vec<(P, usize)>| {
-                if part.is_empty() {
-                    return Vec::new();
+            &chunks,
+            |_, chunk: &Coreset<P>| {
+                if chunk.is_empty() {
+                    return chunk.clone();
                 }
-                let pts: Vec<P> = part.iter().map(|(p, _)| p.clone()).collect();
-                let cs = pipeline::extract_coreset(problem, &pts, metric, k, k_prime);
-                cs.iter()
-                    .map(|&i| part[i].clone())
-                    .collect::<Vec<(P, usize)>>()
+                let threads = par::auto_threads(chunk.len());
+                pipeline::shrink_coreset(problem, chunk, metric, k, k_prime, threads)
             },
-            Vec::len,
-            Vec::len,
+            Coreset::len,
+            Coreset::len,
         );
         stats.rounds.push(round_stats);
 
-        let before = parts.total_points();
-        for out in outs {
-            for (p, g) in out {
-                working.push(p);
-                globals.push(g);
-            }
-        }
+        working = Coreset::merge_all(outs).expect("at least one chunk");
         if working.len() >= before {
             // No shrink: the budget is below the core-set size. Stop
             // recursing; the final solve below still yields a sound
@@ -118,27 +114,16 @@ where
         }
     }
 
-    // Final sequential solve on the surviving working set.
-    let solve_input_size = working.len();
-    let final_input = vec![(working, globals)];
-    let (mut final_out, final_stats) = runtime.run_round(
-        "final:solve",
-        &final_input,
-        |_, (pts, globals): &(Vec<P>, Vec<usize>)| {
-            let local = diversity_core::seq::solve(problem, pts, metric, k);
-            Solution {
-                indices: local.indices.iter().map(|&i| globals[i]).collect(),
-                value: local.value,
-            }
-        },
-        |(pts, _)| pts.len(),
-        |sol| sol.indices.len(),
-    );
+    // Final sequential solve on the surviving working set (the shared
+    // union combiner — the working set's sources are already global).
+    let (solution, solve_input_size, coreset_radius, final_stats) =
+        solve_union(problem, working, metric, k, runtime, "final:solve");
     stats.rounds.push(final_stats);
 
     MrOutcome {
-        solution: final_out.pop().expect("single reducer"),
+        solution,
         solve_input_size,
+        coreset_radius,
         stats,
     }
 }
@@ -203,6 +188,21 @@ mod tests {
         let points = line(&xs);
         let out = recursive(Problem::RemoteClique, &points, &Euclidean, 4, 8, 10, &rt());
         assert_eq!(out.solution.indices.len(), 4);
+    }
+
+    #[test]
+    fn radius_composes_additively_across_levels() {
+        let xs: Vec<f64> = (0..3000).map(|i| ((i * 53) % 2003) as f64).collect();
+        let points = line(&xs);
+        let shallow = recursive(Problem::RemoteEdge, &points, &Euclidean, 4, 16, 2000, &rt());
+        let deep = recursive(Problem::RemoteEdge, &points, &Euclidean, 4, 16, 120, &rt());
+        // One level vs several: the deep run telescopes more radii.
+        assert!(deep.coreset_radius >= shallow.coreset_radius);
+        assert!(deep.coreset_radius.is_finite() && deep.coreset_radius > 0.0);
+        // A single-solve run (everything fits) has a zero certificate:
+        // the "coreset" is the input itself.
+        let all = recursive(Problem::RemoteEdge, &points, &Euclidean, 4, 16, 5000, &rt());
+        assert_eq!(all.coreset_radius, 0.0);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 
 use crate::runtime::MapReduceRuntime;
 use crate::{MrOutcome, MrStats, Partitions};
-use diversity_core::coreset::gmm_gen;
+use diversity_core::coreset::{gmm_gen, Coreset};
 use diversity_core::generalized::{instantiate, solve_multiset};
 use diversity_core::{GenPair, GeneralizedCoreset, Problem, Solution};
 use metric::Metric;
+use std::collections::{HashMap, HashSet};
 
 /// Runs the 3-round algorithm for one of the four injective-proxy
 /// problems.
@@ -46,48 +47,55 @@ where
 
     let mut stats = MrStats::default();
 
-    // ---- Round 1: per-partition generalized core-sets ---------------
+    // ---- Round 1: per-partition generalized core-set artifacts ------
+    // Each reducer emits a **weighted** `Coreset`: kernel points with
+    // their delegate counts as multiplicities, sources already global.
     let (round1_out, round1_stats) = runtime.run_round(
         "round1:gmm-gen",
         &partitions.parts,
-        |_, part: &Vec<P>| {
+        |part_id, part: &Vec<P>| {
             if part.is_empty() {
-                return (Vec::new(), 0.0);
+                return Coreset::new(Vec::new(), Vec::new(), Vec::new(), k_prime, 0.0);
             }
             let out = gmm_gen(part, metric, k, k_prime);
-            (out.coreset.pairs().to_vec(), out.radius)
+            let globals = &partitions.global_indices[part_id];
+            let pairs = out.coreset.pairs();
+            let points: Vec<P> = pairs.iter().map(|p| part[p.index].clone()).collect();
+            let sources: Vec<u64> = pairs.iter().map(|p| globals[p.index] as u64).collect();
+            let weights: Vec<usize> = pairs.iter().map(|p| p.multiplicity).collect();
+            Coreset::new(points, sources, weights, k_prime, out.radius)
         },
         Vec::len,
-        |(pairs, _)| pairs.len(),
+        Coreset::len,
     );
     stats.rounds.push(round1_stats);
 
-    // ---- Shuffle: aggregate kernels with origin bookkeeping ---------
-    // kernel_points[i] is pair i's point; origin[i] = (part, local idx).
-    let mut kernel_points: Vec<P> = Vec::new();
-    let mut origin: Vec<(usize, usize)> = Vec::new();
-    let mut union_pairs: Vec<GenPair> = Vec::new();
-    let mut delta: f64 = 0.0;
-    for (part_id, (pairs, radius)) in round1_out.iter().enumerate() {
-        delta = delta.max(*radius);
-        for pair in pairs {
-            union_pairs.push(GenPair {
-                index: kernel_points.len(),
-                multiplicity: pair.multiplicity,
-            });
-            kernel_points.push(partitions.parts[part_id][pair.index].clone());
-            origin.push((part_id, pair.index));
-        }
-    }
-    let union_gcs = GeneralizedCoreset::new(union_pairs);
+    // ---- Shuffle: the composition law (radius = max = δ) -------------
+    let union = Coreset::merge_all(round1_out).expect("at least one partition");
+    let delta = union.radius();
 
     // ---- Round 2: multiset sequential algorithm ----------------------
-    let solve_input_size = union_gcs.size();
+    // The weighted artifact *is* the generalized core-set; re-express
+    // its weights as `GenPair`s over its own point order for the
+    // multiset solver.
+    let solve_input_size = union.len();
+    let union_gcs = GeneralizedCoreset::new(
+        union
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(index, &multiplicity)| GenPair {
+                index,
+                multiplicity,
+            })
+            .collect(),
+    );
+    let kernel_points = union.points();
     let round2_input = vec![union_gcs];
     let (mut round2_out, round2_stats) = runtime.run_round(
         "round2:multiset-solve",
         &round2_input,
-        |_, gcs: &GeneralizedCoreset| solve_multiset(problem, &kernel_points, metric, gcs, k),
+        |_, gcs: &GeneralizedCoreset| solve_multiset(problem, kernel_points, metric, gcs, k),
         GeneralizedCoreset::size,
         GeneralizedCoreset::size,
     );
@@ -95,10 +103,27 @@ where
     let coherent = round2_out.pop().expect("single reducer");
 
     // ---- Round 3: per-partition instantiation ------------------------
-    // Route each pair of T̂ to its origin partition, in local indices.
+    // Route each pair of T̂ back to its origin partition through the
+    // artifact's global provenance. Only T̂'s own globals need routing
+    // — `O(|T̂|)` bookkeeping over one scan of the partition maps, not
+    // an `O(n)` table (the driver's whole point is `M_L ≪ n`, Table 3).
+    let needed: HashSet<usize> = coherent
+        .pairs()
+        .iter()
+        .map(|pair| union.sources()[pair.index] as usize)
+        .collect();
+    let mut locate: HashMap<usize, (usize, usize)> = HashMap::with_capacity(needed.len());
+    for (part_id, globals) in partitions.global_indices.iter().enumerate() {
+        for (local, &g) in globals.iter().enumerate() {
+            if needed.contains(&g) {
+                locate.insert(g, (part_id, local));
+            }
+        }
+    }
     let mut per_part_pairs: Vec<Vec<GenPair>> = vec![Vec::new(); partitions.len()];
     for pair in coherent.pairs() {
-        let (part_id, local_idx) = origin[pair.index];
+        let global = union.sources()[pair.index] as usize;
+        let (part_id, local_idx) = locate[&global];
         per_part_pairs[part_id].push(GenPair {
             index: local_idx,
             multiplicity: pair.multiplicity,
@@ -139,6 +164,7 @@ where
     MrOutcome {
         solution: Solution { indices, value },
         solve_input_size,
+        coreset_radius: delta,
         stats,
     }
 }

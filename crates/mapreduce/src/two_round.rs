@@ -1,14 +1,19 @@
 //! The deterministic 2-round MapReduce algorithm (Theorem 6).
 //!
 //! Round 1: each reducer runs `GMM(S_i, k')` (remote-edge/cycle) or
-//! `GMM-EXT(S_i, k, k')` (the other four problems) on its partition.
-//! Round 2: one reducer unions the `ℓ` core-sets and runs the
-//! sequential `α`-approximation. On bounded-doubling-dimension inputs
-//! with `k'` per Theorems 4–5 this is an `(α+ε)`-approximation with
-//! `M_L = O(√(k'kn))`-style local memory (Table 3).
+//! `GMM-EXT(S_i, k, k')` (the other four problems) on its partition,
+//! emitting a [`Coreset`] artifact with **global** provenance. The
+//! shuffle is [`Coreset::merge`] — the composition law itself. Round
+//! 2 ([`solve_union`], shared with the randomized variant and the
+//! facade's sharded-dynamic backend): one reducer runs the sequential
+//! `α`-approximation on the union. On bounded-doubling-dimension
+//! inputs with `k'` per Theorems 4–5 this is an
+//! `(α+ε)`-approximation with `M_L = O(√(k'kn))`-style local memory
+//! (Table 3).
 
-use crate::runtime::MapReduceRuntime;
+use crate::runtime::{MapReduceRuntime, RoundStats};
 use crate::{MrOutcome, MrStats, Partitions};
+use diversity_core::coreset::Coreset;
 use diversity_core::{pipeline, Problem, Solution};
 use metric::Metric;
 
@@ -38,55 +43,81 @@ where
 
     let mut stats = MrStats::default();
 
-    // ---- Round 1: per-partition core-sets ----------------------------
-    // Each reducer returns (its part id, local core-set indices).
+    // ---- Round 1: per-partition core-set artifacts -------------------
+    // Each reducer emits a `Coreset` whose sources are already global
+    // indices, so the shuffle below is pure `merge`.
     let (round1_out, round1_stats) = runtime.run_round(
         "round1:coreset",
         &partitions.parts,
-        |_, part: &Vec<P>| {
+        |part_id, part: &Vec<P>| {
             if part.is_empty() {
-                return Vec::new();
+                return Coreset::unweighted(Vec::new(), Vec::new(), k_prime, 0.0);
             }
-            pipeline::extract_coreset(problem, part, metric, k, k_prime)
+            let globals = &partitions.global_indices[part_id];
+            pipeline::extract_coreset_artifact(problem, part, metric, k, k_prime)
+                .map_sources(|local| globals[local as usize] as u64)
         },
         Vec::len,
-        Vec::len,
+        Coreset::len,
     );
     stats.rounds.push(round1_stats);
 
-    // ---- Shuffle: union of core-sets with global index mapping -------
-    let mut union_points: Vec<P> = Vec::new();
-    let mut union_globals: Vec<usize> = Vec::new();
-    for (part_id, locals) in round1_out.iter().enumerate() {
-        for &local in locals {
-            union_points.push(partitions.parts[part_id][local].clone());
-            union_globals.push(partitions.global_indices[part_id][local]);
-        }
-    }
+    // ---- Shuffle: the composition law (radius = max of parts) --------
+    let union = Coreset::merge_all(round1_out).expect("at least one partition");
 
     // ---- Round 2: sequential algorithm on the union ------------------
-    let solve_input_size = union_points.len();
-    let union_input = vec![(union_points, union_globals)];
-    let (mut round2_out, round2_stats) = runtime.run_round(
-        "round2:solve",
-        &union_input,
-        |_, (points, globals): &(Vec<P>, Vec<usize>)| {
-            let local = diversity_core::seq::solve(problem, points, metric, k);
-            Solution {
-                indices: local.indices.iter().map(|&i| globals[i]).collect(),
-                value: local.value,
-            }
-        },
-        |(points, _)| points.len(),
-        |sol| sol.indices.len(),
-    );
+    let (solution, solve_input_size, coreset_radius, round2_stats) =
+        solve_union(problem, union, metric, k, runtime, "round2:solve");
     stats.rounds.push(round2_stats);
 
     MrOutcome {
-        solution: round2_out.pop().expect("single reducer"),
+        solution,
         solve_input_size,
+        coreset_radius,
         stats,
     }
+}
+
+/// The shared combiner: one reducer takes a merged union [`Coreset`]
+/// and runs the sequential `α`-approximation on it, returning the
+/// solution (indices are the artifact's sources — global indices for
+/// the MapReduce drivers), the solve-input size, the union's
+/// covering-radius certificate, and the round's stats. This is round 2
+/// of [`two_round`] and of the randomized variant, the final round of
+/// the recursive driver, and the combine step of the facade's
+/// sharded-dynamic backend.
+///
+/// # Panics
+/// Panics if `union` is empty or weighted (the 3-round generalized
+/// path has its own multiset combiner).
+pub fn solve_union<P, M>(
+    problem: Problem,
+    union: Coreset<P>,
+    metric: &M,
+    k: usize,
+    runtime: &MapReduceRuntime,
+    round_name: &str,
+) -> (Solution, usize, f64, RoundStats)
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    let solve_input_size = union.len();
+    let coreset_radius = union.radius();
+    let union_input = vec![union];
+    let (mut out, round_stats) = runtime.run_round(
+        round_name,
+        &union_input,
+        |_, cs: &Coreset<P>| pipeline::solve_coreset(problem, cs, metric, k),
+        Coreset::len,
+        |sol: &Solution| sol.indices.len(),
+    );
+    (
+        out.pop().expect("single reducer"),
+        solve_input_size,
+        coreset_radius,
+        round_stats,
+    )
 }
 
 #[cfg(test)]
@@ -169,6 +200,30 @@ mod tests {
         // The adversary can hurt but not by more than the composable
         // guarantee allows on this benign instance; sanity-bound it.
         assert!(b.solution.value >= a.solution.value / 2.0);
+    }
+
+    #[test]
+    fn composed_radius_certifies_the_whole_input() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 41) % 257) as f64).collect();
+        let points = line(&xs);
+        let parts = split_sorted_by(points.clone(), 5, |p| p.coords()[0]);
+        let out = two_round(Problem::RemoteEdge, &parts, &Euclidean, 4, 8, &rt());
+        assert!(out.coreset_radius > 0.0);
+        // Rebuild the union coreset the run produced and check that the
+        // reported radius really covers every input point: extract per
+        // part, merge, certify.
+        let per_part: Vec<_> = parts
+            .parts
+            .iter()
+            .map(|part| {
+                pipeline::extract_coreset_artifact(Problem::RemoteEdge, part, &Euclidean, 4, 8)
+            })
+            .collect();
+        let merged =
+            diversity_core::coreset::Coreset::merge_all(per_part).expect("non-empty parts");
+        assert_eq!(merged.radius(), out.coreset_radius);
+        let flat: Vec<VecPoint> = parts.parts.iter().flatten().cloned().collect();
+        assert!(merged.certifies(&flat, &Euclidean, 1e-9));
     }
 
     #[test]

@@ -7,5 +7,6 @@
 //! streaming crate's historical path.
 
 pub use diversity_core::doubling::{
-    distance_to_scale, scale_to_distance, Center, DelegateCount, DelegateSet, DoublingCore, Payload,
+    distance_to_scale, scale_to_distance, Center, DelegateCount, DelegateSet, DoublingCore,
+    FinishedCore, Payload,
 };

@@ -6,6 +6,7 @@
 //! approximation with memory independent of the stream length.
 
 use crate::{Smm, SmmExt, StreamSolution};
+use diversity_core::coreset::Coreset;
 use diversity_core::{seq, Problem};
 use metric::Metric;
 
@@ -32,13 +33,35 @@ where
     M: Metric<P>,
     I: IntoIterator<Item = P>,
 {
-    let coreset: Vec<P> = if problem.needs_injective_proxy() {
-        SmmExt::run(&metric, k, k_prime, stream).coreset
-    } else {
-        Smm::run(&metric, k, k_prime, stream).coreset
-    };
+    let coreset = one_pass_coreset(problem, &metric, k, k_prime, stream);
     assert!(!coreset.is_empty(), "empty stream");
-    solve_on(problem, &metric, k, coreset)
+    let (points, _, _, _, _) = coreset.into_parts();
+    solve_on(problem, &metric, k, points)
+}
+
+/// Runs just the core-set pass of the one-pass algorithm, returning
+/// the typed composable [`Coreset`] artifact: owned points, stream
+/// arrival positions as provenance, and the `4·d_ℓ` covering-radius
+/// certificate. This is the streaming substrate's hand-off to the
+/// composition layer (and what `diversity::Task::run_stream` solves
+/// on); an empty stream yields an empty artifact.
+pub fn one_pass_coreset<P, M, I>(
+    problem: Problem,
+    metric: &M,
+    k: usize,
+    k_prime: usize,
+    stream: I,
+) -> Coreset<P>
+where
+    P: Clone + Sync,
+    M: Metric<P>,
+    I: IntoIterator<Item = P>,
+{
+    if problem.needs_injective_proxy() {
+        SmmExt::run(metric, k, k_prime, stream).into_coreset()
+    } else {
+        Smm::run(metric, k, k_prime, stream).into_coreset()
+    }
 }
 
 /// Runs the sequential algorithm on an in-memory core-set, producing a

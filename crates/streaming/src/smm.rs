@@ -1,6 +1,7 @@
 //! SMM: the plain streaming core-set (Section 4, Theorem 1).
 
 use crate::doubling::DoublingCore;
+use diversity_core::coreset::Coreset;
 use metric::Metric;
 
 /// One-pass core-set construction for remote-edge and remote-cycle.
@@ -23,6 +24,10 @@ pub struct Smm<P, M> {
 pub struct SmmResult<P> {
     /// The core-set `T` (padded from `M` to ≥ k points when needed).
     pub coreset: Vec<P>,
+    /// Stream arrival positions (0-based) of `coreset`, in lockstep.
+    pub positions: Vec<u64>,
+    /// The center budget `k'` the pass ran with.
+    pub k_prime: usize,
     /// Number of phases executed.
     pub phases: usize,
     /// Final threshold `d_ℓ`; every processed point is within
@@ -31,6 +36,22 @@ pub struct SmmResult<P> {
     /// Peak resident points observed (centers + removed), for the
     /// memory experiments.
     pub peak_memory_points: usize,
+}
+
+impl<P> SmmResult<P> {
+    /// Covering-radius certificate of the core-set over the processed
+    /// stream: `4·d_ℓ` (Lemma 3's `r_T ≤ 4 d_ℓ`).
+    pub fn radius(&self) -> f64 {
+        4.0 * self.final_threshold
+    }
+
+    /// Converts the result into the typed composable [`Coreset`]
+    /// artifact: sources are stream arrival positions, weights are 1,
+    /// and the certificate is [`radius`](Self::radius).
+    pub fn into_coreset(self) -> Coreset<P> {
+        let radius = self.radius();
+        Coreset::unweighted(self.coreset, self.positions, self.k_prime, radius)
+    }
 }
 
 impl<P: Clone, M: Metric<P>> Smm<P, M> {
@@ -76,21 +97,32 @@ impl<P: Clone, M: Metric<P>> Smm<P, M> {
     pub fn finish(self) -> SmmResult<P> {
         let peak = self.core.memory_points();
         let k = self.k;
-        let (centers, removed, final_threshold, phases) = self.core.finish();
-        let mut coreset: Vec<P> = centers.into_iter().map(|c| c.point).collect();
+        let k_prime = self.core.k_prime();
+        let fin = self.core.finish();
+        let mut coreset: Vec<P> = Vec::with_capacity(fin.centers.len());
+        let mut positions: Vec<u64> = Vec::with_capacity(fin.centers.len());
+        for c in fin.centers {
+            coreset.push(c.point);
+            positions.push(c.pos);
+        }
         // Pad from M: |M ∪ I| = k'+1 >= k guarantees enough points
         // whenever the stream itself had >= k.
-        let mut m_iter = removed.into_iter();
+        let mut m_iter = fin.removed.into_iter().zip(fin.removed_positions);
         while coreset.len() < k {
             match m_iter.next() {
-                Some(p) => coreset.push(p),
+                Some((p, pos)) => {
+                    coreset.push(p);
+                    positions.push(pos);
+                }
                 None => break,
             }
         }
         SmmResult {
             coreset,
-            phases,
-            final_threshold,
+            positions,
+            k_prime,
+            phases: fin.phases,
+            final_threshold: fin.final_threshold,
             peak_memory_points: peak,
         }
     }
@@ -175,6 +207,23 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert_eq!(max, 1e6);
         assert_eq!(min, -1e6);
+    }
+
+    #[test]
+    fn positions_recover_stream_items() {
+        let xs: Vec<f64> = (0..700).map(|i| ((i * 43) % 311) as f64).collect();
+        let res = Smm::run(Euclidean, 6, 9, stream(&xs));
+        assert_eq!(res.positions.len(), res.coreset.len());
+        for (p, &pos) in res.coreset.iter().zip(&res.positions) {
+            assert_eq!(p.coords()[0], xs[pos as usize], "position {pos}");
+        }
+        let artifact = res.into_coreset();
+        assert_eq!(artifact.k_prime(), 9);
+        assert!(artifact.is_unweighted());
+        assert!(
+            artifact.certifies(&stream(&xs), &Euclidean, 1e-9),
+            "4·d_ℓ radius certificate must cover the whole stream"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SMM-EXT: streaming core-set with delegates (Section 4, Theorem 2).
 
 use crate::doubling::DoublingCore;
+use diversity_core::coreset::Coreset;
 use metric::Metric;
 
 // The delegate-set payload is shared with the dynamic engine and lives
@@ -24,14 +25,33 @@ pub struct SmmExt<P, M> {
 pub struct SmmExtResult<P> {
     /// The core-set `T' = ∪_t E_t` (center-first per delegate set).
     pub coreset: Vec<P>,
+    /// Stream arrival positions (0-based) of `coreset`, in lockstep.
+    pub positions: Vec<u64>,
     /// The kernel `T` (centers only).
     pub kernel: Vec<P>,
+    /// The center budget `k'` the pass ran with.
+    pub k_prime: usize,
     /// Number of phases executed.
     pub phases: usize,
     /// Final threshold `d_ℓ`.
     pub final_threshold: f64,
     /// Peak resident points, for the memory experiments.
     pub peak_memory_points: usize,
+}
+
+impl<P> SmmExtResult<P> {
+    /// Covering-radius certificate over the processed stream: `4·d_ℓ`
+    /// (the core-set contains the kernel, so Lemma 3's bound applies).
+    pub fn radius(&self) -> f64 {
+        4.0 * self.final_threshold
+    }
+
+    /// Converts the result into the typed composable [`Coreset`]
+    /// artifact: sources are stream arrival positions, weights are 1.
+    pub fn into_coreset(self) -> Coreset<P> {
+        let radius = self.radius();
+        Coreset::unweighted(self.coreset, self.positions, self.k_prime, radius)
+    }
 }
 
 impl<P: Clone, M: Metric<P>> SmmExt<P, M> {
@@ -77,27 +97,36 @@ impl<P: Clone, M: Metric<P>> SmmExt<P, M> {
     pub fn finish(self) -> SmmExtResult<P> {
         let peak = self.core.memory_points();
         let k = self.k;
-        let (centers, removed, final_threshold, phases) = self.core.finish();
-        let kernel: Vec<P> = centers.iter().map(|c| c.point.clone()).collect();
+        let k_prime = self.core.k_prime();
+        let fin = self.core.finish();
+        let kernel: Vec<P> = fin.centers.iter().map(|c| c.point.clone()).collect();
         let mut coreset: Vec<P> = Vec::new();
-        for c in centers {
-            coreset.extend(c.payload.into_delegates());
+        let mut positions: Vec<u64> = Vec::new();
+        for c in fin.centers {
+            let (points, poss) = c.payload.into_indexed_delegates();
+            coreset.extend(points);
+            positions.extend(poss);
         }
         // Safety net mirroring SMM's padding: delegates normally keep
         // |T'| >= k for streams of >= k points, but pad from M anyway
         // so downstream code can rely on it unconditionally.
-        let mut m_iter = removed.into_iter();
+        let mut m_iter = fin.removed.into_iter().zip(fin.removed_positions);
         while coreset.len() < k {
             match m_iter.next() {
-                Some(p) => coreset.push(p),
+                Some((p, pos)) => {
+                    coreset.push(p);
+                    positions.push(pos);
+                }
                 None => break,
             }
         }
         SmmExtResult {
             coreset,
+            positions,
             kernel,
-            phases,
-            final_threshold,
+            k_prime,
+            phases: fin.phases,
+            final_threshold: fin.final_threshold,
             peak_memory_points: peak,
         }
     }
@@ -186,5 +215,21 @@ mod tests {
     fn short_stream_keeps_all() {
         let res = SmmExt::run(Euclidean, 3, 6, stream(&[0.0, 1.0, 2.0, 3.0]));
         assert_eq!(res.coreset.len(), 4);
+    }
+
+    #[test]
+    fn positions_recover_stream_items() {
+        let xs: Vec<f64> = (0..600).map(|i| ((i * 67) % 283) as f64).collect();
+        let res = SmmExt::run(Euclidean, 5, 8, stream(&xs));
+        assert_eq!(res.positions.len(), res.coreset.len());
+        for (p, &pos) in res.coreset.iter().zip(&res.positions) {
+            assert_eq!(p.coords()[0], xs[pos as usize], "position {pos}");
+        }
+        let artifact = res.into_coreset();
+        assert_eq!(artifact.k_prime(), 8);
+        assert!(
+            artifact.certifies(&stream(&xs), &Euclidean, 1e-9),
+            "radius certificate must cover the whole stream"
+        );
     }
 }

@@ -2,6 +2,7 @@
 //! of delegate points (Section 6.1, first pass of Theorem 9).
 
 use crate::doubling::DoublingCore;
+use diversity_core::coreset::Coreset;
 use diversity_core::{GenPair, GeneralizedCoreset};
 use metric::Metric;
 
@@ -23,9 +24,13 @@ pub struct SmmGen<P, M> {
 pub struct SmmGenResult<P> {
     /// The kernel points, owned (a stream has no index space).
     pub kernel: Vec<P>,
+    /// Stream arrival positions (0-based) of `kernel`, in lockstep.
+    pub kernel_positions: Vec<u64>,
     /// The generalized core-set; `GenPair::index` refers into
     /// `kernel`.
     pub coreset: GeneralizedCoreset,
+    /// The center budget `k'` the pass ran with.
+    pub k_prime: usize,
     /// Instantiation radius: every counted point was within this
     /// distance of (a predecessor of) its kernel point — `4·d_ℓ`.
     pub delta: f64,
@@ -33,6 +38,28 @@ pub struct SmmGenResult<P> {
     pub phases: usize,
     /// Peak resident points.
     pub peak_memory_points: usize,
+}
+
+impl<P> SmmGenResult<P> {
+    /// Converts the result into the typed composable [`Coreset`]
+    /// artifact — **weighted**: each kernel point carries its delegate
+    /// count as multiplicity, sources are stream arrival positions,
+    /// and `delta` is the radius certificate.
+    pub fn into_coreset(self) -> Coreset<P> {
+        let weights: Vec<usize> = self
+            .coreset
+            .pairs()
+            .iter()
+            .map(|p| p.multiplicity)
+            .collect();
+        Coreset::new(
+            self.kernel,
+            self.kernel_positions,
+            weights,
+            self.k_prime,
+            self.delta,
+        )
+    }
 }
 
 impl<P: Clone, M: Metric<P>> SmmGen<P, M> {
@@ -74,21 +101,26 @@ impl<P: Clone, M: Metric<P>> SmmGen<P, M> {
     pub fn finish(self) -> SmmGenResult<P> {
         let peak = self.core.memory_points();
         let delta = self.core.radius_bound();
-        let (centers, _removed, _d, phases) = self.core.finish();
-        let mut kernel = Vec::with_capacity(centers.len());
-        let mut pairs = Vec::with_capacity(centers.len());
-        for (i, c) in centers.into_iter().enumerate() {
+        let k_prime = self.core.k_prime();
+        let fin = self.core.finish();
+        let mut kernel = Vec::with_capacity(fin.centers.len());
+        let mut kernel_positions = Vec::with_capacity(fin.centers.len());
+        let mut pairs = Vec::with_capacity(fin.centers.len());
+        for (i, c) in fin.centers.into_iter().enumerate() {
             pairs.push(GenPair {
                 index: i,
                 multiplicity: c.payload.count(),
             });
             kernel.push(c.point);
+            kernel_positions.push(c.pos);
         }
         SmmGenResult {
             kernel,
+            kernel_positions,
             coreset: GeneralizedCoreset::new(pairs),
+            k_prime,
             delta,
-            phases,
+            phases: fin.phases,
             peak_memory_points: peak,
         }
     }

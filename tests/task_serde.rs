@@ -26,13 +26,28 @@ fn arb_budget() -> impl proptest::Strategy<Value = Budget> {
 }
 
 fn arb_strategy() -> impl proptest::Strategy<Value = Strategy> {
-    (0u8..4, 0u64..u64::MAX, 1usize..100_000).prop_map(|(variant, seed, limit)| match variant {
+    (0u8..5, 0u64..u64::MAX, 1usize..100_000).prop_map(|(variant, seed, limit)| match variant {
         0 => Strategy::TwoRound,
         1 => Strategy::ThreeRound,
         2 => Strategy::Randomized { seed },
+        3 => Strategy::ShardedDynamic,
         _ => Strategy::Recursive {
             memory_limit: limit,
         },
+    })
+}
+
+fn arb_coreset() -> impl proptest::Strategy<Value = Coreset<VecPoint>> {
+    (1usize..20, 0u64..1000, 1usize..64, 0.0f64..100.0).prop_map(|(n, seed, k_prime, radius)| {
+        let points: Vec<VecPoint> = (0..n)
+            .map(|i| {
+                let x = (((i as u64 * 31 + seed) % 97) as f64) * 0.5;
+                VecPoint::from([x, (i as f64) * 0.25])
+            })
+            .collect();
+        let sources: Vec<u64> = (0..n as u64).map(|i| i * 3 + seed % 7).collect();
+        let weights: Vec<usize> = (0..n).map(|i| 1 + (i + seed as usize) % 4).collect();
+        Coreset::new(points, sources, weights, k_prime, radius)
     })
 }
 
@@ -57,6 +72,15 @@ proptest! {
         let json = serde_json::to_string(&strategy).unwrap();
         let back: Strategy = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(strategy, back);
+    }
+
+    /// The `Coreset` artifact is a wire type too — shards will ship it
+    /// to the combiner in a distributed deployment.
+    #[test]
+    fn coreset_roundtrips(coreset in arb_coreset()) {
+        let json = serde_json::to_string(&coreset).unwrap();
+        let back: Coreset<VecPoint> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(coreset, back);
     }
 
     #[test]
@@ -126,6 +150,36 @@ fn wire_format_is_stable() {
         serde_json::to_string(&Strategy::Randomized { seed: 7 }).unwrap(),
         r#"{"Randomized":{"seed":7}}"#
     );
+    assert_eq!(
+        serde_json::to_string(&Strategy::ShardedDynamic).unwrap(),
+        r#""ShardedDynamic""#
+    );
+}
+
+/// The `Coreset` wire format is pinned the same way: shards and the
+/// combiner may run different builds, so the field layout is contract.
+#[test]
+fn coreset_wire_format_is_stable() {
+    let coreset = Coreset::new(
+        vec![VecPoint::from([1.0, 2.0]), VecPoint::from([3.5, -1.0])],
+        vec![10, 42],
+        vec![1, 3],
+        8,
+        0.75,
+    );
+    assert_eq!(
+        serde_json::to_string(&coreset).unwrap(),
+        r#"{"points":[{"coords":[1,2]},{"coords":[3.5,-1]}],"sources":[10,42],"weights":[1,3],"k_prime":8,"radius":0.75}"#
+    );
+    let back: Coreset<VecPoint> = serde_json::from_str(
+        r#"{"points":[{"coords":[0.0]}],"sources":[7],"weights":[2],"k_prime":4,"radius":1.5}"#,
+    )
+    .unwrap();
+    assert_eq!(back.len(), 1);
+    assert_eq!(back.sources(), &[7]);
+    assert_eq!(back.weights(), &[2]);
+    assert_eq!(back.k_prime(), 4);
+    assert_eq!(back.radius(), 1.5);
 }
 
 #[test]

@@ -92,7 +92,48 @@ fn all_problems_all_backends_one_report_shape() {
         let dynamic = task.run_dynamic(&engine).expect("dynamic");
         assert_report_shape(&dynamic, problem, Backend::Dynamic);
         assert_index_consistent(&dynamic, &points); // insert-only: ids == positions
+
+        let sharded = task.run_sharded(&parts, &Euclidean, &rt).expect("sharded");
+        assert_report_shape(&sharded, problem, Backend::ShardedDynamic);
+        assert_index_consistent(&sharded, &points);
+        assert!(
+            sharded.coreset_radius.expect("composed certificate") >= 0.0,
+            "{problem}"
+        );
     }
+}
+
+/// The fifth backend honours the same error contract as the others.
+#[test]
+fn sharded_error_paths_match_mapreduce() {
+    let rt = mapreduce::MapReduceRuntime::with_threads(2);
+    let empty = mapreduce::partition::split_round_robin(Vec::<VecPoint>::new(), 3);
+    assert_eq!(
+        task(Problem::RemoteEdge).run_sharded(&empty, &Euclidean, &rt),
+        Err(DivError::EmptyInput)
+    );
+
+    let parts = mapreduce::partition::split_round_robin(dataset(), 4);
+    let err = Task::new(Problem::RemoteEdge, 1000)
+        .budget(Budget::KPrime(1000))
+        .run_sharded(&parts, &Euclidean, &rt)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DivError::InvalidK {
+            k: 1000,
+            n: Some(240)
+        }
+    );
+
+    let malformed = mapreduce::Partitions {
+        parts: vec![dataset()],
+        global_indices: vec![],
+    };
+    assert!(matches!(
+        task(Problem::RemoteEdge).run_sharded(&malformed, &Euclidean, &rt),
+        Err(DivError::MalformedPartitions { .. })
+    ));
 }
 
 #[test]
