@@ -1,0 +1,151 @@
+//! Ablation: warm-path serving (`ShardPool::query`) vs the cold
+//! per-query rebuild (`Task::run_sharded`) — the gap the serving layer
+//! exists to close.
+//!
+//! Measures, at n ≥ 40k (scale with `DIVMAX_SCALE`), for remote-edge
+//! and remote-clique:
+//!
+//! * **warm query latency** — extraction under read locks + merge +
+//!   combiner solve, over a pool whose engines absorbed the data as
+//!   updates (min over `DIVMAX_TRIALS` trials);
+//! * **cold query latency** — `run_sharded`, which rebuilds every
+//!   shard engine before the identical extract/merge/solve;
+//! * **update throughput** — amortized insert cost into the pool, the
+//!   price the warm path pays once instead of per query;
+//! * checkpoint size and snapshot/restore round-trip time, since a
+//!   serving fleet cycles through them on every deploy.
+//!
+//! Records the headline numbers into `BENCH_serve.json` at the
+//! workspace root (CI uploads it as an artifact).
+
+use diversity::prelude::*;
+use diversity_bench::{fmt_secs, scaled, timed, trials, Table};
+use diversity_datasets::gaussian_clusters;
+use diversity_serve::{Serve, ShardPool};
+
+fn main() {
+    let n = scaled(40_000);
+    let shards = 8;
+    let trials = trials();
+    println!("ablation_serve: n={n}, shards={shards}, trials={trials}");
+
+    let points = gaussian_clusters(n, 24, 3, 40.0, 4242);
+    let parts = mapreduce::partition::split_random(points.clone(), shards, 5);
+    let rt = mapreduce::MapReduceRuntime::with_threads(shards);
+
+    let mut headline: Vec<String> = Vec::new();
+    // Per-problem serving configs: remote-edge extracts plain kernels
+    // (k' sized generously); remote-clique's injective extraction
+    // multiplies the kernel by up to k delegates per center, so a
+    // serving deployment keeps k' tight to bound the union the
+    // combiner must solve — that is what the smaller (k, k') encodes.
+    for (problem, k, k_prime) in [
+        (Problem::RemoteEdge, 16usize, 128usize),
+        (Problem::RemoteClique, 8, 32),
+    ] {
+        println!("\n== {problem}: k={k}, k'={k_prime} ==");
+        let task = Task::new(problem, k).budget(Budget::KPrime(k_prime));
+
+        // Build the pool once — the amortized steady state — and
+        // measure what that amortization costs per update.
+        let (pool, build_secs) = timed(|| {
+            let pool: ShardPool<VecPoint, _> = task.serve_seeded(&parts, Euclidean).unwrap();
+            pool
+        });
+        let update_us = build_secs * 1e6 / n as f64;
+
+        // Warm vs cold, min over trials (cold includes engine builds).
+        let mut warm_secs = f64::INFINITY;
+        let mut warm_value = 0.0;
+        for _ in 0..trials {
+            let (report, secs) = timed(|| pool.query(&task).unwrap());
+            warm_secs = warm_secs.min(secs);
+            warm_value = report.value;
+        }
+        let mut cold_secs = f64::INFINITY;
+        let mut cold_value = 0.0;
+        for _ in 0..trials {
+            let (report, secs) = timed(|| task.run_sharded(&parts, &Euclidean, &rt).unwrap());
+            cold_secs = cold_secs.min(secs);
+            cold_value = report.value;
+        }
+
+        // Checkpoint economics.
+        let (json, snap_secs) =
+            timed(|| serde_json::to_string(&pool.checkpoint()).expect("serialize pool"));
+        let (restored, restore_secs) = timed(|| {
+            let state = serde_json::from_str(&json).expect("deserialize pool");
+            ShardPool::<VecPoint, _>::restore(Euclidean, state)
+        });
+        let replay = restored.query(&task).unwrap();
+        assert_eq!(
+            replay.value.to_bits(),
+            pool.query(&task).unwrap().value.to_bits(),
+            "{problem}: restored pool must answer bit-identically"
+        );
+
+        let mut table = Table::new(
+            &format!("warm serving vs cold rebuild ({problem})"),
+            &["path", "time/query", "value", "notes"],
+        );
+        table.row(vec![
+            "warm (pool.query)".into(),
+            fmt_secs(warm_secs),
+            format!("{warm_value:.4}"),
+            format!("updates amortized at {update_us:.1}us/insert"),
+        ]);
+        table.row(vec![
+            "cold (run_sharded)".into(),
+            fmt_secs(cold_secs),
+            format!("{cold_value:.4}"),
+            "rebuilds every shard engine".into(),
+        ]);
+        table.row(vec![
+            "checkpoint".into(),
+            fmt_secs(snap_secs),
+            "-".into(),
+            format!("{} bytes; restore {}", json.len(), fmt_secs(restore_secs)),
+        ]);
+        table.print();
+        let speedup = cold_secs / warm_secs.max(1e-12);
+        println!("warm-path speedup over per-query rebuild: {speedup:.1}x\n");
+        assert!(
+            warm_secs < cold_secs,
+            "{problem}: the warm path must beat the cold per-query rebuild"
+        );
+
+        headline.push(format!(
+            concat!(
+                "  \"{problem}\": {{\n",
+                "    \"k\": {k},\n",
+                "    \"k_prime\": {k_prime},\n",
+                "    \"warm_query_seconds\": {warm:.6},\n",
+                "    \"cold_query_seconds\": {cold:.6},\n",
+                "    \"warm_speedup\": {speedup:.2},\n",
+                "    \"insert_amortized_us\": {update:.2},\n",
+                "    \"checkpoint_bytes\": {bytes},\n",
+                "    \"checkpoint_seconds\": {snap:.6},\n",
+                "    \"restore_seconds\": {restore:.6}\n",
+                "  }}"
+            ),
+            problem = problem,
+            k = k,
+            k_prime = k_prime,
+            warm = warm_secs,
+            cold = cold_secs,
+            speedup = speedup,
+            update = update_us,
+            bytes = json.len(),
+            snap = snap_secs,
+            restore = restore_secs,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"n\": {n},\n  \"shards\": {shards},\n{}\n}}\n",
+        headline.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

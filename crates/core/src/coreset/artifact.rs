@@ -92,6 +92,17 @@ impl<P> Coreset<P> {
         Self::new(points, sources, weights, k_prime, radius)
     }
 
+    /// The core-set of an **empty** producing set: no points, radius 0.
+    /// This is what a shard that deletions have drained contributes to
+    /// a composition — and it is the identity of
+    /// [`merge`](Self::merge): the empty set is (vacuously) covered
+    /// within any radius, so merging an empty operand changes neither
+    /// the union's points nor its `max`-radius certificate (only the
+    /// bookkeeping `max` of the budgets).
+    pub fn empty(k_prime: usize) -> Self {
+        Self::new(Vec::new(), Vec::new(), Vec::new(), k_prime, 0.0)
+    }
+
     /// Number of resident core-set points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -329,6 +340,35 @@ mod tests {
             triples,
             vec![(0, 1), (1, 2), (2, 1), (3, 3), (4, 1), (5, 1), (6, 2)]
         );
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity() {
+        // The law a drained shard stands on: contributing an empty
+        // core-set (radius 0) leaves the composition's points and
+        // certificate untouched, on both sides of the merge.
+        let a = cs(&[0.0, 3.0, 7.0], 4, 1.5);
+        let left = Coreset::<VecPoint>::empty(2).merge(a.clone());
+        let right = a.clone().merge(Coreset::empty(2));
+        assert_eq!(left, a);
+        assert_eq!(right, a);
+        assert_eq!(left.radius(), 1.5);
+        assert_eq!(left.k_prime(), 4, "budget max keeps the real budget");
+
+        // An empty operand with the *larger* budget still only bumps
+        // the bookkeeping, never the contents.
+        let bumped = a.clone().merge(Coreset::empty(16));
+        assert_eq!(bumped.points(), a.points());
+        assert_eq!(bumped.radius(), a.radius());
+        assert_eq!(bumped.k_prime(), 16);
+
+        // Degenerate compositions stay lawful: all-empty merges are
+        // empty with radius 0 (and certify nothing but the empty set).
+        let none = Coreset::<VecPoint>::merge_all([Coreset::empty(4), Coreset::empty(8)]).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(none.radius(), 0.0);
+        assert!(none.certifies(&[], &Euclidean, 0.0));
+        assert!(!none.certifies(&[VecPoint::from([1.0])], &Euclidean, 1e9));
     }
 
     #[test]

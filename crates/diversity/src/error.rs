@@ -52,6 +52,9 @@ pub enum DivError {
     /// constructors in `mapreduce::partition` always produce consistent
     /// ones; this guards hand-assembled or wire-received partitions.)
     MalformedPartitions { reason: String },
+    /// A serving pool was requested with zero shards — there would be
+    /// nowhere to route an insert.
+    InvalidShards,
 }
 
 impl std::fmt::Display for DivError {
@@ -83,6 +86,9 @@ impl std::fmt::Display for DivError {
             }
             DivError::MalformedPartitions { reason } => {
                 write!(f, "malformed partitions: {reason}")
+            }
+            DivError::InvalidShards => {
+                write!(f, "a serving pool needs at least one shard")
             }
         }
     }

@@ -739,6 +739,32 @@ impl Task {
         })
     }
 
+    /// Resolves the kernel budget `k'` for a query answered from a
+    /// maintained dynamic engine with configuration `config` — the
+    /// resolution [`run_dynamic`](Task::run_dynamic) applies, exposed
+    /// so the warm-path serving layer (`diversity-serve`'s `ShardPool`)
+    /// sizes its per-shard extractions identically: [`Budget::KPrime`]
+    /// as given, [`Budget::Eps`] through the Theorem 4–5 formula, and
+    /// [`Budget::Auto`] deferring to the engine's own
+    /// [`DynamicConfig`](diversity_dynamic::DynamicConfig) sizing
+    /// (capped at the budget's cap, floored at `k`).
+    pub fn dynamic_k_prime(
+        &self,
+        config: &diversity_dynamic::DynamicConfig,
+    ) -> Result<usize, DivError> {
+        self.budget.validate(self.k)?;
+        Ok(match self.budget {
+            Budget::KPrime(k_prime) => k_prime,
+            Budget::Eps { eps, dim } => {
+                coreset::theoretical_kernel_size(self.problem, self.k, eps, dim)
+            }
+            Budget::Auto { cap, .. } => config
+                .kernel_budget(self.problem, self.k)
+                .min(Budget::auto_cap(cap, self.k))
+                .max(self.k),
+        })
+    }
+
     // ---- dynamic -----------------------------------------------------
 
     /// Answers the task from a fully dynamic engine's maintained
@@ -763,18 +789,7 @@ impl Task {
             return Err(DivError::EmptyInput);
         }
         self.check_k(engine.len())?;
-        self.budget.validate(self.k)?;
-        let k_prime = match self.budget {
-            Budget::KPrime(k_prime) => k_prime,
-            Budget::Eps { eps, dim } => {
-                coreset::theoretical_kernel_size(self.problem, self.k, eps, dim)
-            }
-            Budget::Auto { cap, .. } => engine
-                .config()
-                .kernel_budget(self.problem, self.k)
-                .min(Budget::auto_cap(cap, self.k))
-                .max(self.k),
-        };
+        let k_prime = self.dynamic_k_prime(engine.config())?;
 
         let t0 = Instant::now();
         let sol = engine.solve_with_budget(self.problem, self.k, k_prime);
@@ -881,7 +896,9 @@ impl Task {
             &partitions.parts,
             |part_id, part: &Vec<P>| {
                 if part.is_empty() {
-                    return Coreset::unweighted(Vec::new(), Vec::new(), k_prime, 0.0);
+                    // A drained shard contributes the merge identity:
+                    // empty points, radius 0 (`Coreset::empty`'s law).
+                    return Coreset::empty(k_prime);
                 }
                 let mut engine = DynamicDiversity::new(metric);
                 for p in part {

@@ -91,6 +91,11 @@ impl<P: Clone> CoverHierarchy<P> {
         self.top_level
     }
 
+    /// The root node's id (`None` iff empty).
+    pub fn root_id(&self) -> Option<u64> {
+        self.root
+    }
+
     /// Iterates `(id, point)` over all alive points (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &P)> {
         self.nodes.iter().map(|(&id, n)| (id, &n.point))
@@ -344,6 +349,7 @@ impl<P: Clone> CoverHierarchy<P> {
             self.top_level = 0;
             return true;
         }
+        let thinned = node.parent.filter(|pid| self.nodes.contains_key(pid));
 
         // Highest orphans first: once re-homed they can cover the rest.
         orphans.sort_by_key(|&o| std::cmp::Reverse(self.nodes[&o].level));
@@ -368,7 +374,88 @@ impl<P: Clone> CoverHierarchy<P> {
         for o in orphans {
             self.rehome(o, metric, stats);
         }
+        // Deletion-aware delegate refresh: the deleted node's parent
+        // just lost part of its subtree at scale `node.level`.
+        if let Some(center) = thinned {
+            if self.nodes.contains_key(&center) {
+                self.refresh_delegates(center, node.level, metric, stats);
+            }
+        }
         true
+    }
+
+    /// Deletion-aware delegate refresh (repair on delete).
+    ///
+    /// Subtrees are assigned at *insert* time (each point attaches to
+    /// the nearest covering candidate that existed back then) and are
+    /// never rebalanced, so after deletions thin a center's subtree the
+    /// injective-proxy delegate harvest
+    /// ([`subtree_delegates`](Self::subtree_delegates)) can find fewer
+    /// than `k` delegates for that center even when `k` points remain
+    /// nearby — they sit in a *sibling's* subtree. This repair runs
+    /// after every delete whose parent `center` survives: a bounded
+    /// descent collects the nodes residing at or above the deleted
+    /// child's `scale` within the covering range `2^(scale+1)` of
+    /// `center`, and every such node that (a) resides strictly below
+    /// `center` and (b) is **strictly closer** to `center` than to its
+    /// current parent is re-parented under `center`.
+    ///
+    /// Soundness: an adoptee `q` found by the search has
+    /// `d(q, center) ≤ 2^(scale+1) ≤ 2^(level(q)+1)` (its residence is
+    /// at least `scale`), so the covering invariant holds at its new
+    /// parent; its residence level never changes, so separation and
+    /// nesting are untouched; and `level(q) < level(center)` rules out
+    /// adopting an ancestor (no cycles). The strict-improvement
+    /// condition makes each node's parent distance monotically
+    /// decreasing between its own re-homings, so repairs cannot
+    /// ping-pong a node between two centers. Cost is one extra bounded
+    /// descent per delete — the same `O(c^O(1) · depth)` budget the
+    /// delete already spends re-homing orphans.
+    fn refresh_delegates<M: Metric<P>>(
+        &mut self,
+        center: u64,
+        scale: i32,
+        metric: &M,
+        stats: &mut UpdateStats,
+    ) {
+        let center_level = self.nodes[&center].level;
+        if scale >= center_level {
+            return; // adoptees must reside strictly below the center
+        }
+        let point = self.nodes[&center].point.clone();
+        // Search down to the thinned scale, pruned wide enough to keep
+        // any node the center could cover at all (`2^center_level` is
+        // the covering allowance of its highest possible child); each
+        // candidate is then checked against its *own* residence's
+        // covering bound below.
+        let radius = scale_to_distance(center_level);
+        let cands = self.search_down_to(&point, center, scale, radius, metric, stats);
+        for (q, d) in cands {
+            let qn = &self.nodes[&q];
+            if qn.level >= center_level || qn.parent == Some(center) {
+                continue;
+            }
+            if d > 2.0 * scale_to_distance(qn.level) {
+                continue; // covering would break at q's residence
+            }
+            let Some(old_parent) = qn.parent else {
+                continue; // the root keeps its place
+            };
+            let d_old = self.dist(metric, stats, &qn.point, &self.nodes[&old_parent].point);
+            if d < d_old {
+                // Adopt: strictly closer to the thinned center than to
+                // its current parent.
+                let siblings = &mut self.nodes.get_mut(&old_parent).expect("parent").children;
+                siblings.retain(|&c| c != q);
+                self.nodes.get_mut(&q).expect("adoptee").parent = Some(center);
+                self.nodes
+                    .get_mut(&center)
+                    .expect("center")
+                    .children
+                    .push(q);
+                stats.delegates_adopted += 1;
+            }
+        }
     }
 
     /// Finds a new parent for a detached orphan, promoting it one level
@@ -419,12 +506,40 @@ impl<P: Clone> CoverHierarchy<P> {
         metric: &M,
         stats: &mut UpdateStats,
     ) -> Option<u64> {
-        let root = self.root.expect("search requires a root");
         if target_level > self.top_level {
             return None;
         }
         let radius = scale_to_distance(target_level);
+        self.search_down_to(point, exclude, target_level, radius, metric, stats)
+            .iter()
+            .filter(|&&(cid, d)| d <= radius && self.nodes[&cid].level >= target_level)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(cid, _)| cid)
+    }
+
+    /// The shared descent behind [`find_parent_at`](Self::find_parent_at)
+    /// and the delegate refresh: walks from the root down to
+    /// `target_level`, pruning each visited level's candidates to
+    /// `θ_j = radius + 2^(j+1)` — complete out to `radius` by the usual
+    /// covering induction (any node of residence ≥ `target_level`
+    /// within `radius` has its lowest ancestor above `j` within
+    /// `radius + 2^(j+1)`). Returns the final candidate set: every node
+    /// of residence ≥ `target_level` within `radius` of `point` is in
+    /// it (alongside some farther ones the caller filters). `exclude`
+    /// is dropped everywhere (self-adoption / self-parenting guard).
+    fn search_down_to<M: Metric<P>>(
+        &self,
+        point: &P,
+        exclude: u64,
+        target_level: i32,
+        radius: f64,
+        metric: &M,
+        stats: &mut UpdateStats,
+    ) -> Vec<(u64, f64)> {
+        let root = self.root.expect("search requires a root");
         let d_root = self.dist(metric, stats, point, &self.nodes[&root].point);
+        // The seed may be the excluded node itself: keep it so the
+        // descent can still reach its children, and drop it at the end.
         let mut cands: Vec<(u64, f64)> = vec![(root, d_root)];
         let mut i = self.top_level;
         while i > target_level {
@@ -449,13 +564,8 @@ impl<P: Clone> CoverHierarchy<P> {
             cands = next_cands;
             i = next;
         }
+        cands.retain(|&(cid, _)| cid != exclude);
         cands
-            .iter()
-            .filter(|&&(cid, d)| {
-                cid != exclude && d <= radius && self.nodes[&cid].level >= target_level
-            })
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(cid, _)| cid)
     }
 
     // -----------------------------------------------------------------
@@ -516,6 +626,98 @@ impl<P: Clone> CoverHierarchy<P> {
             }
         }
         out
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpointing (state export / import)
+    // -----------------------------------------------------------------
+
+    /// The configured duplicate-bucket depth.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// All `(id, node)` pairs in ascending id order — the deterministic
+    /// traversal a checkpoint serializes (the `HashMap`'s own order
+    /// would leak hasher state into the wire format).
+    pub fn nodes_sorted(&self) -> Vec<(u64, &Node<P>)> {
+        let mut out: Vec<(u64, &Node<P>)> = self.nodes.iter().map(|(&id, n)| (id, n)).collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Rebuilds a hierarchy from exported nodes — the resume path of
+    /// `DynamicDiversity::state`/`resume`. The residence index is
+    /// reconstructed from the node levels; each node's `children` order
+    /// is preserved exactly, so descents (and therefore solves) on the
+    /// rebuilt hierarchy are bit-identical to the exported one.
+    ///
+    /// # Panics
+    /// Panics when the state's *links* are inconsistent: duplicate ids,
+    /// dangling parents, a parent not strictly above its child,
+    /// children lists out of sync with the parent pointers, or a root
+    /// mismatch. A checkpoint produced by `state()` always passes; this
+    /// guards hand-assembled or wire-corrupted states. No metric is
+    /// available here, so *geometric* invariants (covering distances,
+    /// separation) are **not** checked — a state with consistent links
+    /// but wrong geometry resumes silently and answers badly; call
+    /// [`validate`](Self::validate) with the metric after resuming when
+    /// the state comes from an untrusted source.
+    pub fn from_nodes(
+        max_depth: u32,
+        root: Option<u64>,
+        top_level: i32,
+        nodes: Vec<(u64, Node<P>)>,
+    ) -> Self {
+        let mut h = Self::new(max_depth);
+        h.root = root;
+        h.top_level = top_level;
+        for (id, node) in nodes {
+            h.by_level.entry(node.level).or_default().insert(id);
+            let prev = h.nodes.insert(id, node);
+            assert!(prev.is_none(), "duplicate node id {id} in checkpoint");
+        }
+        match root {
+            None => assert!(h.nodes.is_empty(), "rootless checkpoint holds nodes"),
+            Some(r) => {
+                let rn = h
+                    .nodes
+                    .get(&r)
+                    .unwrap_or_else(|| panic!("checkpoint root {r} is not a node"));
+                assert!(rn.parent.is_none(), "checkpoint root {r} has a parent");
+                assert_eq!(
+                    rn.level, top_level,
+                    "checkpoint root {r} does not reside at the top level"
+                );
+            }
+        }
+        for (&id, node) in &h.nodes {
+            match node.parent {
+                None => assert_eq!(Some(id), h.root, "non-root {id} without parent"),
+                Some(pid) => {
+                    let p = h
+                        .nodes
+                        .get(&pid)
+                        .unwrap_or_else(|| panic!("node {id} has dangling parent {pid}"));
+                    assert!(
+                        p.level > node.level,
+                        "checkpoint parent {pid} not above child {id}"
+                    );
+                    assert!(
+                        p.children.contains(&id),
+                        "checkpoint parent {pid} does not list child {id}"
+                    );
+                }
+            }
+            for &child in &node.children {
+                assert_eq!(
+                    h.nodes.get(&child).map(|c| c.parent),
+                    Some(Some(id)),
+                    "child list of {id} out of sync at {child}"
+                );
+            }
+        }
+        h
     }
 
     // -----------------------------------------------------------------

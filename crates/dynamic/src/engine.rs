@@ -5,6 +5,7 @@ use crate::cover::CoverHierarchy;
 use crate::solve::{
     extract_artifact, extract_coreset, solve_on_coreset, CoresetInfo, DynamicSolution,
 };
+use crate::state::EngineState;
 use crate::stats::UpdateStats;
 use diversity_core::coreset::{Coreset, CoresetSource};
 use diversity_core::Problem;
@@ -21,6 +22,16 @@ impl PointId {
     /// index (the `diversity::Task` front door reports it as such).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Reassembles a handle from its [`raw`](Self::raw) value — the
+    /// inverse a serving layer needs after shipping ids over the wire
+    /// (e.g. `serve::ShardedId` encodes `(shard, raw)` into one `u64`).
+    /// A raw value that was never issued (or was already deleted) is
+    /// harmless: every engine entry point treats unknown ids as "not
+    /// alive".
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
     }
 }
 
@@ -182,6 +193,52 @@ impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
     /// support).
     pub fn validate(&self) {
         self.cover.validate(&self.metric);
+    }
+
+    /// The checkpointable state, mirroring the streaming
+    /// `Smm::state`/[`resume`](Self::resume) pair: serialize it with
+    /// serde to persist a long-lived engine (or a serving shard across
+    /// a pool snapshot), then [`resume`](Self::resume). The snapshot is
+    /// deterministic (nodes ascend by id) and **lossless for queries**
+    /// — see [`EngineState`] for the exact contract. Unlike the
+    /// streaming processors, whose state is borrowed (`&DoublingCore`),
+    /// the engine's nodes live in a `HashMap`, so the snapshot is
+    /// assembled by value.
+    pub fn state(&self) -> EngineState<P> {
+        EngineState {
+            nodes: crate::state::export(&self.cover),
+            root: self.cover.root_id(),
+            top_level: self.cover.top_level(),
+            next_id: self.next_id,
+            epsilon: self.config.epsilon,
+            dim: self.config.dim,
+            max_depth: self.config.max_depth,
+        }
+    }
+
+    /// Resumes from a checkpointed state. Queries on the resumed engine
+    /// are bit-identical to the engine that produced the state; update
+    /// counters restart from zero ([`UpdateStats`] describes work done
+    /// by this process, not structure).
+    ///
+    /// # Panics
+    /// Panics when the state is structurally inconsistent (see
+    /// `CoverHierarchy::from_nodes`) — states produced by
+    /// [`state`](Self::state) always resume.
+    pub fn resume(metric: M, state: EngineState<P>) -> Self {
+        let config = DynamicConfig {
+            epsilon: state.epsilon,
+            dim: state.dim,
+            max_depth: state.max_depth,
+        };
+        let cover = crate::state::import(state.max_depth, state.root, state.top_level, state.nodes);
+        Self {
+            cover,
+            metric,
+            config,
+            stats: UpdateStats::default(),
+            next_id: state.next_id,
+        }
     }
 }
 

@@ -1,0 +1,116 @@
+//! Serde checkpointing of the cover hierarchy — the dynamic engine's
+//! counterpart of the streaming `Smm::state`/`resume` pair.
+//!
+//! [`EngineState`] is a plain, deterministic snapshot of everything a
+//! [`crate::DynamicDiversity`] engine maintains: every alive node (in
+//! ascending id order, so the wire format does not leak `HashMap`
+//! hasher state), the hierarchy's root/top level, the id allocator, and
+//! the engine configuration. `DynamicDiversity::state()` produces it,
+//! `DynamicDiversity::resume()` rebuilds an engine from it; the
+//! round-trip is **lossless for queries**: every descent, extraction,
+//! and solve on the resumed engine is bit-identical to the live one,
+//! because the per-node `children` order (the only traversal order a
+//! solve depends on) is preserved exactly. Update-work counters
+//! ([`crate::UpdateStats`]) are *not* part of the state — they describe
+//! the work a process did, not the structure it holds — and reset to
+//! zero on resume.
+//!
+//! The wire format (JSON through the workspace serde) is pinned in the
+//! workspace test `tests/task_serde.rs` alongside the `Task` and
+//! `Coreset` pins: a serving layer snapshots shard engines with it, so
+//! the field layout is contract.
+
+use crate::cover::CoverHierarchy;
+use crate::node::Node;
+use serde::{Deserialize, Serialize};
+
+/// One alive node of the checkpointed hierarchy. Mirrors
+/// [`crate::node::Node`] plus the id it is stored under.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeState<P> {
+    /// The engine id ([`crate::PointId::raw`]) of this node.
+    pub id: u64,
+    /// The point itself.
+    pub point: P,
+    /// Residence level (center of `C_i` for all `i <= level`).
+    pub level: i32,
+    /// Covering parent id; `None` exactly for the root.
+    pub parent: Option<u64>,
+    /// Child ids **in adoption order** — preserved verbatim so descents
+    /// on the resumed hierarchy visit candidates identically.
+    pub children: Vec<u64>,
+    /// Placed in the duplicate bucket (separation waived).
+    pub bucketed: bool,
+}
+
+/// A complete, serde-able engine checkpoint. See the module docs for
+/// the losslessness contract.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineState<P> {
+    /// Every alive node, ascending by id.
+    pub nodes: Vec<NodeState<P>>,
+    /// The hierarchy root id (`None` iff `nodes` is empty).
+    pub root: Option<u64>,
+    /// The root's residence level.
+    pub top_level: i32,
+    /// Next id the engine will allocate — preserved so ids keep never
+    /// being reused across a checkpoint boundary.
+    pub next_id: u64,
+    /// [`crate::DynamicConfig::epsilon`].
+    pub epsilon: f64,
+    /// [`crate::DynamicConfig::dim`].
+    pub dim: u32,
+    /// [`crate::DynamicConfig::max_depth`].
+    pub max_depth: u32,
+}
+
+impl<P> EngineState<P> {
+    /// Number of alive points in the checkpoint.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the checkpointed engine held no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Exports a hierarchy as checkpoint nodes (ascending id order).
+pub(crate) fn export<P: Clone>(cover: &CoverHierarchy<P>) -> Vec<NodeState<P>> {
+    cover
+        .nodes_sorted()
+        .into_iter()
+        .map(|(id, n)| NodeState {
+            id,
+            point: n.point.clone(),
+            level: n.level,
+            parent: n.parent,
+            children: n.children.clone(),
+            bucketed: n.bucketed,
+        })
+        .collect()
+}
+
+/// Rebuilds a hierarchy from checkpoint nodes.
+///
+/// # Panics
+/// Same contract as [`CoverHierarchy::from_nodes`]: structurally
+/// inconsistent states panic with a description.
+pub(crate) fn import<P: Clone>(
+    max_depth: u32,
+    root: Option<u64>,
+    top_level: i32,
+    nodes: Vec<NodeState<P>>,
+) -> CoverHierarchy<P> {
+    let nodes = nodes
+        .into_iter()
+        .map(|s| {
+            let mut node = Node::new(s.point, s.level, s.parent);
+            node.children = s.children;
+            node.bucketed = s.bucketed;
+            (s.id, node)
+        })
+        .collect();
+    CoverHierarchy::from_nodes(max_depth, root, top_level, nodes)
+}

@@ -27,6 +27,14 @@ pub struct UpdateStats {
     /// typical point spacing — most levels of the hierarchy are empty,
     /// and this counter is the work the skip saved.
     pub levels_skipped: u64,
+    /// Nodes re-parented by the deletion-aware delegate refresh: after
+    /// a delete thins a center's subtree, nearby nodes whose current
+    /// parent is strictly farther are adopted under that center, so the
+    /// subtree keeps tracking the center's Voronoi cluster and the
+    /// injective-proxy delegate harvest keeps finding up to `k` points
+    /// per kernel center (the Lemma 2 guarantee the ROADMAP's
+    /// "deletion-aware delegate refresh" item called for).
+    pub delegates_adopted: u64,
 }
 
 impl UpdateStats {

@@ -1,0 +1,167 @@
+//! Deletion-aware delegate refresh (the ROADMAP open item): a center
+//! whose subtree thins under deletions used to keep fewer than `k`
+//! delegates even when `k` points remained nearby — the nearby points
+//! sat in a *sibling's* subtree (parent assignment happens at insert
+//! time and was never revisited), so the injective-proxy harvest
+//! capped the sibling at `k` and dropped them. The repair runs on
+//! delete: nodes strictly closer to the thinned center than to their
+//! current parent are adopted into its subtree.
+
+use diversity_core::Problem;
+use diversity_dynamic::{DynamicDiversity, PointId};
+use metric::{Euclidean, VecPoint};
+
+fn p(x: f64) -> VecPoint {
+    VecPoint::from([x, 0.0])
+}
+
+/// The hand-built drift scenario, fully determined level by level:
+///
+/// * `P0` at 0 becomes the root; `far` at 4096 raises the top to 12.
+/// * `Y` at 16 resides at level 3 under the root.
+/// * `q` at 12.5 arrives **while `Y` is its only possible parent**:
+///   it resides at level 1 under `Y` at distance 3.5.
+/// * `Z` at 10.2 arrives later and resides at level 2 (also under
+///   `Y`). Now `d(q, Z) = 2.3 < 3.5 = d(q, Y)` — `q` is nearer the
+///   new center, but nothing ever revisits its parent.
+/// * `y1`, `y2` pad `Y`'s subtree past the `k = 2` harvest cap;
+///   `z1` gives `Z` a child to lose.
+///
+/// With kernel budget 4 the extraction kernel is exactly
+/// `{P0, far, Y, Z}` (level 2). Before any deletion, `Y`'s capped
+/// harvest keeps `{Y, y2}` and `Z`'s keeps `{Z, z1}`: **`q` is
+/// invisible to the injective solve** even though it is within `Z`'s
+/// covering range. Deleting `z1` thins `Z`'s subtree; the refresh must
+/// adopt `q` under `Z`, putting it back in the core-set.
+struct Scenario {
+    engine: DynamicDiversity<VecPoint, Euclidean>,
+    q: PointId,
+    z1: PointId,
+}
+
+fn build() -> Scenario {
+    let mut engine = DynamicDiversity::new(Euclidean);
+    engine.insert(p(0.0)); // P0, root
+    engine.insert(p(4096.0)); // far: raises the top level
+    engine.insert(p(16.0)); // Y, level 3
+    let q = engine.insert(p(12.5)); // level 1, child of Y (d = 3.5)
+    engine.insert(p(10.2)); // Z, level 2, child of Y; d(q, Z) = 2.3
+    engine.insert(p(16.5)); // y1
+    engine.insert(p(15.4)); // y2: Y's subtree now exceeds the k=2 cap
+    let z1 = engine.insert(p(10.7)); // Z's only subtree point
+    engine.validate();
+    Scenario { engine, q, z1 }
+}
+
+/// Ids of the extraction a `k = 2` injective solve would run on.
+fn coreset_ids(engine: &DynamicDiversity<VecPoint, Euclidean>) -> Vec<PointId> {
+    let (ids, info) = engine.coreset(Problem::RemoteClique, 2, 4);
+    assert_eq!(info.kernel_size, 4, "kernel must be the level-2 centers");
+    ids
+}
+
+#[test]
+fn thinned_subtree_loses_nearby_points_without_the_refresh() {
+    // The "before" picture documenting the gap the repair closes: with
+    // Y's harvest capped and q parented under Y, q is not extracted —
+    // even though it is within Z's covering range and Z's harvest has
+    // spare capacity only *after* its subtree thins.
+    let s = build();
+    let ids = coreset_ids(&s.engine);
+    assert!(
+        !ids.contains(&s.q),
+        "precondition: q hides behind Y's harvest cap before any deletion"
+    );
+}
+
+#[test]
+fn delete_repairs_the_thinned_center() {
+    let mut s = build();
+    assert!(s.engine.delete(s.z1));
+    s.engine.validate();
+    assert!(
+        s.engine.stats().delegates_adopted >= 1,
+        "the refresh must adopt q under the thinned center"
+    );
+    let ids = coreset_ids(&s.engine);
+    assert!(
+        ids.contains(&s.q),
+        "after the repair, q is harvested from Z's subtree"
+    );
+    // And the injective solve actually benefits: the selected pair at
+    // k = 2 on the coreset is as good as the exact answer on the alive
+    // set restricted to the coreset's candidates.
+    let sol = s.engine.solve_with_budget(Problem::RemoteClique, 2, 4);
+    assert_eq!(sol.ids.len(), 2);
+    assert!(sol.value > 0.0);
+}
+
+/// The ROADMAP's literal regression shape: delete down to **exactly
+/// `k` survivors** and the injective-problem solve must still see all
+/// of them — none may be hidden by a stale harvest after the churn.
+#[test]
+fn exactly_k_survivors_are_all_seen_by_the_injective_solve() {
+    const K: usize = 4;
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let ids: Vec<PointId> = (0..48)
+        .map(|i| engine.insert(VecPoint::from([(i % 8) as f64 * 5.0, (i / 8) as f64 * 5.0])))
+        .collect();
+    // Keep four spread-out survivors; delete everything else, in an
+    // order that repeatedly thins subtrees.
+    let keep = [ids[0], ids[7], ids[40], ids[47]];
+    for (i, id) in ids.iter().enumerate() {
+        if !keep.contains(id) {
+            assert!(engine.delete(*id), "op {i}");
+        }
+    }
+    engine.validate();
+    assert_eq!(engine.len(), K);
+
+    let (coreset_ids, info) = engine.coreset(Problem::RemoteClique, K, K);
+    for id in keep {
+        assert!(
+            coreset_ids.contains(&id),
+            "survivor {id} missing from the injective core-set"
+        );
+    }
+    assert_eq!(info.size, K);
+
+    let sol = engine.solve_with_budget(Problem::RemoteClique, K, K);
+    let mut selected = sol.ids.clone();
+    selected.sort_unstable();
+    let mut expected = keep.to_vec();
+    expected.sort_unstable();
+    assert_eq!(selected, expected, "the solve must select every survivor");
+}
+
+/// Churn soak: random-ish interleavings with the refresh active keep
+/// every invariant and keep adoption monotone (each adoption strictly
+/// shrinks a node's parent distance, so repeated deletes cannot
+/// oscillate).
+#[test]
+fn refresh_preserves_invariants_under_churn() {
+    let mut engine = DynamicDiversity::new(Euclidean);
+    let mut alive: Vec<PointId> = Vec::new();
+    for step in 0..400u64 {
+        let h = step
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x94D0_49BB_1331_11EB);
+        let x = (h % 512) as f64 * 0.25;
+        let y = ((h >> 32) % 512) as f64 * 0.25;
+        alive.push(engine.insert(VecPoint::from([x, y])));
+        if step % 3 == 2 {
+            let victim = alive.remove((h % alive.len() as u64) as usize);
+            assert!(engine.delete(victim));
+        }
+        if step % 80 == 79 {
+            engine.validate();
+        }
+    }
+    engine.validate();
+    assert!(
+        engine.stats().delegates_adopted > 0,
+        "churn at this density must exercise the refresh"
+    );
+    let sol = engine.solve_with_budget(Problem::RemoteClique, 5, 25);
+    assert_eq!(sol.ids.len(), 5);
+}

@@ -1,0 +1,187 @@
+//! A reusable churn-stress driver: concurrent writer threads
+//! (interleaved inserts + deletes) against concurrent reader threads
+//! (warm-path queries), over one [`ShardPool`].
+//!
+//! The driver runs **one round** of churn on `core::par` scoped
+//! threads and joins them all before returning, so the moment
+//! [`churn_round`] returns is a *quiescent point*: the caller can
+//! compare the pool's answer against a fresh sequential solve of the
+//! surviving points, audit the composed certificate against ground
+//! truth, and round-trip a checkpoint — exactly the assertions the
+//! `serve_churn` stress test runs after every round. Iteration counts
+//! scale with the `SERVE_CHURN_OPS` environment knob ([`env_ops`]) so
+//! CI smoke runs stay bounded while local runs can turn the pressure
+//! up.
+
+use crate::pool::{ShardPool, ShardedId};
+use diversity::{DivError, Report, Task};
+use diversity_core::par;
+use diversity_core::Problem;
+use metric::Metric;
+
+/// Shape of one churn round.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Points each writer inserts during the round.
+    pub inserts_per_writer: usize,
+    /// After every `delete_every` inserts a writer deletes the oldest
+    /// point *it inserted this round* (`0` disables deletions). Only
+    /// own-round points are deleted, so anything the pool held when
+    /// the round started survives — which is what lets readers assert
+    /// success: the pool never shrinks below its seed.
+    pub delete_every: usize,
+    /// Queries each reader issues during the round.
+    pub queries_per_reader: usize,
+}
+
+/// What one round produced, for the caller's quiescent assertions.
+#[derive(Debug)]
+pub struct ChurnOutcome<P> {
+    /// Handles inserted this round and still alive at the join.
+    pub survivors: Vec<ShardedId>,
+    /// Points deleted by the writers this round.
+    pub deleted: usize,
+    /// Every successful concurrent read, in per-reader order.
+    pub reports: Vec<Report<P>>,
+}
+
+/// Reads the `SERVE_CHURN_OPS` knob: the per-writer insert count for
+/// stress runs, defaulting to `default` when unset or unparsable. CI
+/// smoke sets a small value to bound wall-clock; local stress runs can
+/// raise it without touching the test.
+pub fn env_ops(default: usize) -> usize {
+    std::env::var("SERVE_CHURN_OPS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Runs one churn round: `writers + readers` scoped threads hammer the
+/// pool concurrently, and the call returns only after **all** of them
+/// joined (a quiescent point).
+///
+/// Writers insert `gen(writer, i)` and interleave deletions of their
+/// own insertions per [`ChurnConfig::delete_every`]. Readers issue
+/// `pool.query(task)` and assert every answer's shape (exactly `k`
+/// points, finite positive value, a composed radius present);
+/// [`DivError::InvalidK`]/[`DivError::EmptyInput`] are tolerated only
+/// while the pool is genuinely smaller than `k` — seed the pool with
+/// `k` undeletable points to make every read assert success.
+///
+/// # Panics
+/// Panics (failing the calling test) when a reader observes a
+/// malformed answer or an unexpected error.
+pub fn churn_round<P, M>(
+    pool: &ShardPool<P, M>,
+    task: &Task,
+    cfg: &ChurnConfig,
+    gen: impl Fn(usize, usize) -> P + Send + Sync,
+) -> ChurnOutcome<P>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    enum Out<P> {
+        Writer(Vec<ShardedId>, usize),
+        Reader(Vec<Report<P>>),
+    }
+    let seeded = pool.len();
+    let gen = &gen;
+
+    let mut tasks: Vec<Box<dyn FnOnce() -> Out<P> + Send + '_>> = Vec::new();
+    for w in 0..cfg.writers {
+        tasks.push(Box::new(move || {
+            let mut mine: Vec<ShardedId> = Vec::with_capacity(cfg.inserts_per_writer);
+            let mut next_delete = 0usize;
+            let mut deleted = 0usize;
+            for i in 0..cfg.inserts_per_writer {
+                mine.push(pool.insert(gen(w, i)));
+                if cfg.delete_every > 0 && (i + 1) % cfg.delete_every == 0 {
+                    // Delete own oldest survivor — never the seed.
+                    if next_delete < mine.len() {
+                        assert!(
+                            pool.delete(mine[next_delete]),
+                            "a writer's own id vanished without its delete"
+                        );
+                        deleted += 1;
+                        next_delete += 1;
+                    }
+                }
+            }
+            Out::Writer(mine.split_off(next_delete), deleted)
+        }));
+    }
+    for _ in 0..cfg.readers {
+        tasks.push(Box::new(move || {
+            let mut reports = Vec::with_capacity(cfg.queries_per_reader);
+            for _ in 0..cfg.queries_per_reader {
+                match pool.query(task) {
+                    Ok(report) => {
+                        assert_eq!(report.len(), task.k(), "a read returned the wrong k");
+                        assert!(
+                            report.value.is_finite() && report.value >= 0.0,
+                            "a read returned a malformed value: {}",
+                            report.value
+                        );
+                        assert!(
+                            report.coreset_radius.is_some(),
+                            "warm-path reads always carry the composed certificate"
+                        );
+                        reports.push(report);
+                    }
+                    Err(DivError::InvalidK { .. } | DivError::EmptyInput) if seeded < task.k() => {
+                        // The pool really can be smaller than k.
+                    }
+                    Err(e) => panic!("concurrent read failed: {e}"),
+                }
+            }
+            Out::Reader(reports)
+        }));
+    }
+
+    let mut survivors = Vec::new();
+    let mut deleted = 0usize;
+    let mut reports = Vec::new();
+    for out in par::run_tasks(tasks) {
+        match out {
+            Out::Writer(mine, d) => {
+                survivors.extend(mine);
+                deleted += d;
+            }
+            Out::Reader(r) => reports.extend(r),
+        }
+    }
+    ChurnOutcome {
+        survivors,
+        deleted,
+        reports,
+    }
+}
+
+/// Upper bound on the objective-value loss of solving `problem` on a
+/// core-set with covering radius `radius` instead of the full set —
+/// the "structure-reported" accuracy term a warm-path answer's
+/// `coreset_radius` certifies. Derivation (proxy-function Lemmas 1–2):
+/// each of the `k` optimum points maps to a core-set point within
+/// `radius`, perturbing any single pairwise distance by at most
+/// `2·radius`; the objective sums (or minimizes over) a known number
+/// of pairwise terms, so the loss is that term count times
+/// `2·radius`:
+/// min-terms (edge) 1, clique `k(k−1)/2`, star/tree `k−1`, cycle `k`,
+/// bipartition `⌊k/2⌋·⌈k/2⌉`.
+pub fn value_loss(problem: Problem, k: usize, radius: f64) -> f64 {
+    let k = k as f64;
+    let pairs = match problem {
+        Problem::RemoteEdge => 1.0,
+        Problem::RemoteClique => k * (k - 1.0) / 2.0,
+        Problem::RemoteStar | Problem::RemoteTree => k - 1.0,
+        Problem::RemoteCycle => k,
+        Problem::RemoteBipartition => (k / 2.0).floor() * (k / 2.0).ceil(),
+    };
+    2.0 * radius * pairs
+}

@@ -1,0 +1,76 @@
+//! # diversity-serve
+//!
+//! The **warm-path serving layer**: a long-lived pool of fully dynamic
+//! shard engines that absorbs inserts/deletes continuously and answers
+//! `Task`-shaped queries from the maintained state — the layer the
+//! ROADMAP places below `Task::run_sharded`'s cold path.
+//!
+//! The pieces:
+//!
+//! * [`ShardPool`] — `N` [`diversity_dynamic::DynamicDiversity`]
+//!   engines behind per-shard `RwLock`s. Updates take one shard's
+//!   write lock; queries take read locks shard-by-shard, extract the
+//!   maintained core-sets, compose them with
+//!   [`Coreset::merge`](diversity_core::coreset::Coreset::merge), and
+//!   finish with the same 2-round combiner every sharded run uses.
+//!   Answers are the standard [`diversity::Report`] with the composed
+//!   radius certificate.
+//! * [`Router`] — where updates land ([`RoundRobin`], [`HashRouter`],
+//!   [`FnRouter`]); placement never affects soundness.
+//! * [`PoolState`] / [`ShardPool::checkpoint`] /
+//!   [`ShardPool::restore`] — serde snapshots of the whole pool
+//!   (engine cover hierarchies included, via
+//!   [`diversity_dynamic::EngineState`]); restored pools answer
+//!   bit-identically.
+//! * [`Serve`] — the extension trait that puts
+//!   [`serve`](Serve::serve) on `diversity::Task`: the caller's opt-in
+//!   to a persistent handle behind `Strategy::ShardedDynamic`.
+//! * [`churn`] — the reusable churn-stress driver the `serve_churn`
+//!   test (and any downstream soak test) is built on.
+//!
+//! ## Cold vs warm
+//!
+//! ```text
+//! cold  Task::run_sharded(parts)   build N engines → extract → merge → solve   (per query!)
+//! warm  Task::serve(..) → pool     [engines live across queries]
+//!         pool.insert/delete       touch one shard's write lock, O(structure) work
+//!         pool.query(&task)        extract under read locks → merge → solve
+//! ```
+//!
+//! The `ablation_serve` bench records the gap; the per-query engine
+//! builds dominate the cold path, so the warm path's advantage grows
+//! with the data while its own cost tracks only the core-set size.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use diversity::prelude::*;
+//! use diversity_serve::Serve;
+//!
+//! let task = Task::new(Problem::RemoteEdge, 3).budget(Budget::KPrime(12));
+//! let pool = task.serve(Euclidean, 4)?;
+//!
+//! // Traffic: routed inserts, deletes by handle.
+//! let ids = pool.extend((0..40).map(|i| VecPoint::from([i as f64 * 2.0, 0.0])));
+//! pool.delete(ids[0]);
+//!
+//! // Warm-path answer with the composed certificate.
+//! let report = pool.query(&task)?;
+//! assert_eq!(report.len(), 3);
+//! assert!(report.coreset_radius.is_some());
+//!
+//! // Snapshot and restore: bit-identical answers.
+//! let restored = diversity_serve::ShardPool::restore(Euclidean, pool.checkpoint());
+//! assert_eq!(restored.query(&task)?.value, report.value);
+//! # Ok::<(), diversity::DivError>(())
+//! ```
+
+pub mod churn;
+pub mod pool;
+pub mod router;
+pub mod task_ext;
+
+pub use churn::{churn_round, env_ops, value_loss, ChurnConfig, ChurnOutcome};
+pub use pool::{PoolState, ShardPool, ShardedId};
+pub use router::{FnRouter, HashRouter, RoundRobin, Router};
+pub use task_ext::Serve;

@@ -1,0 +1,489 @@
+//! The long-lived shard-engine pool — the warm path behind
+//! `Strategy::ShardedDynamic`.
+
+use crate::router::{RoundRobin, Router};
+use diversity::{Backend, DivError, Report, StageMemory, StageTiming, Task};
+use diversity_core::coreset::Coreset;
+use diversity_core::Problem;
+use diversity_dynamic::{DynamicConfig, DynamicDiversity, EngineState, PointId, UpdateStats};
+use diversity_mapreduce::two_round::solve_union;
+use diversity_mapreduce::MapReduceRuntime;
+use metric::Metric;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Bits of a [`ShardedId`] encoding reserved for the per-shard
+/// [`PointId`]; the remaining high bits carry the shard index.
+const RAW_BITS: u32 = 48;
+
+/// A pool-wide point handle: the shard a point lives in plus its
+/// engine-local [`PointId`]. Encodes into a single `u64` (shard in the
+/// high 16 bits, engine id in the low 48) — the provenance the pool's
+/// extracted [`Coreset`]s and [`Report`] indices carry, so a selected
+/// point can always be traced back to its shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardedId {
+    /// Index of the owning shard.
+    pub shard: usize,
+    /// The engine-local handle within that shard.
+    pub id: PointId,
+}
+
+impl ShardedId {
+    /// Packs the handle into one `u64`: `shard << 48 | raw`.
+    ///
+    /// # Panics
+    /// Panics past 2^16 shards or 2^48 updates on one shard — both far
+    /// beyond anything a single pool holds.
+    pub fn encode(self) -> u64 {
+        let raw = self.id.raw();
+        assert!(raw < 1 << RAW_BITS, "engine id overflows the encoding");
+        assert!(self.shard < 1 << 16, "shard index overflows the encoding");
+        ((self.shard as u64) << RAW_BITS) | raw
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub fn decode(encoded: u64) -> Self {
+        Self {
+            shard: (encoded >> RAW_BITS) as usize,
+            id: PointId::from_raw(encoded & ((1 << RAW_BITS) - 1)),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardedId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.id, self.shard)
+    }
+}
+
+/// A serde-able snapshot of an entire pool: one [`EngineState`] per
+/// shard plus the router's opaque state. Produced by
+/// [`ShardPool::checkpoint`], consumed by [`ShardPool::restore`];
+/// queries on the restored pool are bit-identical to the live one
+/// (each shard's engine state round-trips losslessly, and the combiner
+/// is deterministic).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolState<P> {
+    /// Per-shard engine checkpoints, in shard order.
+    pub shards: Vec<EngineState<P>>,
+    /// Router state ([`Router::checkpoint`]), if the router keeps any.
+    pub router: Option<u64>,
+}
+
+impl<P> PoolState<P> {
+    /// Total alive points across the checkpointed shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EngineState::len).sum()
+    }
+
+    /// `true` when no shard held a point.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EngineState::is_empty)
+    }
+}
+
+/// A long-lived pool of `N` fully dynamic shard engines behind
+/// per-shard `RwLock`s: inserts and deletes route to one shard and
+/// take that shard's **write** lock only; queries take each shard's
+/// **read** lock just long enough to extract the maintained core-set,
+/// so concurrent readers never serialize behind each other and writers
+/// block only the shard they touch. This is the **warm path** the
+/// cold `Task::run_sharded` amortizes into: engine builds happen once
+/// (and incrementally, as traffic arrives), queries are
+/// extraction-only.
+///
+/// ## Why serving merged core-sets from drifting shards is sound
+///
+/// A query composes per-shard extractions through [`Coreset::merge`]
+/// and solves the union with the same 2-round combiner
+/// (`solve_union`) that `Strategy::ShardedDynamic` uses. Soundness
+/// follows from the paper's own composition theory:
+///
+/// * each shard's extraction certifies that every point **currently
+///   alive in that shard** is within `r_i` of its artifact — the cover
+///   level's telescoped covering radius (`Σ_{j≤i} 2^j < 2^(i+1)`),
+///   i.e. the same triangle-inequality argument that underlies the
+///   streaming Lemmas 3–4;
+/// * the union of the artifacts then covers the union of the shards'
+///   alive sets within `max_i r_i` — Definition 2's composition law
+///   ([`Coreset::merge`]), stated for *arbitrary* partitions of the
+///   data, so it holds no matter how inserts were routed or how
+///   deletions have since reshaped each shard;
+/// * the combiner solves the union **directly** (no re-extraction), so
+///   no second radius term accrues ([`Coreset::deepen`] is never
+///   invoked), and the reported `coreset_radius = max_i r_i` bounds
+///   the solve's value loss through the proxy-function Lemmas 1–2.
+///
+/// Shards therefore drift independently under churn — grow, shrink,
+/// even empty out (an empty shard contributes [`Coreset::empty`], the
+/// merge identity) — and every individual answer still carries an
+/// honest certificate for exactly the points alive at extraction time.
+/// What the pool does **not** promise is a cross-shard atomic
+/// snapshot: read locks are taken shard by shard, so a query
+/// concurrent with writes may see shard `A` before an insert and shard
+/// `B` after one. Each per-shard extraction is still internally
+/// consistent, and the composed certificate covers precisely the union
+/// of what was seen — the usual contract of a serving system that
+/// answers while absorbing traffic. Quiescent queries (no concurrent
+/// writers) are deterministic and equal to `Task::run_sharded` on the
+/// same shard contents.
+///
+/// Construction: [`ShardPool::new`]/[`with_config`](Self::with_config)
+/// for an empty pool, `Task::serve` (the `Serve` extension trait) to
+/// opt into a persistent handle from the front door, or
+/// [`restore`](Self::restore) to resume a [`checkpoint`](Self::checkpoint).
+pub struct ShardPool<P, M> {
+    shards: Vec<RwLock<DynamicDiversity<P, M>>>,
+    metric: M,
+    config: DynamicConfig,
+    router: Box<dyn Router<P>>,
+    runtime: MapReduceRuntime,
+}
+
+impl<P, M> std::fmt::Debug for ShardPool<P, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, M> ShardPool<P, M>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P> + Clone,
+{
+    /// An empty pool of `shards` engines with the default
+    /// [`DynamicConfig`] and a [`RoundRobin`] router.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` (`Task::serve` returns
+    /// [`DivError::InvalidShards`] instead).
+    pub fn new(metric: M, shards: usize) -> Self {
+        Self::with_config(metric, DynamicConfig::default(), shards)
+    }
+
+    /// An empty pool with an explicit engine configuration (shared by
+    /// every shard).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_config(metric: M, config: DynamicConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "a pool needs at least one shard");
+        let engines = (0..shards)
+            .map(|_| RwLock::new(DynamicDiversity::with_config(metric.clone(), config)))
+            .collect();
+        Self {
+            shards: engines,
+            metric,
+            config,
+            router: Box::new(RoundRobin::new()),
+            runtime: MapReduceRuntime::with_threads(1),
+        }
+    }
+
+    /// Resumes a pool from a [`checkpoint`](Self::checkpoint). Every
+    /// shard engine is rebuilt losslessly; queries on the restored
+    /// pool are bit-identical to the pool that produced the state. The
+    /// router is the default [`RoundRobin`] with its cursor restored —
+    /// a pool using a custom router should re-attach it with
+    /// [`with_router`](Self::with_router) after restoring.
+    ///
+    /// # Panics
+    /// Panics on a shard-less state or a structurally inconsistent
+    /// engine state (states produced by `checkpoint` always restore).
+    pub fn restore(metric: M, state: PoolState<P>) -> Self {
+        assert!(
+            !state.shards.is_empty(),
+            "a pool checkpoint holds at least one shard"
+        );
+        let config = DynamicConfig {
+            epsilon: state.shards[0].epsilon,
+            dim: state.shards[0].dim,
+            max_depth: state.shards[0].max_depth,
+        };
+        let shards: Vec<RwLock<DynamicDiversity<P, M>>> = state
+            .shards
+            .into_iter()
+            .map(|s| RwLock::new(DynamicDiversity::resume(metric.clone(), s)))
+            .collect();
+        let router = RoundRobin::new();
+        if let Some(cursor) = state.router {
+            Router::<P>::restore(&router, cursor);
+        }
+        Self {
+            shards,
+            metric,
+            config,
+            router: Box::new(router),
+            runtime: MapReduceRuntime::with_threads(1),
+        }
+    }
+}
+
+impl<P, M> ShardPool<P, M>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    /// Replaces the router (builder-style). Routing affects placement
+    /// only, never soundness — see the type-level docs.
+    pub fn with_router(mut self, router: impl Router<P> + 'static) -> Self {
+        self.router = Box::new(router);
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Alive points in shard `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].read().len()
+    }
+
+    /// Total alive points across all shards. Under concurrent writers
+    /// this is a momentary sum (shards are read one at a time).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// The engine configuration every shard was built with.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Inserts a point, routing it through the pool's [`Router`].
+    /// Takes one shard's write lock; other shards (and readers of
+    /// other shards) proceed untouched.
+    pub fn insert(&self, point: P) -> ShardedId {
+        let shard = self.router.route(&point, self.shards.len());
+        self.insert_to(shard, point)
+    }
+
+    /// Inserts into an explicit shard, bypassing the router (how
+    /// `Task::serve_seeded` replays a partitioning).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn insert_to(&self, shard: usize, point: P) -> ShardedId {
+        let id = self.shards[shard].write().insert(point);
+        ShardedId { shard, id }
+    }
+
+    /// Inserts many points through the router, returning their handles.
+    pub fn extend(&self, points: impl IntoIterator<Item = P>) -> Vec<ShardedId> {
+        points.into_iter().map(|p| self.insert(p)).collect()
+    }
+
+    /// Deletes an alive point; `false` when the handle was already
+    /// gone (or its shard index is out of range).
+    pub fn delete(&self, id: ShardedId) -> bool {
+        self.shards
+            .get(id.shard)
+            .is_some_and(|s| s.write().delete(id.id))
+    }
+
+    /// The point behind an alive handle, cloned out under the shard's
+    /// read lock.
+    pub fn point(&self, id: ShardedId) -> Option<P> {
+        self.shards.get(id.shard)?.read().point(id.id).cloned()
+    }
+
+    /// Snapshot of all alive `(handle, point)` pairs, shard by shard.
+    pub fn alive(&self) -> Vec<(ShardedId, P)> {
+        let mut out = Vec::new();
+        for (shard, lock) in self.shards.iter().enumerate() {
+            out.extend(
+                lock.read()
+                    .alive()
+                    .into_iter()
+                    .map(|(id, p)| (ShardedId { shard, id }, p)),
+            );
+        }
+        out
+    }
+
+    /// Per-shard cumulative update-work counters.
+    pub fn shard_stats(&self) -> Vec<UpdateStats> {
+        self.shards.iter().map(|s| *s.read().stats()).collect()
+    }
+
+    /// Exhaustively validates every shard's cover invariants (test
+    /// support; `O(n²)` per shard).
+    pub fn validate(&self) {
+        for shard in &self.shards {
+            shard.read().validate();
+        }
+    }
+
+    /// Extracts every shard's core-set (read locks, one shard at a
+    /// time) with provenance rewritten to encoded [`ShardedId`]s.
+    /// Returns the artifacts plus `(total, max)` alive counts seen.
+    fn extract_shards(
+        &self,
+        problem: Problem,
+        k: usize,
+        k_prime: usize,
+    ) -> (Vec<Coreset<P>>, usize, usize) {
+        let mut total = 0usize;
+        let mut max_shard = 0usize;
+        let mut artifacts = Vec::with_capacity(self.shards.len());
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let engine = lock.read();
+            let n_s = engine.len();
+            let art = if engine.is_empty() {
+                // A drained shard contributes the merge identity.
+                Coreset::empty(k_prime)
+            } else {
+                engine.extract_coreset(problem, k, k_prime)
+            };
+            drop(engine); // provenance rewrite needs no lock
+            total += n_s;
+            max_shard = max_shard.max(n_s);
+            artifacts.push(art.map_sources(|raw| {
+                ShardedId {
+                    shard,
+                    id: PointId::from_raw(raw),
+                }
+                .encode()
+            }));
+        }
+        (artifacts, total, max_shard)
+    }
+
+    /// The merged warm-path core-set a [`query`](Self::query) for
+    /// `(problem, k, k_prime)` would solve on: per-shard extractions
+    /// composed by [`Coreset::merge`], radius = max of the shard radii,
+    /// sources = encoded [`ShardedId`]s. Exposed for certificate
+    /// audits (`coreset.certifies(&alive_points, ..)`) and tests.
+    pub fn coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
+        let (artifacts, _, _) = self.extract_shards(problem, k, k_prime);
+        Coreset::merge_all(artifacts).expect("a pool has at least one shard")
+    }
+
+    /// Answers a [`Task`] on the **warm path**: extraction-only reads
+    /// of the maintained shard structures, composed through
+    /// [`Coreset::merge`] and solved by the shared 2-round combiner —
+    /// the same data path as `Task::run_sharded`, minus the per-query
+    /// engine builds. Returns the standard [`Report`] with
+    /// [`Backend::ShardedDynamic`], the composed radius certificate in
+    /// `coreset_radius`, and indices/provenance in encoded
+    /// [`ShardedId`] space ([`ShardedId::decode`] recovers the shard
+    /// and engine handle).
+    ///
+    /// Budget resolution matches [`Task::run_dynamic`]
+    /// ([`Task::dynamic_k_prime`]): `Auto` defers to the shards' own
+    /// [`DynamicConfig`] sizing rather than sampling the data (the
+    /// warm path never rescans points). Like the other dynamic-backed
+    /// paths, no `(α+ε)` certificate is attached — the per-query
+    /// composed radius is the honest accuracy witness.
+    pub fn query(&self, task: &Task) -> Result<Report<P>, DivError> {
+        let k = task.k();
+        if k == 0 {
+            return Err(DivError::InvalidK { k, n: None });
+        }
+        let problem = task.problem();
+        let k_prime = task.dynamic_k_prime(&self.config)?;
+
+        let t0 = Instant::now();
+        let (artifacts, total, max_shard) = self.extract_shards(problem, k, k_prime);
+        let extract_secs = t0.elapsed().as_secs_f64();
+        if total == 0 {
+            return Err(DivError::EmptyInput);
+        }
+        if k > total {
+            return Err(DivError::InvalidK { k, n: Some(total) });
+        }
+
+        let union = Coreset::merge_all(artifacts).expect("a pool has at least one shard");
+        // Keep (source, point) pairs to recover the selected points
+        // after the solve without re-locking the shards — a concurrent
+        // writer may have deleted a selected point by then, but it was
+        // alive in the extraction this answer certifies.
+        let lookup: Vec<(u64, P)> = union
+            .sources()
+            .iter()
+            .copied()
+            .zip(union.points().iter().cloned())
+            .collect();
+        let (solution, solve_input_size, coreset_radius, round_stats) = solve_union(
+            problem,
+            union,
+            &self.metric,
+            k,
+            &self.runtime,
+            "combine:solve",
+        );
+
+        let points = solution
+            .indices
+            .iter()
+            .map(|&encoded| {
+                lookup
+                    .iter()
+                    .find(|(src, _)| *src == encoded as u64)
+                    .map(|(_, p)| p.clone())
+                    .expect("solution indices come from the union's sources")
+            })
+            .collect();
+
+        Ok(Report {
+            problem,
+            backend: Backend::ShardedDynamic,
+            k,
+            k_prime,
+            coreset_size: solve_input_size,
+            coreset_radius: Some(coreset_radius),
+            indices: solution.indices,
+            points,
+            value: solution.value,
+            timings: vec![
+                StageTiming {
+                    stage: "warm-extract".into(),
+                    secs: extract_secs,
+                },
+                StageTiming {
+                    stage: round_stats.name.clone(),
+                    secs: round_stats.wall.as_secs_f64(),
+                },
+            ],
+            memory: vec![
+                StageMemory {
+                    stage: "warm-extract".into(),
+                    reducers: self.shards.len(),
+                    max_local_points: max_shard,
+                    total_points: total,
+                    emitted_points: solve_input_size,
+                },
+                StageMemory {
+                    stage: round_stats.name.clone(),
+                    reducers: round_stats.reducers,
+                    max_local_points: round_stats.max_local_points,
+                    total_points: round_stats.total_points,
+                    emitted_points: round_stats.emitted_points,
+                },
+            ],
+            certificate: None,
+        })
+    }
+
+    /// Snapshots every shard into a serde-able [`PoolState`]. Shards
+    /// are locked one at a time: the snapshot is per-shard consistent;
+    /// take it at a quiescent point for a cross-shard-exact image.
+    pub fn checkpoint(&self) -> PoolState<P> {
+        PoolState {
+            shards: self.shards.iter().map(|s| s.read().state()).collect(),
+            router: self.router.checkpoint(),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Shard routing: which engine absorbs an update.
+//!
+//! Routing only affects *which* shard a point lands in, never the
+//! answer's soundness — the warm-path certificate composes as the max
+//! of the per-shard radii whatever the placement (Definition 2), so a
+//! router is free to optimize for balance (round-robin), affinity
+//! (hashing), or anything else. It must be [`Sync`]: the pool routes
+//! from many writer threads concurrently.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chooses a shard in `0..shards` for an incoming point.
+pub trait Router<P>: Send + Sync {
+    /// The shard `point` should be inserted into. `shards` is always
+    /// ≥ 1; the result must be `< shards`.
+    fn route(&self, point: &P, shards: usize) -> usize;
+
+    /// Opaque router state to persist in a pool checkpoint (`None`
+    /// when the router is stateless). The default routers use it for
+    /// the round-robin cursor.
+    fn checkpoint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Restores state persisted by [`checkpoint`](Self::checkpoint).
+    fn restore(&self, _state: u64) {}
+}
+
+/// Cycles through the shards — the balanced default. The cursor is a
+/// relaxed atomic: placement order under concurrent writers is
+/// scheduling-dependent (and immaterial for correctness), but every
+/// shard receives within one point of an equal share.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: AtomicU64,
+}
+
+impl RoundRobin {
+    /// A router starting at shard 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<P> Router<P> for RoundRobin {
+    fn route(&self, _point: &P, shards: usize) -> usize {
+        (self.cursor.fetch_add(1, Ordering::Relaxed) % shards as u64) as usize
+    }
+
+    fn checkpoint(&self) -> Option<u64> {
+        Some(self.cursor.load(Ordering::Relaxed))
+    }
+
+    fn restore(&self, state: u64) {
+        self.cursor.store(state, Ordering::Relaxed);
+    }
+}
+
+/// Routes by the point's own hash — stateless, so equal points always
+/// land in the same shard (useful when traffic carries natural keys:
+/// strings under the Levenshtein metric, bitsets, ids).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashRouter;
+
+impl<P: Hash> Router<P> for HashRouter {
+    fn route(&self, point: &P, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        point.hash(&mut h);
+        (h.finish() % shards as u64) as usize
+    }
+}
+
+/// Routes through a caller-supplied function of the point — the escape
+/// hatch for geometry-aware or tenant-aware placement.
+pub struct FnRouter<F>(pub F);
+
+impl<P, F> Router<P> for FnRouter<F>
+where
+    F: Fn(&P) -> u64 + Send + Sync,
+{
+    fn route(&self, point: &P, shards: usize) -> usize {
+        ((self.0)(point) % shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_and_checkpoints() {
+        let r = RoundRobin::new();
+        let picks: Vec<usize> = (0..7).map(|_| Router::<u32>::route(&r, &0, 3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(Router::<u32>::checkpoint(&r), Some(7));
+        let fresh = RoundRobin::new();
+        Router::<u32>::restore(&fresh, 7);
+        assert_eq!(Router::<u32>::route(&fresh, &0, 3), 1);
+    }
+
+    #[test]
+    fn hash_router_is_stable_per_point() {
+        let r = HashRouter;
+        let a = r.route(&"alpha", 5);
+        assert_eq!(a, r.route(&"alpha", 5));
+        assert!(a < 5);
+        assert!(Router::<&str>::checkpoint(&r).is_none());
+    }
+
+    #[test]
+    fn fn_router_applies_the_function() {
+        let r = FnRouter(|x: &u64| *x);
+        assert_eq!(r.route(&10, 4), 2);
+        assert_eq!(r.route(&3, 4), 3);
+    }
+}

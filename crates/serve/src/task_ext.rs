@@ -1,0 +1,98 @@
+//! `Task::serve` — the front door's opt-in to a persistent warm-path
+//! handle.
+//!
+//! `diversity::Task` cannot name [`ShardPool`] itself (the serve crate
+//! sits above the facade), so the method arrives through an extension
+//! trait: `use diversity_serve::Serve;` and every `Task` gains
+//! [`serve`](Serve::serve) / [`serve_seeded`](Serve::serve_seeded).
+
+use crate::pool::ShardPool;
+use diversity::{Budget, DivError, Task};
+use diversity_dynamic::DynamicConfig;
+use diversity_mapreduce::Partitions;
+use metric::Metric;
+
+/// Extension trait giving [`Task`] the persistent-handle entry point
+/// into the serving layer. Where `Task::run_sharded` executes
+/// `Strategy::ShardedDynamic` cold — building every shard engine for
+/// one query and dropping them — `serve` hands back the long-lived
+/// [`ShardPool`] those engines live in, so updates amortize and
+/// queries run extraction-only ([`ShardPool::query`]).
+pub trait Serve {
+    /// An empty pool of `shards` engines, configured from this task's
+    /// budget: [`Budget::Eps`] seeds each shard's
+    /// [`DynamicConfig`] with the target `ε` and dimension (so `Auto`
+    /// extraction budgets and the maintained structure agree with the
+    /// task's accuracy intent); other budgets use the engine default.
+    /// Feed traffic with [`ShardPool::insert`]/[`delete`](ShardPool::delete),
+    /// answer with [`ShardPool::query`]`(&task)`.
+    fn serve<P, M>(&self, metric: M, shards: usize) -> Result<ShardPool<P, M>, DivError>
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P> + Clone;
+
+    /// A pool pre-loaded from an existing partitioning — one shard per
+    /// part, points inserted in part order — so a cold `run_sharded`
+    /// deployment can hand its data layout to the warm path. At the
+    /// quiescent point right after seeding, `pool.query(&task)` solves
+    /// the same composed core-set as `task.run_sharded(&parts, ..)`
+    /// (provenance differs: the pool speaks [`crate::ShardedId`]s, the
+    /// cold path original input positions).
+    fn serve_seeded<P, M>(
+        &self,
+        partitions: &Partitions<P>,
+        metric: M,
+    ) -> Result<ShardPool<P, M>, DivError>
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P> + Clone;
+}
+
+impl Serve for Task {
+    fn serve<P, M>(&self, metric: M, shards: usize) -> Result<ShardPool<P, M>, DivError>
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P> + Clone,
+    {
+        if self.k() == 0 {
+            return Err(DivError::InvalidK { k: 0, n: None });
+        }
+        if shards == 0 {
+            return Err(DivError::InvalidShards);
+        }
+        let config = match self.budget_spec() {
+            Budget::Eps { eps, dim } => DynamicConfig {
+                epsilon: eps,
+                dim,
+                ..DynamicConfig::default()
+            },
+            _ => DynamicConfig::default(),
+        };
+        // Budget validation up front: a pool that can never answer its
+        // own task (cap < k, eps out of range) is refused here, not at
+        // the first query.
+        self.dynamic_k_prime(&config)?;
+        Ok(ShardPool::with_config(metric, config, shards))
+    }
+
+    fn serve_seeded<P, M>(
+        &self,
+        partitions: &Partitions<P>,
+        metric: M,
+    ) -> Result<ShardPool<P, M>, DivError>
+    where
+        P: Clone + Send + Sync,
+        M: Metric<P> + Clone,
+    {
+        if partitions.parts.is_empty() {
+            return Err(DivError::InvalidShards);
+        }
+        let pool = self.serve(metric, partitions.parts.len())?;
+        for (shard, part) in partitions.parts.iter().enumerate() {
+            for point in part {
+                pool.insert_to(shard, point.clone());
+            }
+        }
+        Ok(pool)
+    }
+}

