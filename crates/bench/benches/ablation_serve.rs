@@ -70,6 +70,35 @@ fn main() {
             cold_value = report.value;
         }
 
+        // Warm-path latency distribution through the obs layer: the
+        // same queries with a recorder installed; the quantiles come
+        // out of the Report's own telemetry snapshot instead of
+        // hand-rolled timing loops. (Kept separate from the min-trial
+        // timings above so those stay recorder-free.)
+        let registry = std::sync::Arc::new(diversity_obs::Registry::new());
+        diversity_obs::install(registry);
+        let mut last_report = None;
+        for _ in 0..trials.max(8) {
+            last_report = Some(pool.query(&task).unwrap());
+        }
+        diversity_obs::uninstall();
+        let telemetry = last_report
+            .unwrap()
+            .telemetry
+            .expect("recorder was installed");
+        let e2e = telemetry
+            .histogram("serve.query.e2e_ns")
+            .expect("warm queries recorded");
+        let lock_wait = telemetry
+            .histogram("serve.lock.read_wait_ns")
+            .expect("read locks recorded");
+        println!(
+            "warm e2e p50={}ns p99={}ns; per-shard read-lock wait p99={}ns",
+            e2e.p50(),
+            e2e.p99(),
+            lock_wait.p99()
+        );
+
         // Checkpoint economics.
         let (json, snap_secs) =
             timed(|| serde_json::to_string(&pool.checkpoint()).expect("serialize pool"));
@@ -125,7 +154,10 @@ fn main() {
                 "    \"insert_amortized_us\": {update:.2},\n",
                 "    \"checkpoint_bytes\": {bytes},\n",
                 "    \"checkpoint_seconds\": {snap:.6},\n",
-                "    \"restore_seconds\": {restore:.6}\n",
+                "    \"restore_seconds\": {restore:.6},\n",
+                "    \"warm_e2e_p50_ns\": {p50},\n",
+                "    \"warm_e2e_p99_ns\": {p99},\n",
+                "    \"read_lock_wait_p99_ns\": {lock_p99}\n",
                 "  }}"
             ),
             problem = problem,
@@ -138,6 +170,9 @@ fn main() {
             bytes = json.len(),
             snap = snap_secs,
             restore = restore_secs,
+            p50 = e2e.p50(),
+            p99 = e2e.p99(),
+            lock_p99 = lock_wait.p99(),
         ));
     }
 

@@ -247,6 +247,28 @@ fn main() {
     ]);
     t2.print();
 
+    // ---- Kernel telemetry through the obs layer ----
+    // One instrumented GMM run (timings above stay recorder-free): the
+    // batch kernels report distances computed, contiguous-block
+    // fast-path coverage, and threshold root elisions — the counters
+    // that used to require hand-instrumented one-off builds.
+    let registry = std::sync::Arc::new(diversity_obs::Registry::new());
+    diversity_obs::install(registry.clone());
+    let _ = gmm_with_threads(&rows, &Euclidean, k, 0, 1);
+    diversity_obs::uninstall();
+    let snap = registry.snapshot_now();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let blocks_total = counter("kernel.blocks.total");
+    let fast_ratio = counter("kernel.blocks.fast") as f64 / blocks_total.max(1) as f64;
+    let distances = counter("kernel.distances");
+    let elided_ratio = counter("kernel.blocks.elided") as f64 / blocks_total.max(1) as f64;
+    println!(
+        "
+obs: gmm run computed {distances} distances; contiguous fast-path {:.1}% of blocks,          {:.1}% of blocks fully root-elided",
+        fast_ratio * 100.0,
+        elided_ratio * 100.0
+    );
+
     // ---- Machine-readable trajectory point ----
     let json = format!(
         concat!(
@@ -265,7 +287,12 @@ fn main() {
             "  \"kernel_speedup_distance_many_dense_vs_scalar\": {many_speedup:.3},\n",
             "  \"gmm_seconds\": {{ \"sequential\": {gmm_seq:.6}, \"parallel\": {gmm_par:.6} }},\n",
             "  \"gmm_parallel_speedup\": {gmm_speedup:.3},\n",
-            "  \"matrix_build_seconds\": {{ \"n\": {m}, \"sequential\": {dm_seq:.6}, \"parallel\": {dm_par:.6} }}\n",
+            "  \"matrix_build_seconds\": {{ \"n\": {m}, \"sequential\": {dm_seq:.6}, \"parallel\": {dm_par:.6} }},\n",
+            "  \"obs_gmm_run\": {{\n",
+            "    \"kernel_distances\": {distances},\n",
+            "    \"fast_block_ratio\": {fast_ratio:.4},\n",
+            "    \"elided_block_ratio\": {elided_ratio:.4}\n",
+            "  }}\n",
             "}}\n"
         ),
         n = n,
@@ -286,6 +313,9 @@ fn main() {
         m = m,
         dm_seq = dm_seq,
         dm_par = dm_par,
+        distances = distances,
+        fast_ratio = fast_ratio,
+        elided_ratio = elided_ratio,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
     std::fs::write(&path, json).expect("write BENCH_kernels.json");

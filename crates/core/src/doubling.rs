@@ -437,6 +437,10 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
     /// payloads and arrival positions), the removed-set `M` with its
     /// positions, the final threshold, and the phase count.
     pub fn finish(self) -> FinishedCore<P, Y> {
+        if diversity_obs::enabled() {
+            diversity_obs::count("stream.points", self.points_seen as u64);
+            diversity_obs::count("stream.centers", self.centers.len() as u64);
+        }
         FinishedCore {
             final_threshold: self.threshold.unwrap_or(0.0),
             centers: self.centers,
@@ -463,9 +467,24 @@ impl<P: Clone, Y: Payload<P>> DoublingCore<P, Y> {
     fn begin_phase<M: Metric<P>>(&mut self, metric: &M) {
         loop {
             self.phases += 1;
+            // Phase-boundary telemetry only: the per-point update step
+            // stays untouched, and the serialized checkpoint shape is
+            // unchanged (observability is derived, never persisted).
+            let before = self.centers.len();
+            if diversity_obs::enabled() {
+                diversity_obs::count("stream.phases", 1);
+                diversity_obs::observe("stream.phase.centers", before as u64);
+            }
             self.removed.clear();
             self.removed_positions.clear();
             self.merge_step(metric);
+            if diversity_obs::enabled() {
+                diversity_obs::count("stream.merges", 1);
+                diversity_obs::count(
+                    "stream.merged_centers",
+                    (before - self.centers.len()) as u64,
+                );
+            }
             if self.centers.len() <= self.k_prime {
                 return;
             }

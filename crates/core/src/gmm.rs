@@ -87,11 +87,19 @@ pub fn gmm_with_threads<P: Sync, M: Metric<P>>(
     assert!(k > 0, "GMM requires k > 0");
     assert!(start < n, "start index out of range");
     let k = k.min(n);
-    if threads > 1 {
+    let span = diversity_obs::span("gmm.run_ns");
+    let out = if threads > 1 {
         gmm_parallel(points, metric, k, start, threads)
     } else {
         gmm_sequential(points, metric, k, start)
+    };
+    drop(span);
+    if diversity_obs::enabled() {
+        diversity_obs::count("gmm.runs", 1);
+        diversity_obs::count("gmm.rounds", k as u64);
+        diversity_obs::count("gmm.relaxations", (k as u64).saturating_mul(n as u64));
     }
+    out
 }
 
 fn gmm_sequential<P, M: Metric<P>>(points: &[P], metric: &M, k: usize, start: usize) -> GmmOutcome {

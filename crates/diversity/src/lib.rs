@@ -77,6 +77,7 @@ pub use diversity_core as core;
 pub use diversity_datasets as datasets;
 pub use diversity_dynamic as dynamic;
 pub use diversity_mapreduce as mapreduce;
+pub use diversity_obs as obs;
 pub use diversity_streaming as streaming;
 pub use metric;
 

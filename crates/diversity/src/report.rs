@@ -124,6 +124,13 @@ pub struct Report<P> {
     pub memory: Vec<StageMemory>,
     /// Present iff the task's budget was [`crate::Budget::Eps`].
     pub certificate: Option<Certificate>,
+    /// A point-in-time [`Snapshot`](diversity_obs::Snapshot) of the
+    /// installed observability recorder, taken as the run finished.
+    /// `None` unless a recorder was installed
+    /// ([`diversity_obs::install`]) when the task ran — the snapshot is
+    /// cumulative across the recorder's lifetime, not scoped to this
+    /// run.
+    pub telemetry: Option<diversity_obs::Snapshot>,
 }
 
 impl<P> Report<P> {
@@ -181,6 +188,7 @@ mod tests {
                 eps: 0.5,
                 factor: 2.5,
             }),
+            telemetry: None,
         }
     }
 
@@ -198,6 +206,22 @@ mod tests {
         let json = serde_json::to_string(&r).expect("serialize");
         let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn telemetry_roundtrips() {
+        let mut r = sample();
+        let reg = diversity_obs::Registry::new();
+        use diversity_obs::Recorder;
+        reg.count("gmm.rounds", 7);
+        reg.observe("serve.query.e2e_ns", 1234);
+        r.telemetry = Some(reg.snapshot_now());
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(r, back);
+        let snap = back.telemetry.expect("telemetry present");
+        assert_eq!(snap.counter("gmm.rounds"), Some(7));
+        assert_eq!(snap.histogram("serve.query.e2e_ns").unwrap().count, 1);
     }
 
     #[test]

@@ -517,6 +517,7 @@ impl Task {
             ],
             memory: Vec::new(),
             certificate: self.certificate(),
+            telemetry: diversity_obs::snapshot(),
         })
     }
 
@@ -612,6 +613,7 @@ impl Task {
                 emitted_points: coreset.len(),
             }],
             certificate: self.certificate(),
+            telemetry: diversity_obs::snapshot(),
         })
     }
 
@@ -736,6 +738,7 @@ impl Task {
                 .collect(),
             memory: memory_stages(&outcome.stats),
             certificate,
+            telemetry: diversity_obs::snapshot(),
         })
     }
 
@@ -820,6 +823,7 @@ impl Task {
             }],
             memory: Vec::new(),
             certificate: None,
+            telemetry: diversity_obs::snapshot(),
         })
     }
 

@@ -120,14 +120,31 @@ impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
     pub fn insert(&mut self, point: P) -> PointId {
         let id = self.next_id;
         self.next_id += 1;
-        self.cover.insert(id, point, &self.metric, &mut self.stats);
+        if diversity_obs::enabled() {
+            let before = self.stats;
+            let start = std::time::Instant::now();
+            self.cover.insert(id, point, &self.metric, &mut self.stats);
+            diversity_obs::observe("dynamic.insert_ns", start.elapsed().as_nanos() as u64);
+            record_update_delta(&before, &self.stats);
+        } else {
+            self.cover.insert(id, point, &self.metric, &mut self.stats);
+        }
         PointId(id)
     }
 
     /// Deletes an alive point; orphaned structure is repaired locally.
     /// Returns `false` when the id was already gone.
     pub fn delete(&mut self, id: PointId) -> bool {
-        self.cover.delete(id.0, &self.metric, &mut self.stats)
+        if diversity_obs::enabled() {
+            let before = self.stats;
+            let start = std::time::Instant::now();
+            let deleted = self.cover.delete(id.0, &self.metric, &mut self.stats);
+            diversity_obs::observe("dynamic.delete_ns", start.elapsed().as_nanos() as u64);
+            record_update_delta(&before, &self.stats);
+            deleted
+        } else {
+            self.cover.delete(id.0, &self.metric, &mut self.stats)
+        }
     }
 
     /// Extracts the current coreset for `problem` using the
@@ -246,6 +263,30 @@ impl<P: Clone + Sync, M: Metric<P>> CoresetSource<P> for DynamicDiversity<P, M> 
     fn extract_coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
         DynamicDiversity::extract_coreset(self, problem, k, k_prime)
     }
+}
+
+/// Publishes what one update did to the cover structure, as the delta
+/// of the engine's cumulative [`UpdateStats`] across the call (the
+/// counters only grow within an update, so the subtraction is exact).
+fn record_update_delta(before: &UpdateStats, after: &UpdateStats) {
+    diversity_obs::count(
+        "dynamic.levels_skipped",
+        after.levels_skipped.saturating_sub(before.levels_skipped),
+    );
+    diversity_obs::count(
+        "dynamic.delegates_adopted",
+        after
+            .delegates_adopted
+            .saturating_sub(before.delegates_adopted),
+    );
+    diversity_obs::count(
+        "dynamic.repair.orphans",
+        after.orphans_rehomed.saturating_sub(before.orphans_rehomed),
+    );
+    diversity_obs::count(
+        "dynamic.distance_evals",
+        after.distance_evals.saturating_sub(before.distance_evals),
+    );
 }
 
 #[cfg(test)]

@@ -151,6 +151,16 @@ impl MapReduceRuntime {
             wall,
             critical_path,
         };
+        // One report per round — every driver (two-round, three-round,
+        // randomized, recursive) funnels through here, so this is the
+        // single instrumentation point for the whole MR substrate.
+        if diversity_obs::enabled() {
+            diversity_obs::count("mr.rounds", 1);
+            diversity_obs::count("mr.shuffle.points", stats.emitted_points as u64);
+            diversity_obs::observe("mr.round.wall_ns", stats.wall.as_nanos() as u64);
+            diversity_obs::observe("mr.round.m_local", stats.max_local_points as u64);
+            diversity_obs::observe("mr.round.m_total", stats.total_points as u64);
+        }
         (outputs, stats)
     }
 }

@@ -147,6 +147,7 @@ pub(crate) fn euclidean_many<'a>(
     for (o, q) in out.iter_mut().zip(rows) {
         *o = dispatch_dim!(dim, l2_sq_fixed, l2_sq, p, q).sqrt();
     }
+    diversity_obs::count("kernel.distances", out.len() as u64);
 }
 
 /// Batched Euclidean GMM relaxation with root elision and fused
@@ -163,6 +164,7 @@ pub(crate) fn euclidean_relax<'a>(
     assert_eq!(assignment.len(), rows.len(), "assignment length mismatch");
     let dim = center.len();
     let mut best: Option<(usize, f64)> = None;
+    let mut elided = 0u64;
     for (i, q) in rows.enumerate() {
         let d_sq = dispatch_dim!(dim, l2_sq_fixed, l2_sq, center, q);
         if !sq_beats_threshold(d_sq, dists[i]) {
@@ -171,8 +173,15 @@ pub(crate) fn euclidean_relax<'a>(
                 dists[i] = d;
                 assignment[i] = cj;
             }
+        } else {
+            elided += 1;
         }
         consider_max(&mut best, i, dists[i]);
+    }
+    if diversity_obs::enabled() {
+        diversity_obs::count("kernel.distances", dists.len() as u64);
+        diversity_obs::count("kernel.relax_fused_rounds", 1);
+        diversity_obs::count("kernel.roots_elided", elided);
     }
     best
 }
@@ -215,6 +224,7 @@ pub(crate) fn manhattan_many<'a>(
     for (o, q) in out.iter_mut().zip(rows) {
         *o = dispatch_dim!(dim, l1_fixed, l1, p, q);
     }
+    diversity_obs::count("kernel.distances", out.len() as u64);
 }
 
 /// Batched Manhattan relaxation with fused argmax.
@@ -236,6 +246,10 @@ pub(crate) fn manhattan_relax<'a>(
             assignment[i] = cj;
         }
         consider_max(&mut best, i, dists[i]);
+    }
+    if diversity_obs::enabled() {
+        diversity_obs::count("kernel.distances", dists.len() as u64);
+        diversity_obs::count("kernel.relax_fused_rounds", 1);
     }
     best
 }
@@ -279,6 +293,7 @@ pub(crate) fn manhattan_relax_flat(
         }
         consider_max(&mut best, i, dists[i]);
     }
+    diversity_obs::count("kernel.relax_fused_rounds", 1);
     best
 }
 
@@ -348,10 +363,17 @@ fn relax_rows_fixed<const D: usize>(
     let c: &[f64; D] = center[..D].try_into().expect("dim checked by caller");
     let mut best: Option<(usize, f64)> = None;
     let mut i = 0;
+    // Plain-local block tallies: the contiguous fast-path ratio is
+    // reported once per batch, never per block.
+    let mut fast_blocks = 0u64;
+    let mut total_blocks = 0u64;
+    let mut elided_blocks = 0u64;
     while i + BLOCK <= n {
         let r0 = &rows[i];
         let mut dsq = [0.0f64; BLOCK];
+        total_blocks += 1;
         if block_is_run::<D>(rows, i, r0.flat, r0.offset) {
+            fast_blocks += 1;
             let q = &r0.flat[r0.offset..r0.offset + D * BLOCK];
             for w in 0..BLOCK {
                 let mut s = 0.0;
@@ -371,6 +393,7 @@ fn relax_rows_fixed<const D: usize>(
         for w in 0..BLOCK {
             hit |= !sq_beats_threshold(dsq[w], dv[w]);
         }
+        elided_blocks += u64::from(!hit);
         if hit {
             for w in 0..BLOCK {
                 if !sq_beats_threshold(dsq[w], dists[i + w]) {
@@ -400,6 +423,13 @@ fn relax_rows_fixed<const D: usize>(
             }
         }
         consider_max(&mut best, ii, dists[ii]);
+    }
+    if diversity_obs::enabled() {
+        diversity_obs::count("kernel.distances", n as u64);
+        diversity_obs::count("kernel.blocks.total", total_blocks);
+        diversity_obs::count("kernel.blocks.fast", fast_blocks);
+        diversity_obs::count("kernel.blocks.elided", elided_blocks);
+        diversity_obs::count("kernel.relax_fused_rounds", 1);
     }
     best
 }
@@ -436,9 +466,13 @@ fn many_rows_fixed<const D: usize>(p: &[f64], rows: &[DenseRow<'_>], out: &mut [
     let c: &[f64; D] = p[..D].try_into().expect("dim checked by caller");
     let n = rows.len();
     let mut i = 0;
+    let mut fast_blocks = 0u64;
+    let mut total_blocks = 0u64;
     while i + BLOCK <= n {
         let r0 = &rows[i];
+        total_blocks += 1;
         if block_is_run::<D>(rows, i, r0.flat, r0.offset) {
+            fast_blocks += 1;
             let q = &r0.flat[r0.offset..r0.offset + D * BLOCK];
             for w in 0..BLOCK {
                 let mut s = 0.0;
@@ -457,6 +491,11 @@ fn many_rows_fixed<const D: usize>(p: &[f64], rows: &[DenseRow<'_>], out: &mut [
     }
     for ii in i..n {
         out[ii] = l2_sq_fixed::<D>(p, rows[ii].coords()).sqrt();
+    }
+    if diversity_obs::enabled() {
+        diversity_obs::count("kernel.distances", n as u64);
+        diversity_obs::count("kernel.blocks.total", total_blocks);
+        diversity_obs::count("kernel.blocks.fast", fast_blocks);
     }
 }
 

@@ -33,19 +33,16 @@ pub const PAR_MIN_WORK: usize = 16_384;
 fn configured_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        if let Ok(s) = std::env::var("DIVMAX_THREADS") {
-            if let Ok(n) = s.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Strict parse: garbage values are rejected loudly (once, via
+        // the obs layer) instead of silently running at the default.
+        diversity_obs::env::positive_usize("DIVMAX_THREADS", default)
     })
 }
 
-/// The thread budget: `DIVMAX_THREADS` if set, else the machine's
-/// available parallelism (cached after the first call).
+/// The thread budget: `DIVMAX_THREADS` if set to a valid positive
+/// integer (invalid values warn once and are ignored), else the
+/// machine's available parallelism (cached after the first call).
 pub fn num_threads() -> usize {
     configured_threads()
 }

@@ -97,6 +97,10 @@ pub trait Metric<P: ?Sized>: Send + Sync {
                 assignment[i] = cj;
             }
         }
+        // The scalar fallback still fuses the argmax into the round,
+        // but records itself as non-kernel so the fused-argmax hit
+        // ratio in `gmm.*` reflects batch-kernel coverage.
+        diversity_obs::count("kernel.relax_scalar_rounds", 1);
         crate::argmax(dists).map(|i| (i, dists[i]))
     }
 

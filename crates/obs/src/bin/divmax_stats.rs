@@ -1,0 +1,115 @@
+//! `divmax-stats` — pretty-print a `DIVMAX_OBS` JSONL export (or a
+//! serialized `Snapshot`) as a human-readable table.
+//!
+//! ```text
+//! divmax-stats METRICS.jsonl                      # render the table
+//! divmax-stats METRICS.jsonl --assert-keys a,b,c  # CI: exit 1 unless
+//!                                                 # every named metric
+//!                                                 # is present
+//! ```
+//!
+//! Each appended dump is a *cumulative* snapshot of its recorder, so
+//! aggregation is last-wins per metric name: the table shows the most
+//! recent state of every metric ever exported to the file.
+
+use diversity_obs::{CounterEntry, GaugeEntry, HistogramEntry, JsonLine, Snapshot};
+
+fn usage() -> ! {
+    eprintln!("usage: divmax-stats <metrics.jsonl> [--assert-keys name,name,...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut assert_keys: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert-keys" => {
+                i += 1;
+                let Some(list) = args.get(i) else { usage() };
+                assert_keys.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "-h" | "--help" => usage(),
+            arg if path.is_none() => path = Some(arg.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { usage() };
+
+    // A JSONL export is the common input; a whole-`Snapshot` JSON file
+    // (e.g. the `telemetry` field cut out of a Report) also works.
+    let snap = match diversity_obs::read_jsonl(std::path::Path::new(&path)) {
+        Ok(lines) => aggregate(lines),
+        Err(jsonl_err) => match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Snapshot>(&text).ok())
+        {
+            Some(snap) => snap,
+            None => {
+                eprintln!("divmax-stats: cannot read {path}: {jsonl_err}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    print!("{}", snap.render());
+
+    let mut missing: Vec<&String> = assert_keys
+        .iter()
+        .filter(|k| {
+            snap.counter(k).is_none() && snap.gauge(k).is_none() && snap.histogram(k).is_none()
+        })
+        .collect();
+    missing.sort();
+    if !missing.is_empty() {
+        eprintln!(
+            "divmax-stats: missing expected metrics: {}",
+            missing
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Folds exported lines into one snapshot, last-wins per name (each
+/// dump appended to the file is cumulative already).
+fn aggregate(lines: Vec<JsonLine>) -> Snapshot {
+    let mut counters: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut gauges: std::collections::BTreeMap<String, i64> = Default::default();
+    let mut hists: std::collections::BTreeMap<String, diversity_obs::HistogramSnapshot> =
+        Default::default();
+    for line in lines {
+        match (line.kind.as_str(), line.histogram) {
+            ("counter", _) => {
+                counters.insert(line.name, u64::try_from(line.value).unwrap_or(0));
+            }
+            ("gauge", _) => {
+                gauges.insert(line.name, line.value);
+            }
+            ("histogram", Some(hist)) => {
+                hists.insert(line.name, hist);
+            }
+            _ => {}
+        }
+    }
+    let mut snap = Snapshot::new();
+    snap.counters = counters
+        .into_iter()
+        .map(|(name, value)| CounterEntry { name, value })
+        .collect();
+    snap.gauges = gauges
+        .into_iter()
+        .map(|(name, value)| GaugeEntry { name, value })
+        .collect();
+    snap.histograms = hists
+        .into_iter()
+        .map(|(name, hist)| HistogramEntry { name, hist })
+        .collect();
+    snap
+}

@@ -1,0 +1,112 @@
+//! Strict environment-knob parsing with warn-once reporting.
+//!
+//! The workspace's tuning knobs (`DIVMAX_THREADS`, `SERVE_CHURN_OPS`)
+//! used to fall back silently on garbage values — a typo like
+//! `DIVMAX_THREADS=fourteen` quietly ran single-threaded-by-default
+//! and skewed every benchmark. Parsing is now strict: a set-but-invalid
+//! value is *rejected*, reported once per variable (a line on stderr
+//! plus the `env.invalid_value` counter and a per-variable
+//! `env.invalid.<NAME>` counter through the installed recorder), and
+//! replaced by the documented default.
+//!
+//! The pure parser [`parse_positive_usize`] is separated from the
+//! env-reading wrapper so the rejection paths are unit-testable
+//! without mutating process-global environment state (which races
+//! under the parallel test runner).
+
+use std::sync::Mutex;
+
+/// Variables already warned about (process lifetime).
+static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Strictly parses a positive (`>= 1`) `usize` knob value: leading and
+/// trailing whitespace is tolerated, anything else — empty strings,
+/// signs, zero, non-digits, overflow — is an error describing the
+/// rejection.
+pub fn parse_positive_usize(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".into());
+    }
+    // `usize::parse` tolerates a leading `+`; a strict knob does not.
+    if !trimmed.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("not a positive integer: `{trimmed}`"));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("must be >= 1".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("not a positive integer: `{trimmed}`")),
+    }
+}
+
+/// Reads env knob `name` as a positive `usize`: `default` when unset;
+/// strict-parsed when set, with invalid values rejected via
+/// [`report_invalid`] (warn once, count always) and replaced by
+/// `default`.
+pub fn positive_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => positive_usize_value(name, &raw, default),
+    }
+}
+
+/// The testable core of [`positive_usize`]: decides on an
+/// already-fetched raw value.
+pub fn positive_usize_value(name: &str, raw: &str, default: usize) -> usize {
+    match parse_positive_usize(raw) {
+        Ok(n) => n,
+        Err(why) => {
+            report_invalid(name, raw, &why, default);
+            default
+        }
+    }
+}
+
+/// Reports a rejected knob value: increments the `env.invalid_value`
+/// and `env.invalid.<NAME>` counters on the installed recorder every
+/// time, and prints one stderr warning per variable per process.
+pub fn report_invalid(name: &str, raw: &str, why: &str, default: usize) {
+    crate::count("env.invalid_value", 1);
+    crate::count(&format!("env.invalid.{name}"), 1);
+    let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    if !warned.iter().any(|w| w == name) {
+        warned.push(name.to_string());
+        eprintln!("[divmax-obs] ignoring invalid {name}={raw:?} ({why}); using default {default}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(parse_positive_usize("1"), Ok(1));
+        assert_eq!(parse_positive_usize("64"), Ok(64));
+        assert_eq!(parse_positive_usize("  8  "), Ok(8));
+    }
+
+    #[test]
+    fn rejection_paths() {
+        for bad in ["", "   ", "0", "-3", "+2", "1.5", "fourteen", "8 threads"] {
+            assert!(
+                parse_positive_usize(bad).is_err(),
+                "accepted garbage value {bad:?}"
+            );
+        }
+        // usize overflow is a rejection, not a wrap.
+        assert!(parse_positive_usize("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn invalid_value_falls_back_to_default() {
+        assert_eq!(positive_usize_value("TEST_KNOB_A", "garbage", 7), 7);
+        assert_eq!(positive_usize_value("TEST_KNOB_A", "0", 7), 7);
+        assert_eq!(positive_usize_value("TEST_KNOB_A", "12", 7), 12);
+    }
+
+    #[test]
+    fn unset_variable_is_the_default_not_a_warning() {
+        assert_eq!(positive_usize("DIVMAX_OBS_NO_SUCH_VAR_12345", 3), 3);
+    }
+}

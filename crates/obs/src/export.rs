@@ -1,0 +1,156 @@
+//! The offline sink: a JSON-lines exporter gated by the `DIVMAX_OBS`
+//! environment variable.
+//!
+//! Every metric becomes one self-contained [`JsonLine`] appended to
+//! the target file, so long-running harnesses (the churn stress, CI
+//! smokes) can dump successive snapshots into one file and an offline
+//! tool — `divmax-stats`, or anything that reads JSON lines — can
+//! aggregate them later. Lines carry a uniform shape (the vendored
+//! serde requires every field present), with `histogram: null` on
+//! counter/gauge lines.
+
+use crate::histogram::HistogramSnapshot;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The environment variable naming the JSONL export path.
+pub const ENV_VAR: &str = "DIVMAX_OBS";
+
+/// One exported metric: the uniform JSONL line shape.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JsonLine {
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: String,
+    /// Metric name.
+    pub name: String,
+    /// Counter/gauge value (counters are non-negative); 0 for
+    /// histograms.
+    pub value: i64,
+    /// Histogram state; `null` for counters and gauges.
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// Flattens a snapshot into its JSONL lines, in snapshot order
+/// (counters, then gauges, then histograms; each sorted by name).
+pub fn to_lines(snap: &Snapshot) -> Vec<JsonLine> {
+    let mut lines = Vec::new();
+    for c in &snap.counters {
+        lines.push(JsonLine {
+            kind: "counter".into(),
+            name: c.name.clone(),
+            value: i64::try_from(c.value).unwrap_or(i64::MAX),
+            histogram: None,
+        });
+    }
+    for g in &snap.gauges {
+        lines.push(JsonLine {
+            kind: "gauge".into(),
+            name: g.name.clone(),
+            value: g.value,
+            histogram: None,
+        });
+    }
+    for h in &snap.histograms {
+        lines.push(JsonLine {
+            kind: "histogram".into(),
+            name: h.name.clone(),
+            value: 0,
+            histogram: Some(h.hist.clone()),
+        });
+    }
+    lines
+}
+
+/// Appends one JSONL line per metric in `snap` to `path` (creating the
+/// file if needed).
+pub fn export_jsonl(snap: &Snapshot, path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut buf = String::new();
+    for line in to_lines(snap) {
+        buf.push_str(&serde_json::to_string(&line).map_err(std::io::Error::other)?);
+        buf.push('\n');
+    }
+    file.write_all(buf.as_bytes())
+}
+
+/// The `DIVMAX_OBS` path, if set to a non-empty value.
+pub fn env_path() -> Option<PathBuf> {
+    std::env::var(ENV_VAR)
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from)
+}
+
+/// Appends `snap` to the `DIVMAX_OBS` path when the variable is set;
+/// returns whether anything was written. The no-variable case is the
+/// common one and costs one env lookup.
+pub fn export_to_env_path(snap: &Snapshot) -> std::io::Result<bool> {
+    match env_path() {
+        Some(path) => export_jsonl(snap, &path).map(|()| true),
+        None => Ok(false),
+    }
+}
+
+/// Reads a JSONL export back: one [`JsonLine`] per non-empty line.
+/// Fails on the first malformed line — the CI smoke uses this as the
+/// "output parses" assertion.
+pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<JsonLine>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: JsonLine = serde_json::from_str(line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", i + 1),
+            )
+        })?;
+        lines.push(parsed);
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, Registry};
+
+    #[test]
+    fn jsonl_roundtrips_through_a_file() {
+        let r = Registry::new();
+        r.count("gmm.rounds", 7);
+        r.gauge_set("pool.occupancy", -1);
+        r.observe("query_ns", 12_345);
+        let snap = r.snapshot();
+
+        let path = std::env::temp_dir().join(format!("obs_jsonl_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        export_jsonl(&snap, &path).unwrap();
+        export_jsonl(&snap, &path).unwrap(); // appends, still parses
+        let lines = read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0].kind, "counter");
+        assert_eq!(lines[0].name, "gmm.rounds");
+        assert_eq!(lines[0].value, 7);
+        let hist = lines[2].histogram.as_ref().unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.max, 12_345);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let path = std::env::temp_dir().join(format!("obs_bad_{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"kind\":\"counter\"}\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,401 @@
+//! The log2-bucketed latency/size histogram.
+//!
+//! The design target is the paper's experimental tables: update-time
+//! and query-time *distributions* (p50/p90/p99), not just means — the
+//! successor dynamic-engine papers (arXiv 2302.07771) evaluate entirely
+//! on amortized update-time distributions, so the repro needs the same
+//! lens. The constraints are those of a hot-path metrics layer:
+//!
+//! * **O(1) record** with no allocation after warm-up;
+//! * **mergeable**: per-thread histograms combine by bucket-wise
+//!   addition, exactly associative and commutative, so concurrent
+//!   recorders aggregate without sharing a cache line;
+//! * **bounded error**: each power of two is split into
+//!   2^[`SUB_BITS`] linear sub-buckets, so any recorded value lands in
+//!   a bucket whose lower boundary is within `1/2^SUB_BITS` (6.25%)
+//!   of it — and every power of two is *exactly* a bucket boundary;
+//! * **exact extremes**: `count`, `sum`, `min` and `max` are tracked
+//!   exactly alongside the buckets, so `quantile(1.0)` is the true
+//!   maximum, not a bucket edge.
+//!
+//! Values are unitless `u64`s; by convention the instrumented crates
+//! record nanoseconds for spans and raw counts for sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution: each power of two is split into
+/// `2^SUB_BITS = 16` linear sub-buckets (≤ 6.25% relative error).
+pub const SUB_BITS: u32 = 4;
+
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Maps a value to its bucket index. Monotone in `value`; values below
+/// `2^SUB_BITS` get exact singleton buckets.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT {
+        return value as usize;
+    }
+    let b = 63 - value.leading_zeros(); // floor(log2), >= SUB_BITS
+    let octave = (b - SUB_BITS + 1) as u64;
+    let offset = (value >> (b - SUB_BITS)) - SUB_COUNT; // 0..SUB_COUNT
+    (octave * SUB_COUNT + offset) as usize
+}
+
+/// Inverse of [`bucket_index`]: the smallest value mapping to `index`.
+/// In particular `bucket_low(bucket_index(1 << k)) == 1 << k` for every
+/// `k` — powers of two are exact bucket boundaries.
+#[inline]
+pub fn bucket_low(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        return index;
+    }
+    let octave = index >> SUB_BITS; // >= 1
+    let offset = index & (SUB_COUNT - 1);
+    (SUB_COUNT + offset) << (octave - 1)
+}
+
+/// A mergeable log2-bucketed histogram with exact count/sum/min/max.
+///
+/// `record` is O(1); `merge` is bucket-wise saturating addition and is
+/// exactly associative and commutative (the property tests in
+/// `tests/histogram_props.rs` pin this), which is what lets per-thread
+/// recorders aggregate into one [`Snapshot`](crate::Snapshot) without
+/// hot-path contention. Quantiles resolve to the lower boundary of the
+/// containing bucket (≤ 6.25% relative error), except `quantile(1.0)`,
+/// which returns the exact maximum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Dense bucket counts; grown on demand, highest bucket non-zero.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` at once.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition). Associative
+    /// and commutative, so merge order never changes the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(o);
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the lower boundary of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation, clamped
+    /// to `[min, max]`. `quantile(1.0)` is the exact maximum;
+    /// monotone in `q`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_impl(
+            self.count,
+            self.min(),
+            self.max(),
+            q,
+            self.buckets.iter().enumerate().map(|(i, &c)| (i, c)),
+        )
+    }
+
+    /// Shorthand for `quantile(0.5)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Shorthand for `quantile(0.9)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// Shorthand for `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Condenses into the serde-able sparse wire form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| Bucket {
+                    index: i as u64,
+                    low: bucket_low(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a dense histogram from a snapshot (inverse of
+    /// [`Histogram::snapshot`]).
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let mut buckets = Vec::new();
+        for b in &snap.buckets {
+            let idx = b.index as usize;
+            if idx >= buckets.len() {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] = b.count;
+        }
+        Self {
+            buckets,
+            count: snap.count,
+            sum: snap.sum,
+            min: snap.min,
+            max: snap.max,
+        }
+    }
+}
+
+/// Shared quantile walk over `(index, count)` pairs in ascending index
+/// order — used by both the dense and the sparse (snapshot) forms.
+fn quantile_impl(
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+    buckets: impl Iterator<Item = (usize, u64)>,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    if rank == count {
+        return max;
+    }
+    let mut seen = 0u64;
+    for (i, c) in buckets {
+        seen = seen.saturating_add(c);
+        if seen >= rank {
+            return bucket_low(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]. `low` is redundant
+/// with `index` (it is `bucket_low(index)`) but makes the exported
+/// JSONL self-describing for offline analysis.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bucket index (see [`bucket_index`]).
+    pub index: u64,
+    /// Smallest value mapping to this bucket (see [`bucket_low`]).
+    pub low: u64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// The serde-able sparse form of a [`Histogram`]: only non-empty
+/// buckets, ascending by index, plus the exact count/sum/min/max.
+/// This is the wire format pinned in `tests/task_serde.rs`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Same contract as [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_impl(
+            self.count,
+            self.min,
+            self.max,
+            q,
+            self.buckets.iter().map(|b| (b.index as usize, b.count)),
+        )
+    }
+
+    /// Shorthand for `quantile(0.5)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Shorthand for `quantile(0.9)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// Shorthand for `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` in via the dense form's exact merge.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut dense = Histogram::from_snapshot(self);
+        dense.merge(&Histogram::from_snapshot(other));
+        *self = dense.snapshot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.quantile(q);
+            assert_eq!(bucket_low(bucket_index(v)), v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_low_is_inverse() {
+        let mut values: Vec<u64> = (0..63u32)
+            .flat_map(|k| [(1u64 << k).saturating_sub(1), 1 << k, (1 << k) + 1])
+            .chain([u64::MAX])
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            assert!(bucket_low(i) <= v, "low({i}) <= {v}");
+            let rel = (v - bucket_low(i)) as f64 / v.max(1) as f64;
+            assert!(rel <= 1.0 / SUB_COUNT as f64 + 1e-12);
+        }
+        for k in 0..63u32 {
+            assert_eq!(bucket_low(bucket_index(1 << k)), 1 << k);
+        }
+    }
+
+    #[test]
+    fn p99_sees_the_tail() {
+        let mut h = Histogram::new();
+        h.record_n(100, 985);
+        h.record_n(10_000, 15);
+        assert!(h.p50() <= 110);
+        assert!(h.p99() >= 9_000, "p99 {} missed the tail", h.p99());
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+}

@@ -1,0 +1,336 @@
+//! The [`Recorder`] trait and its two built-in implementations: the
+//! thread-safe [`Registry`] (install one globally) and the
+//! single-thread [`LocalRecorder`] (per-worker recording that merges
+//! into an aggregate at a join point, for hot loops where even an
+//! uncontended atomic is too much sharing).
+
+use crate::histogram::Histogram;
+use crate::snapshot::{CounterEntry, GaugeEntry, HistogramEntry, Snapshot};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// A sink for metric events.
+///
+/// Names are dot-separated lowercase paths (`serve.query.e2e_ns`); by
+/// convention histograms of durations carry a `_ns` suffix and record
+/// nanoseconds. A name is bound to the kind that first records under
+/// it — events of another kind under the same name are ignored rather
+/// than panicking, since metrics must never take a process down.
+///
+/// The trait is object-safe and deliberately *not* `Send + Sync` by
+/// itself: [`install`](crate::install) adds those bounds, while the
+/// [`LocalRecorder`] stays single-threaded and lock-free.
+pub trait Recorder {
+    /// Adds `delta` to the counter `name`.
+    fn count(&self, name: &str, delta: u64);
+    /// Sets the gauge `name` to `value`.
+    fn gauge_set(&self, name: &str, value: i64);
+    /// Adds `delta` (possibly negative) to the gauge `name`.
+    fn gauge_add(&self, name: &str, delta: i64);
+    /// Records `value` into the histogram `name`.
+    fn observe(&self, name: &str, value: u64);
+    /// A point-in-time copy of everything recorded so far.
+    fn snapshot(&self) -> Snapshot;
+}
+
+enum Slot {
+    Counter(AtomicU64),
+    Gauge(AtomicI64),
+    Hist(Mutex<Histogram>),
+}
+
+/// The thread-safe default recorder: a registry of named counters,
+/// gauges and histograms behind one `RwLock`-ed map.
+///
+/// The map lock is held only for lookup/insert; counters and gauges
+/// are atomics (one RMW per event) and each histogram has its own
+/// mutex, so unrelated metrics never contend. For the hottest
+/// fan-out loops, prefer a [`LocalRecorder`] per worker merged at the
+/// join — the concurrency test in `tests/concurrency.rs` pins that
+/// both routes produce the identical [`Snapshot`].
+#[derive(Default)]
+pub struct Registry {
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` on the slot for `name`, creating it with `make` first
+    /// if absent (double-checked under the write lock).
+    fn with_slot<R>(&self, name: &str, make: impl FnOnce() -> Slot, f: impl Fn(&Slot) -> R) -> R {
+        {
+            let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(slot) = slots.get(name) {
+                return f(slot);
+            }
+        }
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        let slot = slots.entry(name.to_string()).or_insert_with(make);
+        f(slot)
+    }
+
+    /// Inherent alias for [`Recorder::snapshot`], so holders of a
+    /// concrete `Arc<Registry>` can snapshot without importing the
+    /// trait.
+    pub fn snapshot_now(&self) -> Snapshot {
+        Recorder::snapshot(self)
+    }
+
+    /// Folds a finished [`Snapshot`] (e.g. from a per-thread
+    /// [`LocalRecorder`]) into this registry: counters and gauges add,
+    /// histograms merge.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for c in &snap.counters {
+            self.count(&c.name, c.value);
+        }
+        for g in &snap.gauges {
+            self.gauge_add(&g.name, g.value);
+        }
+        for h in &snap.histograms {
+            self.with_slot(
+                &h.name,
+                || Slot::Hist(Mutex::new(Histogram::new())),
+                |slot| {
+                    if let Slot::Hist(m) = slot {
+                        m.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .merge(&Histogram::from_snapshot(&h.hist));
+                    }
+                },
+            );
+        }
+    }
+}
+
+impl Recorder for Registry {
+    fn count(&self, name: &str, delta: u64) {
+        self.with_slot(
+            name,
+            || Slot::Counter(AtomicU64::new(0)),
+            |slot| {
+                if let Slot::Counter(c) = slot {
+                    c.fetch_add(delta, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+
+    fn gauge_set(&self, name: &str, value: i64) {
+        self.with_slot(
+            name,
+            || Slot::Gauge(AtomicI64::new(0)),
+            |slot| {
+                if let Slot::Gauge(g) = slot {
+                    g.store(value, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+
+    fn gauge_add(&self, name: &str, delta: i64) {
+        self.with_slot(
+            name,
+            || Slot::Gauge(AtomicI64::new(0)),
+            |slot| {
+                if let Slot::Gauge(g) = slot {
+                    g.fetch_add(delta, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        self.with_slot(
+            name,
+            || Slot::Hist(Mutex::new(Histogram::new())),
+            |slot| {
+                if let Slot::Hist(m) = slot {
+                    m.lock().unwrap_or_else(|e| e.into_inner()).record(value);
+                }
+            },
+        );
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        let mut snap = Snapshot::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => snap.counters.push(CounterEntry {
+                    name: name.clone(),
+                    value: c.load(Ordering::Relaxed),
+                }),
+                Slot::Gauge(g) => snap.gauges.push(GaugeEntry {
+                    name: name.clone(),
+                    value: g.load(Ordering::Relaxed),
+                }),
+                Slot::Hist(m) => snap.histograms.push(HistogramEntry {
+                    name: name.clone(),
+                    hist: m.lock().unwrap_or_else(|e| e.into_inner()).snapshot(),
+                }),
+            }
+        }
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+}
+
+enum LocalSlot {
+    Counter(u64),
+    Gauge(i64),
+    Hist(Histogram),
+}
+
+/// A single-thread recorder: plain map, no atomics, no locks. Not
+/// `Sync`, so it cannot be installed globally — hand one to each
+/// worker, then [`merge`](Snapshot::merge) or
+/// [`absorb`](Registry::absorb) the snapshots at the join point. The
+/// aggregate equals what one shared recorder would have seen (counters
+/// and histograms are order-independent; for gauges, use `gauge_add`).
+#[derive(Default)]
+pub struct LocalRecorder {
+    slots: RefCell<HashMap<String, LocalSlot>>,
+}
+
+impl LocalRecorder {
+    /// An empty local recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the recorder into its snapshot.
+    pub fn into_snapshot(self) -> Snapshot {
+        self.snapshot()
+    }
+}
+
+impl Recorder for LocalRecorder {
+    fn count(&self, name: &str, delta: u64) {
+        let mut slots = self.slots.borrow_mut();
+        if let LocalSlot::Counter(c) = slots
+            .entry(name.to_string())
+            .or_insert(LocalSlot::Counter(0))
+        {
+            *c = c.saturating_add(delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: i64) {
+        let mut slots = self.slots.borrow_mut();
+        if let LocalSlot::Gauge(g) = slots.entry(name.to_string()).or_insert(LocalSlot::Gauge(0)) {
+            *g = value;
+        }
+    }
+
+    fn gauge_add(&self, name: &str, delta: i64) {
+        let mut slots = self.slots.borrow_mut();
+        if let LocalSlot::Gauge(g) = slots.entry(name.to_string()).or_insert(LocalSlot::Gauge(0)) {
+            *g = g.saturating_add(delta);
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        let mut slots = self.slots.borrow_mut();
+        if let LocalSlot::Hist(h) = slots
+            .entry(name.to_string())
+            .or_insert_with(|| LocalSlot::Hist(Histogram::new()))
+        {
+            h.record(value);
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.borrow();
+        let mut snap = Snapshot::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                LocalSlot::Counter(c) => snap.counters.push(CounterEntry {
+                    name: name.clone(),
+                    value: *c,
+                }),
+                LocalSlot::Gauge(g) => snap.gauges.push(GaugeEntry {
+                    name: name.clone(),
+                    value: *g,
+                }),
+                LocalSlot::Hist(h) => snap.histograms.push(HistogramEntry {
+                    name: name.clone(),
+                    hist: h.snapshot(),
+                }),
+            }
+        }
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_records_all_three_kinds() {
+        let r = Registry::new();
+        r.count("c", 2);
+        r.count("c", 3);
+        r.gauge_set("g", 7);
+        r.gauge_add("g", -2);
+        r.observe("h", 100);
+        r.observe("h", 200);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(5));
+        assert_eq!(s.gauge("g"), Some(5));
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 200);
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_fatal() {
+        let r = Registry::new();
+        r.count("x", 1);
+        r.observe("x", 99); // wrong kind: dropped
+        r.gauge_set("x", -5); // wrong kind: dropped
+        let s = r.snapshot();
+        assert_eq!(s.counter("x"), Some(1));
+        assert!(s.histogram("x").is_none());
+        assert!(s.gauge("x").is_none());
+    }
+
+    #[test]
+    fn local_recorder_matches_registry() {
+        let local = LocalRecorder::new();
+        let shared = Registry::new();
+        for r in [&local as &dyn Recorder, &shared as &dyn Recorder] {
+            r.count("ops", 4);
+            r.observe("lat", 10);
+            r.observe("lat", 30);
+            r.gauge_add("size", 6);
+        }
+        assert_eq!(local.into_snapshot(), shared.snapshot());
+    }
+
+    #[test]
+    fn absorb_equals_direct_recording() {
+        let direct = Registry::new();
+        let local = LocalRecorder::new();
+        for i in 0..10u64 {
+            direct.count("n", 1);
+            direct.observe("v", i * 100);
+            local.count("n", 1);
+            local.observe("v", i * 100);
+        }
+        let via_absorb = Registry::new();
+        via_absorb.absorb(&local.into_snapshot());
+        assert_eq!(via_absorb.snapshot(), direct.snapshot());
+    }
+}

@@ -1,0 +1,247 @@
+//! The in-memory sink: a point-in-time, serde-able [`Snapshot`] of
+//! every metric a recorder has seen.
+//!
+//! Snapshots are *mergeable* — counters and gauges add, histograms
+//! merge bucket-wise — so per-thread [`LocalRecorder`]s fold into one
+//! aggregate with plain data operations, off the hot path. Entries are
+//! kept sorted by name, which makes the JSON wire format deterministic
+//! (it is pinned in `tests/task_serde.rs`) and `merge` order-independent.
+//!
+//! [`LocalRecorder`]: crate::LocalRecorder
+
+use crate::histogram::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One named counter value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name (dot-separated, e.g. `gmm.rounds`).
+    pub name: String,
+    /// Monotonic total.
+    pub value: u64,
+}
+
+/// One named gauge value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name (e.g. `serve.pool0.shard2.occupancy`).
+    pub name: String,
+    /// Last set (or accumulated) value.
+    pub value: i64,
+}
+
+/// One named histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name (e.g. `serve.query.e2e_ns`).
+    pub name: String,
+    /// The sparse histogram state.
+    pub hist: HistogramSnapshot,
+}
+
+/// A point-in-time view of every metric a recorder holds, sorted by
+/// name within each kind. Serde-able (the wire format is pinned), and
+/// mergeable: counters/gauges add, histograms merge exactly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotonic counters, ascending by name.
+    pub counters: Vec<CounterEntry>,
+    /// Point-in-time gauges, ascending by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Latency/size histograms, ascending by name.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl Snapshot {
+    /// A snapshot with no metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter total by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].value)
+    }
+
+    /// Looks up a gauge value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].value)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].hist)
+    }
+
+    /// Sums every gauge whose name starts with `prefix` — e.g. the
+    /// per-shard occupancy gauges of one pool, whose sum must equal the
+    /// pool's live point count at a quiescent point.
+    pub fn gauge_prefix_sum(&self, prefix: &str) -> i64 {
+        self.gauges
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// Folds `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise. Associative and commutative, so any fold
+    /// order over per-thread snapshots yields the same aggregate.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for c in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|e| e.name.as_str().cmp(&c.name))
+            {
+                Ok(i) => {
+                    self.counters[i].value = self.counters[i].value.saturating_add(c.value);
+                }
+                // Insert in place: the sorted invariant must hold for
+                // the next iteration's binary search.
+                Err(pos) => self.counters.insert(pos, c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self
+                .gauges
+                .binary_search_by(|e| e.name.as_str().cmp(&g.name))
+            {
+                Ok(i) => self.gauges[i].value = self.gauges[i].value.saturating_add(g.value),
+                Err(pos) => self.gauges.insert(pos, g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|e| e.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => self.histograms[i].hist.merge(&h.hist),
+                Err(pos) => self.histograms.insert(pos, h.clone()),
+            }
+        }
+    }
+
+    /// Renders the snapshot as the human-readable table `divmax-stats`
+    /// prints: one section per kind, histograms with
+    /// count/mean/p50/p90/p99/max.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let w = col_width(self.counters.iter().map(|e| e.name.len()));
+            for e in &self.counters {
+                out.push_str(&format!("  {:w$}  {}\n", e.name, e.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let w = col_width(self.gauges.iter().map(|e| e.name.len()));
+            for e in &self.gauges {
+                out.push_str(&format!("  {:w$}  {}\n", e.name, e.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = col_width(self.histograms.iter().map(|e| e.name.len()));
+            out.push_str(&format!(
+                "histograms\n  {:w$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "count", "mean", "p50", "p90", "p99", "max"
+            ));
+            for e in &self.histograms {
+                let h = &e.hist;
+                out.push_str(&format!(
+                    "  {:w$}  {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}\n",
+                    e.name,
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty snapshot)\n");
+        }
+        out
+    }
+}
+
+fn col_width(lens: impl Iterator<Item = usize>) -> usize {
+    lens.max().unwrap_or(4).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counters: &[(&str, u64)]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for &(name, value) in counters {
+            s.counters.push(CounterEntry {
+                name: name.into(),
+                value,
+            });
+        }
+        s.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        s
+    }
+
+    #[test]
+    fn merge_adds_and_keeps_sorted() {
+        let mut a = snap(&[("b", 1), ("d", 2)]);
+        let b = snap(&[("a", 10), ("b", 5)]);
+        a.merge(&b);
+        let names: Vec<&str> = a.counters.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "d"]);
+        assert_eq!(a.counter("b"), Some(6));
+        assert_eq!(a.counter("a"), Some(10));
+        assert_eq!(a.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauge_prefix_sum_scopes_by_prefix() {
+        let mut s = Snapshot::new();
+        for (name, value) in [("p0.shard0", 3), ("p0.shard1", 4), ("p1.shard0", 9)] {
+            s.gauges.push(GaugeEntry {
+                name: name.into(),
+                value,
+            });
+        }
+        s.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(s.gauge_prefix_sum("p0."), 7);
+        assert_eq!(s.gauge_prefix_sum("p1."), 9);
+        assert_eq!(s.gauge_prefix_sum(""), 16);
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let mut s = snap(&[("gmm.rounds", 12)]);
+        s.histograms.push(HistogramEntry {
+            name: "q_ns".into(),
+            hist: {
+                let mut h = crate::Histogram::new();
+                h.record(100);
+                h.snapshot()
+            },
+        });
+        let table = s.render();
+        assert!(table.contains("gmm.rounds"));
+        assert!(table.contains("q_ns"));
+        assert!(table.contains("p99"));
+    }
+}

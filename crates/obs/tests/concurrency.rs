@@ -1,0 +1,74 @@
+//! The contention-free aggregation contract: per-thread
+//! [`LocalRecorder`]s merged at a join point produce *exactly* the
+//! snapshot a single shared recorder would have produced for the same
+//! operations — which is what lets hot fan-out loops (churn readers,
+//! GMM workers) record without sharing a cache line.
+
+use diversity_obs::{LocalRecorder, Recorder, Registry, Snapshot};
+
+/// A deterministic per-thread op script: counters, gauges (adds only —
+/// `gauge_set` is last-write-wins and so inherently order-dependent),
+/// and histogram observations.
+fn run_script(r: &dyn Recorder, thread: u64, ops: u64) {
+    for i in 0..ops {
+        let x = thread * 1_000 + i;
+        r.count("ops.total", 1);
+        r.count(&format!("ops.thread_kind_{}", thread % 3), 2);
+        r.gauge_add("inflight", if i % 2 == 0 { 3 } else { -1 });
+        r.observe("latency_ns", x * 37 % 50_000);
+        r.observe(&format!("latency_kind_{}_ns", thread % 2), x % 1_000);
+    }
+}
+
+#[test]
+fn per_thread_merge_equals_single_threaded() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 500;
+
+    // Route A: one shared thread-safe registry, truly concurrent.
+    let shared = Registry::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = &shared;
+            s.spawn(move || run_script(shared, t, OPS));
+        }
+    });
+
+    // Route B: per-thread local recorders, merged at the join — in
+    // reverse order, to exercise merge-order independence.
+    let locals: Vec<Snapshot> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                s.spawn(move || {
+                    let local = LocalRecorder::new();
+                    run_script(&local, t, OPS);
+                    local.into_snapshot()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = Snapshot::new();
+    for snap in locals.iter().rev() {
+        merged.merge(snap);
+    }
+
+    assert_eq!(
+        merged,
+        shared.snapshot_now(),
+        "merged per-thread snapshots must equal the shared recorder"
+    );
+
+    // And absorbing the locals into a registry is the same aggregate.
+    let absorbed = Registry::new();
+    for snap in &locals {
+        absorbed.absorb(snap);
+    }
+    assert_eq!(absorbed.snapshot_now(), merged);
+
+    // Spot-check the aggregate itself.
+    assert_eq!(merged.counter("ops.total"), Some(THREADS * OPS));
+    let h = merged.histogram("latency_ns").unwrap();
+    assert_eq!(h.count, THREADS * OPS);
+    assert!(h.p99() >= h.p50());
+}

@@ -1,0 +1,118 @@
+//! Histogram correctness properties: bucket boundaries exact at powers
+//! of two, merge associativity/commutativity, quantile monotonicity,
+//! and snapshot serde round-trips. These are the invariants the whole
+//! observability layer leans on — per-thread merge produces the same
+//! aggregate in any order *because* merge is exactly associative and
+//! commutative.
+
+use diversity_obs::{bucket_index, bucket_low, Histogram, HistogramSnapshot, SUB_BITS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every power of two is exactly a bucket boundary: it is the
+    /// smallest value of its bucket.
+    #[test]
+    fn powers_of_two_are_exact_boundaries(k in 0u32..64) {
+        let v = 1u64 << k;
+        prop_assert_eq!(bucket_low(bucket_index(v)), v);
+        if k > 0 {
+            // ...and the previous value lands strictly below it.
+            prop_assert!(bucket_index(v - 1) < bucket_index(v));
+        }
+    }
+
+    /// `bucket_low` under-approximates within the guaranteed relative
+    /// error, and indexing is monotone.
+    #[test]
+    fn bucket_error_is_bounded(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        let low = bucket_low(i);
+        prop_assert!(low <= v);
+        prop_assert!(bucket_index(low) == i, "low maps back to the same bucket");
+        let err = (v - low) as f64 / (v.max(1)) as f64;
+        prop_assert!(err <= 1.0 / (1u64 << SUB_BITS) as f64 + 1e-12);
+    }
+
+    /// Merge is commutative and associative — per-thread snapshots can
+    /// fold in any order.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associativity");
+
+        // Merging equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&ab_c, &hist_of(&all));
+    }
+
+    /// Quantiles are monotone in `q`, bounded by [min, max], and the
+    /// extremes are exact.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        let h = hist_of(&values);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+        prop_assert_eq!(h.quantile(1.0), hi, "q=1 is the exact max");
+
+        let mut sorted = qs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for q in sorted {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile not monotone at q={q}");
+            prop_assert!((lo..=hi).contains(&v));
+            prev = v;
+        }
+    }
+
+    /// The sparse snapshot is lossless: dense → snapshot → dense is
+    /// the identity, serde round-trips, and quantiles agree.
+    #[test]
+    fn snapshot_roundtrips(values in proptest::collection::vec(0u64..1_000_000_000, 0..100)) {
+        let h = hist_of(&values);
+        let snap = h.snapshot();
+        prop_assert_eq!(&Histogram::from_snapshot(&snap), &h);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &snap);
+
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(snap.quantile(q), h.quantile(q));
+        }
+    }
+}

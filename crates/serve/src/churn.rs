@@ -50,15 +50,14 @@ pub struct ChurnOutcome<P> {
 }
 
 /// Reads the `SERVE_CHURN_OPS` knob: the per-writer insert count for
-/// stress runs, defaulting to `default` when unset or unparsable. CI
-/// smoke sets a small value to bound wall-clock; local stress runs can
-/// raise it without touching the test.
+/// stress runs, defaulting to `default` when unset. CI smoke sets a
+/// small value to bound wall-clock; local stress runs can raise it
+/// without touching the test. Parsing is strict: an invalid value
+/// (empty, zero, signed, non-numeric, overflow) warns once on stderr,
+/// bumps the `env.invalid_value` counter through the observability
+/// layer, and falls back to `default` — it is never silently coerced.
 pub fn env_ops(default: usize) -> usize {
-    std::env::var("SERVE_CHURN_OPS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(default)
-        .max(1)
+    diversity_obs::env::positive_usize("SERVE_CHURN_OPS", default.max(1))
 }
 
 /// Runs one churn round: `writers + readers` scoped threads hammer the

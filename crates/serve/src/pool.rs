@@ -11,7 +11,22 @@ use diversity_mapreduce::MapReduceRuntime;
 use metric::Metric;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Process-wide pool id source: every pool gets a distinct telemetry
+/// namespace (`serve.pool{id}.shard{i}.occupancy`), so concurrently
+/// live pools — parallel tests, blue/green serving — never write each
+/// other's gauges.
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Precomputed per-shard gauge names for one pool: publishing a gauge
+/// on the insert/delete path must not allocate.
+fn occupancy_gauge_names(pool_id: usize, shards: usize) -> Vec<String> {
+    (0..shards)
+        .map(|i| format!("serve.pool{pool_id}.shard{i}.occupancy"))
+        .collect()
+}
 
 /// Bits of a [`ShardedId`] encoding reserved for the per-shard
 /// [`PointId`]; the remaining high bits carry the shard index.
@@ -140,6 +155,10 @@ pub struct ShardPool<P, M> {
     config: DynamicConfig,
     router: Box<dyn Router<P>>,
     runtime: MapReduceRuntime,
+    /// This pool's telemetry namespace (`serve.pool{id}.…`).
+    pool_id: usize,
+    /// Precomputed occupancy gauge names, one per shard.
+    gauge_names: Vec<String>,
 }
 
 impl<P, M> std::fmt::Debug for ShardPool<P, M> {
@@ -176,12 +195,15 @@ where
         let engines = (0..shards)
             .map(|_| RwLock::new(DynamicDiversity::with_config(metric.clone(), config)))
             .collect();
+        let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         Self {
             shards: engines,
             metric,
             config,
             router: Box::new(RoundRobin::new()),
             runtime: MapReduceRuntime::with_threads(1),
+            pool_id,
+            gauge_names: occupancy_gauge_names(pool_id, shards),
         }
     }
 
@@ -200,6 +222,7 @@ where
             !state.shards.is_empty(),
             "a pool checkpoint holds at least one shard"
         );
+        let span = diversity_obs::span("serve.restore_ns");
         let config = DynamicConfig {
             epsilon: state.shards[0].epsilon,
             dim: state.shards[0].dim,
@@ -214,13 +237,25 @@ where
         if let Some(cursor) = state.router {
             Router::<P>::restore(&router, cursor);
         }
-        Self {
+        let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let pool = Self {
+            gauge_names: occupancy_gauge_names(pool_id, shards.len()),
             shards,
             metric,
             config,
             router: Box::new(router),
             runtime: MapReduceRuntime::with_threads(1),
+            pool_id,
+        };
+        drop(span);
+        if diversity_obs::enabled() {
+            // Publish the restored occupancy so the pool's gauges are
+            // correct before any traffic arrives.
+            for (shard, lock) in pool.shards.iter().enumerate() {
+                diversity_obs::gauge_set(&pool.gauge_names[shard], lock.read().len() as i64);
+            }
         }
+        pool
     }
 }
 
@@ -239,6 +274,15 @@ where
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// This pool's telemetry namespace prefix: every per-shard
+    /// occupancy gauge is named `{gauge_prefix()}shard{i}.occupancy`.
+    /// At any quiescent point,
+    /// `Snapshot::gauge_prefix_sum(&pool.gauge_prefix())` equals
+    /// [`len`](Self::len).
+    pub fn gauge_prefix(&self) -> String {
+        format!("serve.pool{}.", self.pool_id)
     }
 
     /// Alive points in shard `shard`.
@@ -276,8 +320,30 @@ where
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn insert_to(&self, shard: usize, point: P) -> ShardedId {
-        let id = self.shards[shard].write().insert(point);
-        ShardedId { shard, id }
+        if diversity_obs::enabled() {
+            let t0 = Instant::now();
+            let mut engine = self.shards[shard].write();
+            let acquired = Instant::now();
+            let id = engine.insert(point);
+            // Publish occupancy before releasing the lock: gauge
+            // updates then land in lock order, so the last writer's
+            // value is the true occupancy (publishing after the drop
+            // would race with the next writer on this shard).
+            diversity_obs::gauge_set(&self.gauge_names[shard], engine.len() as i64);
+            drop(engine);
+            diversity_obs::observe(
+                "serve.lock.write_wait_ns",
+                (acquired - t0).as_nanos() as u64,
+            );
+            diversity_obs::observe(
+                "serve.lock.write_hold_ns",
+                acquired.elapsed().as_nanos() as u64,
+            );
+            ShardedId { shard, id }
+        } else {
+            let id = self.shards[shard].write().insert(point);
+            ShardedId { shard, id }
+        }
     }
 
     /// Inserts many points through the router, returning their handles.
@@ -288,9 +354,29 @@ where
     /// Deletes an alive point; `false` when the handle was already
     /// gone (or its shard index is out of range).
     pub fn delete(&self, id: ShardedId) -> bool {
-        self.shards
-            .get(id.shard)
-            .is_some_and(|s| s.write().delete(id.id))
+        let Some(lock) = self.shards.get(id.shard) else {
+            return false;
+        };
+        if diversity_obs::enabled() {
+            let t0 = Instant::now();
+            let mut engine = lock.write();
+            let acquired = Instant::now();
+            let deleted = engine.delete(id.id);
+            // In lock order, as in `insert_to` — see the note there.
+            diversity_obs::gauge_set(&self.gauge_names[id.shard], engine.len() as i64);
+            drop(engine);
+            diversity_obs::observe(
+                "serve.lock.write_wait_ns",
+                (acquired - t0).as_nanos() as u64,
+            );
+            diversity_obs::observe(
+                "serve.lock.write_hold_ns",
+                acquired.elapsed().as_nanos() as u64,
+            );
+            deleted
+        } else {
+            lock.write().delete(id.id)
+        }
     }
 
     /// The point behind an alive handle, cloned out under the shard's
@@ -334,12 +420,16 @@ where
         problem: Problem,
         k: usize,
         k_prime: usize,
-    ) -> (Vec<Coreset<P>>, usize, usize) {
+    ) -> (Vec<Coreset<P>>, usize, usize, f64) {
         let mut total = 0usize;
         let mut max_shard = 0usize;
+        let mut lock_wait_secs = 0.0f64;
         let mut artifacts = Vec::with_capacity(self.shards.len());
         for (shard, lock) in self.shards.iter().enumerate() {
+            let t0 = Instant::now();
             let engine = lock.read();
+            let acquired = Instant::now();
+            lock_wait_secs += (acquired - t0).as_secs_f64();
             let n_s = engine.len();
             let art = if engine.is_empty() {
                 // A drained shard contributes the merge identity.
@@ -348,6 +438,16 @@ where
                 engine.extract_coreset(problem, k, k_prime)
             };
             drop(engine); // provenance rewrite needs no lock
+            if diversity_obs::enabled() {
+                diversity_obs::observe(
+                    "serve.lock.read_wait_ns",
+                    (acquired - t0).as_nanos() as u64,
+                );
+                diversity_obs::observe(
+                    "serve.lock.read_hold_ns",
+                    acquired.elapsed().as_nanos() as u64,
+                );
+            }
             total += n_s;
             max_shard = max_shard.max(n_s);
             artifacts.push(art.map_sources(|raw| {
@@ -358,7 +458,7 @@ where
                 .encode()
             }));
         }
-        (artifacts, total, max_shard)
+        (artifacts, total, max_shard, lock_wait_secs)
     }
 
     /// The merged warm-path core-set a [`query`](Self::query) for
@@ -367,7 +467,7 @@ where
     /// sources = encoded [`ShardedId`]s. Exposed for certificate
     /// audits (`coreset.certifies(&alive_points, ..)`) and tests.
     pub fn coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
-        let (artifacts, _, _) = self.extract_shards(problem, k, k_prime);
+        let (artifacts, _, _, _) = self.extract_shards(problem, k, k_prime);
         Coreset::merge_all(artifacts).expect("a pool has at least one shard")
     }
 
@@ -395,9 +495,14 @@ where
         let problem = task.problem();
         let k_prime = task.dynamic_k_prime(&self.config)?;
 
+        let e2e = diversity_obs::span("serve.query.e2e_ns");
         let t0 = Instant::now();
-        let (artifacts, total, max_shard) = self.extract_shards(problem, k, k_prime);
+        let (artifacts, total, max_shard, lock_wait_secs) =
+            self.extract_shards(problem, k, k_prime);
         let extract_secs = t0.elapsed().as_secs_f64();
+        if diversity_obs::enabled() {
+            diversity_obs::observe("serve.extract_ns", (extract_secs * 1e9) as u64);
+        }
         if total == 0 {
             return Err(DivError::EmptyInput);
         }
@@ -437,7 +542,10 @@ where
             })
             .collect();
 
-        Ok(Report {
+        // End the e2e span before snapshotting so this very query is
+        // already in the histogram the report carries.
+        drop(e2e);
+        let report = Report {
             problem,
             backend: Backend::ShardedDynamic,
             k,
@@ -451,6 +559,13 @@ where
                 StageTiming {
                     stage: "warm-extract".into(),
                     secs: extract_secs,
+                },
+                // Component of warm-extract spent *waiting* for shard
+                // read locks — the contention share of warm latency.
+                // Row names are pinned in `tests/serve_pool.rs`.
+                StageTiming {
+                    stage: "warm-lock-wait".into(),
+                    secs: lock_wait_secs,
                 },
                 StageTiming {
                     stage: round_stats.name.clone(),
@@ -474,13 +589,16 @@ where
                 },
             ],
             certificate: None,
-        })
+            telemetry: diversity_obs::snapshot(),
+        };
+        Ok(report)
     }
 
     /// Snapshots every shard into a serde-able [`PoolState`]. Shards
     /// are locked one at a time: the snapshot is per-shard consistent;
     /// take it at a quiescent point for a cross-shard-exact image.
     pub fn checkpoint(&self) -> PoolState<P> {
+        let _span = diversity_obs::span("serve.checkpoint_ns");
         PoolState {
             shards: self.shards.iter().map(|s| s.read().state()).collect(),
             router: self.router.checkpoint(),

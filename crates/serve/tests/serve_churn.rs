@@ -21,8 +21,29 @@
 //! `SERVE_CHURN_OPS` bounds the per-writer insert count (CI smoke sets
 //! it low; local soak runs can raise it).
 
+use diversity::obs;
 use diversity::prelude::*;
 use diversity_serve::{churn_round, env_ops, value_loss, ChurnConfig, Serve, ShardPool};
+use std::sync::{Arc, Once};
+
+/// Installs one process-wide [`obs::Registry`] for the whole test
+/// binary (tests run in parallel and the recorder is global, so it is
+/// installed once and never uninstalled). Pools namespace their gauges
+/// (`serve.pool{id}.…`), so concurrent tests never read each other's
+/// occupancy.
+fn shared_registry() -> Arc<obs::Registry> {
+    static INSTALL: Once = Once::new();
+    static mut SHARED: Option<Arc<obs::Registry>> = None;
+    unsafe {
+        INSTALL.call_once(|| {
+            let reg = Arc::new(obs::Registry::new());
+            obs::install(reg.clone());
+            SHARED = Some(reg);
+        });
+        #[allow(static_mut_refs)]
+        SHARED.clone().expect("installed above")
+    }
+}
 
 /// Deterministic pseudo-random 2D point (splitmix-style integer hash).
 fn gen_point(stream: u64, i: u64) -> VecPoint {
@@ -39,6 +60,7 @@ fn gen_point(stream: u64, i: u64) -> VecPoint {
 }
 
 fn churn_stress(problem: Problem, k: usize) {
+    let registry = shared_registry();
     let task = Task::new(problem, k).budget(Budget::KPrime(8 * k));
     let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 4).expect("valid pool spec");
 
@@ -85,7 +107,30 @@ fn churn_stress(problem: Problem, k: usize) {
         let survivors: Vec<VecPoint> = pool.alive().into_iter().map(|(_, p)| p).collect();
         assert_eq!(survivors.len(), pool.len());
 
+        // Telemetry audit: at every quiescent point, this pool's
+        // per-shard occupancy gauges sum to its live point count.
+        let snap = registry.snapshot_now();
+        assert_eq!(
+            snap.gauge_prefix_sum(&pool.gauge_prefix()),
+            pool.len() as i64,
+            "{problem} round {round}: occupancy gauges must sum to pool.len()"
+        );
+
         let warm = pool.query(&task).expect("quiescent query");
+        // The report carries the cumulative snapshot; its warm-query
+        // histogram has seen every concurrent read plus this one, and
+        // its quantiles are well-formed.
+        let telemetry = warm.telemetry.as_ref().expect("recorder installed");
+        let e2e = telemetry
+            .histogram("serve.query.e2e_ns")
+            .expect("warm queries recorded");
+        assert!(e2e.count > round * (cfg.readers * cfg.queries_per_reader) as u64);
+        assert!(e2e.p50() >= e2e.min && e2e.p50() <= e2e.p99());
+        assert!(e2e.p99() <= e2e.max);
+        assert!(
+            telemetry.histogram("serve.lock.write_hold_ns").is_some(),
+            "churn writers must have recorded lock holds"
+        );
         let fresh = task.run_seq(&survivors, &Euclidean).expect("ground truth");
 
         // Accuracy against the structure-reported bound: the composed
@@ -136,6 +181,11 @@ fn churn_stress(problem: Problem, k: usize) {
 
         round_survivors.push(outcome.survivors);
     }
+
+    // Export the final snapshot when `DIVMAX_OBS` is set (CI's JSONL
+    // smoke run points it at a file and asserts it parses with the
+    // expected keys via `divmax-stats`).
+    obs::export_to_env_path(&registry.snapshot_now()).expect("JSONL export must not fail");
 }
 
 #[test]

@@ -50,6 +50,28 @@ fn warm_pool_matches_cold_run_sharded() {
     }
 }
 
+/// The warm [`Report`]'s timing rows are a stable contract: dashboards
+/// and the churn harness key on these names, so renames are breaking
+/// changes. `warm-lock-wait` is the component of `warm-extract` spent
+/// waiting on shard read locks (the contention share of warm latency).
+#[test]
+fn warm_report_timing_rows_are_pinned() {
+    let pts = points(120);
+    let task = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(16));
+    let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 3).unwrap();
+    pool.extend(pts);
+    let warm = pool.query(&task).unwrap();
+    let rows: Vec<&str> = warm.timings.iter().map(|t| t.stage.as_str()).collect();
+    assert_eq!(
+        rows,
+        ["warm-extract", "warm-lock-wait", "combine:solve"],
+        "warm timing row names are pinned"
+    );
+    // The lock-wait row is a component of warm-extract, never more.
+    assert!(warm.timings[1].secs <= warm.timings[0].secs);
+    assert!(warm.timings.iter().all(|t| t.secs >= 0.0));
+}
+
 /// A shard (partition) that is empty — as after deletions drained it —
 /// contributes an empty core-set with radius 0 to the merge, not an
 /// error, on both the cold and the warm path.

@@ -183,6 +183,41 @@ fn coreset_wire_format_is_stable() {
     assert_eq!(back.radius(), 1.5);
 }
 
+/// The observability [`Snapshot`](obs::Snapshot) is shipped inside
+/// `Report::telemetry` and dumped as `DIVMAX_OBS` JSONL, so its field
+/// layout is contract for dashboards and the `divmax-stats` reader —
+/// pinned alongside the other wire types.
+#[test]
+fn obs_snapshot_wire_format_is_stable() {
+    use diversity::obs;
+    use obs::Recorder;
+
+    let reg = obs::Registry::new();
+    reg.count("gmm.rounds", 12);
+    reg.gauge_set("serve.pool0.shard0.occupancy", 34);
+    reg.observe("serve.query.e2e_ns", 1);
+    reg.observe("serve.query.e2e_ns", 16);
+    let snap = reg.snapshot_now();
+    assert_eq!(
+        serde_json::to_string(&snap).unwrap(),
+        concat!(
+            r#"{"counters":[{"name":"gmm.rounds","value":12}],"#,
+            r#""gauges":[{"name":"serve.pool0.shard0.occupancy","value":34}],"#,
+            r#""histograms":[{"name":"serve.query.e2e_ns","hist":"#,
+            r#"{"count":2,"sum":17,"min":1,"max":16,"buckets":"#,
+            r#"[{"index":1,"low":1,"count":1},{"index":16,"low":16,"count":1}]}}]}"#
+        )
+    );
+
+    // A hand-built payload deserializes (clients construct these).
+    let back: obs::Snapshot = serde_json::from_str(
+        r#"{"counters":[{"name":"x","value":3}],"gauges":[],"histograms":[]}"#,
+    )
+    .unwrap();
+    assert_eq!(back.counter("x"), Some(3));
+    assert!(back.histograms.is_empty());
+}
+
 /// The dynamic engine's checkpoint is a wire type too: a serving pool
 /// snapshots its shard engines with it (`diversity-serve`'s
 /// `PoolState` is a vector of these), so the field layout is contract
