@@ -84,7 +84,7 @@ fn main() {
     let task = Task::new(Problem::RemoteEdge, 8).budget(Budget::KPrime(64));
     let make_pool = |points: &[VecPoint]| -> ShardPool<VecPoint, Euclidean> {
         let pool = task.serve(Euclidean, 4).unwrap();
-        pool.extend(points.iter().cloned());
+        pool.extend(points.iter().cloned()).expect("seed pool");
         pool
     };
     let query_secs = |pool: &ShardPool<VecPoint, Euclidean>| {

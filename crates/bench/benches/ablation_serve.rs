@@ -100,11 +100,13 @@ fn main() {
         );
 
         // Checkpoint economics.
-        let (json, snap_secs) =
-            timed(|| serde_json::to_string(&pool.checkpoint()).expect("serialize pool"));
+        let (json, snap_secs) = timed(|| {
+            serde_json::to_string(&pool.checkpoint().expect("healthy pool checkpoints"))
+                .expect("serialize pool")
+        });
         let (restored, restore_secs) = timed(|| {
             let state = serde_json::from_str(&json).expect("deserialize pool");
-            ShardPool::<VecPoint, _>::restore(Euclidean, state)
+            ShardPool::<VecPoint, _>::restore(Euclidean, state).expect("restore checkpoint")
         });
         let replay = restored.query(&task).unwrap();
         assert_eq!(

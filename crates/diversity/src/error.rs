@@ -55,6 +55,22 @@ pub enum DivError {
     /// A serving pool was requested with zero shards — there would be
     /// nowhere to route an insert.
     InvalidShards,
+    /// A checkpointed state failed structural validation on restore:
+    /// truncated or bit-flipped wire bytes, dangling parent links, a
+    /// shard-less pool snapshot. The process degrades (the caller keeps
+    /// its last good state) instead of aborting.
+    CorruptState { reason: String },
+    /// The shard an update routed to is quarantined and could not be
+    /// recovered in-line; the rest of the pool keeps serving.
+    ShardUnavailable { shard: usize },
+    /// A query found **no** shard able to answer: every shard was
+    /// quarantined or missed the deadline. (With at least one surviving
+    /// shard the pool answers in degraded mode instead — see
+    /// `Report::degradation`.)
+    PoolUnavailable { healthy: usize, total: usize },
+    /// A transient (injected or environmental) failure persisted
+    /// through the bounded retry/backoff loop at `site`.
+    TransientFailure { site: String },
 }
 
 impl std::fmt::Display for DivError {
@@ -90,6 +106,21 @@ impl std::fmt::Display for DivError {
             DivError::InvalidShards => {
                 write!(f, "a serving pool needs at least one shard")
             }
+            DivError::CorruptState { reason } => {
+                write!(f, "corrupt checkpointed state: {reason}")
+            }
+            DivError::ShardUnavailable { shard } => {
+                write!(
+                    f,
+                    "shard {shard} is quarantined and was not recoverable in-line"
+                )
+            }
+            DivError::PoolUnavailable { healthy, total } => {
+                write!(f, "no shard could answer ({healthy} healthy of {total})")
+            }
+            DivError::TransientFailure { site } => {
+                write!(f, "transient failure at {site} persisted through retries")
+            }
         }
     }
 }
@@ -110,6 +141,25 @@ mod tests {
         assert!(e.to_string().contains("n=4"));
         let e = DivError::InvalidK { k: 0, n: None };
         assert!(e.to_string().contains("k=0"));
+    }
+
+    #[test]
+    fn fault_variants_display_their_context() {
+        let e = DivError::CorruptState {
+            reason: "dangling parent 9".into(),
+        };
+        assert!(e.to_string().contains("dangling parent 9"));
+        let e = DivError::ShardUnavailable { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let e = DivError::PoolUnavailable {
+            healthy: 0,
+            total: 4,
+        };
+        assert!(e.to_string().contains("0 healthy of 4"));
+        let e = DivError::TransientFailure {
+            site: "serve.query".into(),
+        };
+        assert!(e.to_string().contains("serve.query"));
     }
 
     #[test]

@@ -86,14 +86,15 @@ mod report;
 mod task;
 
 pub use error::DivError;
-pub use report::{Backend, Certificate, Report, StageMemory, StageTiming};
+pub use report::{Backend, Certificate, Degradation, Report, StageMemory, StageTiming};
 pub use task::{Budget, Strategy, Task};
 
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use crate::{baselines, datasets, dynamic, mapreduce, streaming};
     pub use crate::{
-        Backend, Budget, Certificate, DivError, Report, StageMemory, StageTiming, Strategy, Task,
+        Backend, Budget, Certificate, Degradation, DivError, Report, StageMemory, StageTiming,
+        Strategy, Task,
     };
     pub use diversity_core::{
         eval, exact, pipeline, seq, Coreset, CoresetSource, GenPair, GeneralizedCoreset, Problem,

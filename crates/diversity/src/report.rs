@@ -77,6 +77,33 @@ pub struct Certificate {
     pub factor: f64,
 }
 
+/// How much of the pool a degraded warm-path answer actually saw.
+///
+/// Attached by the serving pool's `query` when one or more shards were
+/// quarantined (or missed the query's deadline budget) and dropped out
+/// of the [`Coreset`](diversity_core::coreset::Coreset) merge. The
+/// answer — and its `coreset_radius` certificate — is **scoped to the
+/// survivors**: by the composition law (Definition 2, Lemmas 3–4 —
+/// union-with-max-radius over *arbitrary* partitions), the merge of the
+/// answering shards' extractions is a valid core-set of exactly the
+/// union of their alive points, so dropping a shard shrinks the
+/// certified population but never invalidates the certificate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Shards whose extraction reached the merge.
+    pub shards_answered: usize,
+    /// Total shards in the pool.
+    pub shards_total: usize,
+    /// Indices of the shards that dropped out (quarantined, deadline
+    /// miss, or a panic caught during extraction).
+    pub skipped_shards: Vec<usize>,
+    /// Fraction of the pool's known alive points the answer covers:
+    /// `answered points / (answered points + skipped shards' last
+    /// known occupancy)`. `1.0` would mean the skipped shards were all
+    /// empty.
+    pub coverage: f64,
+}
+
 /// The uniform result of a diversity task, identical in shape across
 /// all four backends.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -124,6 +151,12 @@ pub struct Report<P> {
     pub memory: Vec<StageMemory>,
     /// Present iff the task's budget was [`crate::Budget::Eps`].
     pub certificate: Option<Certificate>,
+    /// Present iff the answer is **degraded**: a warm-path query in
+    /// which one or more shards dropped out of the merge. The value
+    /// and `coreset_radius` then certify the surviving points only —
+    /// see [`Degradation`]. `None` for every full-coverage answer and
+    /// every non-pool backend.
+    pub degradation: Option<Degradation>,
     /// A point-in-time [`Snapshot`](diversity_obs::Snapshot) of the
     /// installed observability recorder, taken as the run finished.
     /// `None` unless a recorder was installed
@@ -188,6 +221,7 @@ mod tests {
                 eps: 0.5,
                 factor: 2.5,
             }),
+            degradation: None,
             telemetry: None,
         }
     }
@@ -232,5 +266,28 @@ mod tests {
         assert!(json.contains("\"certificate\":null"));
         let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn degradation_roundtrips() {
+        let mut r = sample();
+        assert!(
+            serde_json::to_string(&r)
+                .expect("serialize")
+                .contains("\"degradation\":null"),
+            "full-coverage answers carry an explicit null"
+        );
+        r.degradation = Some(Degradation {
+            shards_answered: 3,
+            shards_total: 4,
+            skipped_shards: vec![2],
+            coverage: 0.75,
+        });
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: Report<VecPoint> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(r, back);
+        let d = back.degradation.expect("degraded");
+        assert_eq!(d.skipped_shards, vec![2]);
+        assert_eq!(d.shards_answered, 3);
     }
 }

@@ -517,6 +517,7 @@ impl Task {
             ],
             memory: Vec::new(),
             certificate: self.certificate(),
+            degradation: None,
             telemetry: diversity_obs::snapshot(),
         })
     }
@@ -613,6 +614,7 @@ impl Task {
                 emitted_points: coreset.len(),
             }],
             certificate: self.certificate(),
+            degradation: None,
             telemetry: diversity_obs::snapshot(),
         })
     }
@@ -738,6 +740,7 @@ impl Task {
                 .collect(),
             memory: memory_stages(&outcome.stats),
             certificate,
+            degradation: None,
             telemetry: diversity_obs::snapshot(),
         })
     }
@@ -823,6 +826,7 @@ impl Task {
             }],
             memory: Vec::new(),
             certificate: None,
+            degradation: None,
             telemetry: diversity_obs::snapshot(),
         })
     }

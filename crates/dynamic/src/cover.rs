@@ -24,6 +24,7 @@
 //! `O(c^O(1) · depth)` — independent of the number of alive points.
 
 use crate::node::Node;
+use crate::state::CorruptState;
 use crate::stats::UpdateStats;
 use diversity_core::doubling::{distance_to_scale, scale_to_distance};
 use metric::Metric;
@@ -653,71 +654,96 @@ impl<P: Clone> CoverHierarchy<P> {
     /// rebuilt hierarchy are bit-identical to the exported one.
     ///
     /// # Panics
-    /// Panics when the state's *links* are inconsistent: duplicate ids,
-    /// dangling parents, a parent not strictly above its child,
-    /// children lists out of sync with the parent pointers, or a root
-    /// mismatch. A checkpoint produced by `state()` always passes; this
-    /// guards hand-assembled or wire-corrupted states. No metric is
-    /// available here, so *geometric* invariants (covering distances,
-    /// separation) are **not** checked — a state with consistent links
-    /// but wrong geometry resumes silently and answers badly; call
-    /// [`validate`](Self::validate) with the metric after resuming when
-    /// the state comes from an untrusted source.
+    /// Panics when the state's links are inconsistent — the legacy
+    /// contract for harness callers that control their own states. A
+    /// serving layer restoring wire-received state should use
+    /// [`try_from_nodes`](Self::try_from_nodes) and degrade instead.
     pub fn from_nodes(
         max_depth: u32,
         root: Option<u64>,
         top_level: i32,
         nodes: Vec<(u64, Node<P>)>,
     ) -> Self {
+        Self::try_from_nodes(max_depth, root, top_level, nodes)
+            .unwrap_or_else(|e| panic!("{}", e.reason))
+    }
+
+    /// Fallible form of [`from_nodes`](Self::from_nodes): returns
+    /// [`CorruptState`] when the state's *links* are inconsistent —
+    /// duplicate ids, dangling parents, a parent not strictly above its
+    /// child, children lists out of sync with the parent pointers, or a
+    /// root mismatch. A checkpoint produced by `state()` always passes;
+    /// this guards hand-assembled or wire-corrupted states. No metric
+    /// is available here, so *geometric* invariants (covering
+    /// distances, separation) are **not** checked — a state with
+    /// consistent links but wrong geometry resumes silently and answers
+    /// badly; call [`validate`](Self::validate) with the metric after
+    /// resuming when the state comes from an untrusted source.
+    pub fn try_from_nodes(
+        max_depth: u32,
+        root: Option<u64>,
+        top_level: i32,
+        nodes: Vec<(u64, Node<P>)>,
+    ) -> Result<Self, CorruptState> {
+        let corrupt = |reason: String| Err(CorruptState { reason });
         let mut h = Self::new(max_depth);
         h.root = root;
         h.top_level = top_level;
         for (id, node) in nodes {
             h.by_level.entry(node.level).or_default().insert(id);
             let prev = h.nodes.insert(id, node);
-            assert!(prev.is_none(), "duplicate node id {id} in checkpoint");
+            if prev.is_some() {
+                return corrupt(format!("duplicate node id {id} in checkpoint"));
+            }
         }
         match root {
-            None => assert!(h.nodes.is_empty(), "rootless checkpoint holds nodes"),
+            None => {
+                if !h.nodes.is_empty() {
+                    return corrupt("rootless checkpoint holds nodes".into());
+                }
+            }
             Some(r) => {
-                let rn = h
-                    .nodes
-                    .get(&r)
-                    .unwrap_or_else(|| panic!("checkpoint root {r} is not a node"));
-                assert!(rn.parent.is_none(), "checkpoint root {r} has a parent");
-                assert_eq!(
-                    rn.level, top_level,
-                    "checkpoint root {r} does not reside at the top level"
-                );
+                let Some(rn) = h.nodes.get(&r) else {
+                    return corrupt(format!("checkpoint root {r} is not a node"));
+                };
+                if rn.parent.is_some() {
+                    return corrupt(format!("checkpoint root {r} has a parent"));
+                }
+                if rn.level != top_level {
+                    return corrupt(format!(
+                        "checkpoint root {r} does not reside at the top level"
+                    ));
+                }
             }
         }
         for (&id, node) in &h.nodes {
             match node.parent {
-                None => assert_eq!(Some(id), h.root, "non-root {id} without parent"),
+                None => {
+                    if Some(id) != h.root {
+                        return corrupt(format!("non-root {id} without parent"));
+                    }
+                }
                 Some(pid) => {
-                    let p = h
-                        .nodes
-                        .get(&pid)
-                        .unwrap_or_else(|| panic!("node {id} has dangling parent {pid}"));
-                    assert!(
-                        p.level > node.level,
-                        "checkpoint parent {pid} not above child {id}"
-                    );
-                    assert!(
-                        p.children.contains(&id),
-                        "checkpoint parent {pid} does not list child {id}"
-                    );
+                    let Some(p) = h.nodes.get(&pid) else {
+                        return corrupt(format!("node {id} has dangling parent {pid}"));
+                    };
+                    if p.level <= node.level {
+                        return corrupt(format!("checkpoint parent {pid} not above child {id}"));
+                    }
+                    if !p.children.contains(&id) {
+                        return corrupt(format!(
+                            "checkpoint parent {pid} does not list child {id}"
+                        ));
+                    }
                 }
             }
             for &child in &node.children {
-                assert_eq!(
-                    h.nodes.get(&child).map(|c| c.parent),
-                    Some(Some(id)),
-                    "child list of {id} out of sync at {child}"
-                );
+                if h.nodes.get(&child).map(|c| c.parent) != Some(Some(id)) {
+                    return corrupt(format!("child list of {id} out of sync at {child}"));
+                }
             }
         }
-        h
+        Ok(h)
     }
 
     // -----------------------------------------------------------------

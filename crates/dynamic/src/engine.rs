@@ -238,24 +238,28 @@ impl<P: Clone + Sync, M: Metric<P>> DynamicDiversity<P, M> {
     /// counters restart from zero ([`UpdateStats`] describes work done
     /// by this process, not structure).
     ///
-    /// # Panics
-    /// Panics when the state is structurally inconsistent (see
-    /// `CoverHierarchy::from_nodes`) — states produced by
-    /// [`state`](Self::state) always resume.
-    pub fn resume(metric: M, state: EngineState<P>) -> Self {
+    /// Structurally inconsistent states — truncated or bit-flipped
+    /// wire bytes, hand-assembled links — return
+    /// [`CorruptState`](crate::CorruptState) instead of panicking, so
+    /// a restore path can reject a bad checkpoint and keep serving
+    /// (see `CoverHierarchy::try_from_nodes` for exactly what is
+    /// checked). States produced by [`state`](Self::state) always
+    /// resume.
+    pub fn resume(metric: M, state: EngineState<P>) -> Result<Self, crate::CorruptState> {
         let config = DynamicConfig {
             epsilon: state.epsilon,
             dim: state.dim,
             max_depth: state.max_depth,
         };
-        let cover = crate::state::import(state.max_depth, state.root, state.top_level, state.nodes);
-        Self {
+        let cover =
+            crate::state::import(state.max_depth, state.root, state.top_level, state.nodes)?;
+        Ok(Self {
             cover,
             metric,
             config,
             stats: UpdateStats::default(),
             next_id: state.next_id,
-        }
+        })
     }
 }
 

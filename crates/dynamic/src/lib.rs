@@ -63,7 +63,7 @@ pub mod stats;
 pub use config::DynamicConfig;
 pub use engine::{DynamicDiversity, PointId};
 pub use solve::{CoresetInfo, DynamicSolution};
-pub use state::{EngineState, NodeState};
+pub use state::{CorruptState, EngineState, NodeState};
 pub use stats::UpdateStats;
 
 // The composition vocabulary the engine's extraction speaks (see

@@ -24,6 +24,27 @@ use crate::cover::CoverHierarchy;
 use crate::node::Node;
 use serde::{Deserialize, Serialize};
 
+/// A checkpointed state failed structural validation on resume: the
+/// links (parents, children, root) are inconsistent — truncated or
+/// bit-flipped wire bytes, or a hand-assembled state. Carries a
+/// human-readable description of the first violation found. The
+/// serving layer maps this into its own typed error
+/// (`DivError::CorruptState`) so a bad checkpoint degrades instead of
+/// aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptState {
+    /// What was inconsistent.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CorruptState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt engine state: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CorruptState {}
+
 /// One alive node of the checkpointed hierarchy. Mirrors
 /// [`crate::node::Node`] plus the id it is stored under.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -92,17 +113,15 @@ pub(crate) fn export<P: Clone>(cover: &CoverHierarchy<P>) -> Vec<NodeState<P>> {
         .collect()
 }
 
-/// Rebuilds a hierarchy from checkpoint nodes.
-///
-/// # Panics
-/// Same contract as [`CoverHierarchy::from_nodes`]: structurally
-/// inconsistent states panic with a description.
+/// Rebuilds a hierarchy from checkpoint nodes. Structurally
+/// inconsistent states return [`CorruptState`] (the
+/// [`CoverHierarchy::try_from_nodes`] contract).
 pub(crate) fn import<P: Clone>(
     max_depth: u32,
     root: Option<u64>,
     top_level: i32,
     nodes: Vec<NodeState<P>>,
-) -> CoverHierarchy<P> {
+) -> Result<CoverHierarchy<P>, CorruptState> {
     let nodes = nodes
         .into_iter()
         .map(|s| {
@@ -112,5 +131,5 @@ pub(crate) fn import<P: Clone>(
             (s.id, node)
         })
         .collect();
-    CoverHierarchy::from_nodes(max_depth, root, top_level, nodes)
+    CoverHierarchy::try_from_nodes(max_depth, root, top_level, nodes)
 }

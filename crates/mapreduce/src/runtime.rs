@@ -26,6 +26,11 @@ pub struct RoundStats {
     /// model of a real cluster round, since every reducer's own work
     /// is measured independently.
     pub critical_path: Duration,
+    /// Partition executions re-run by the retry-with-reshuffle loop:
+    /// reducers whose first pass panicked or whose output was dropped
+    /// (an injected [`diversity_faults::sites::MR_PARTITION`] loss, or
+    /// a real one). `0` on every fault-free round.
+    pub retries: usize,
 }
 
 /// Accumulated statistics for a full MapReduce job.
@@ -85,6 +90,10 @@ impl Default for MapReduceRuntime {
 }
 
 impl MapReduceRuntime {
+    /// Passes a partition gets before its failure is considered
+    /// permanent: the first execution plus two retries.
+    pub const MAX_ATTEMPTS: usize = 3;
+
     /// A runtime simulating `p` processors.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
@@ -97,6 +106,21 @@ impl MapReduceRuntime {
     ///
     /// `measure_emitted` converts an output to its shuffle size in
     /// points.
+    ///
+    /// ## Retry-with-reshuffle
+    ///
+    /// A partition whose reducer panics, or whose output is lost (the
+    /// [`diversity_faults::sites::MR_PARTITION`] injection point), is
+    /// **re-executed** on the next pass — the simulated form of a
+    /// cluster rescheduling a failed task and reshuffling its input,
+    /// which is sound here because reducers are pure functions of
+    /// `(i, &inputs[i])`. Up to [`Self::MAX_ATTEMPTS`] passes run;
+    /// a partition still failing after the last pass re-raises its
+    /// panic (a deterministic reducer bug must surface, not loop).
+    /// Retries are counted in [`RoundStats::retries`] and the
+    /// `fault.mr.retries` obs counter. Since every round driver
+    /// (two-round, three-round, randomized, recursive) funnels through
+    /// here, all four inherit the retry path.
     pub fn run_round<I, R>(
         &self,
         name: &str,
@@ -112,30 +136,75 @@ impl MapReduceRuntime {
         let n = inputs.len();
         let start = Instant::now();
         let results: Mutex<Vec<Option<(R, Duration)>>> = Mutex::new((0..n).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(n.max(1));
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut retries = 0usize;
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let reducer_start = Instant::now();
-                    let out = reducer(i, &inputs[i]);
-                    let took = reducer_start.elapsed();
-                    results.lock()[i] = Some((out, took));
-                });
+        for attempt in 1..=Self::MAX_ATTEMPTS {
+            let next = AtomicUsize::new(0);
+            let workers = self.threads.min(pending.len().max(1));
+            let pending_pass = &pending;
+            // The last panic payload of the pass, re-raised only when
+            // the partition keeps failing on the final attempt.
+            let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= pending_pass.len() {
+                            break;
+                        }
+                        let i = pending_pass[slot];
+                        let reducer_start = Instant::now();
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            reducer(i, &inputs[i])
+                        }));
+                        let took = reducer_start.elapsed();
+                        match out {
+                            // An injected partition loss discards the
+                            // output; the next pass re-runs the reducer.
+                            Ok(out) => {
+                                if !diversity_faults::should_drop(
+                                    diversity_faults::sites::MR_PARTITION,
+                                ) {
+                                    results.lock()[i] = Some((out, took));
+                                }
+                            }
+                            Err(payload) => {
+                                *panic_slot.lock() = Some(payload);
+                            }
+                        }
+                    });
+                }
+            });
+
+            {
+                let done = results.lock();
+                pending.retain(|&i| done[i].is_none());
             }
-        });
+            if pending.is_empty() {
+                break;
+            }
+            if attempt == Self::MAX_ATTEMPTS {
+                match panic_slot.into_inner() {
+                    Some(payload) => std::panic::resume_unwind(payload),
+                    None => panic!(
+                        "mapreduce round {name}: {} partitions failed after {} attempts",
+                        pending.len(),
+                        Self::MAX_ATTEMPTS
+                    ),
+                }
+            }
+            retries += pending.len();
+            diversity_obs::count("fault.mr.retries", pending.len() as u64);
+        }
 
         let mut critical_path = Duration::ZERO;
         let outputs: Vec<R> = results
             .into_inner()
             .into_iter()
             .map(|r| {
-                let (out, took) = r.expect("reducer completed");
+                let (out, took) = r.expect("every partition completed or the round panicked");
                 critical_path = critical_path.max(took);
                 out
             })
@@ -150,6 +219,7 @@ impl MapReduceRuntime {
             emitted_points: outputs.iter().map(&measure_emitted).sum(),
             wall,
             critical_path,
+            retries,
         };
         // One report per round — every driver (two-round, three-round,
         // randomized, recursive) funnels through here, so this is the
@@ -188,6 +258,65 @@ mod tests {
         assert_eq!(stats.max_local_points, 16);
         assert_eq!(stats.total_points, (1..=16).sum::<usize>());
         assert_eq!(stats.emitted_points, 16);
+        assert_eq!(stats.retries, 0, "a fault-free round never retries");
+    }
+
+    #[test]
+    fn flaky_partitions_are_retried_to_completion() {
+        use std::sync::atomic::AtomicUsize;
+        let rt = MapReduceRuntime::with_threads(4);
+        let inputs: Vec<u64> = (0..8).collect();
+        // Partition 3 panics on its first execution only — the model of
+        // a task lost to a transient machine failure.
+        let fails_left = AtomicUsize::new(1);
+        let (out, stats) = rt.run_round(
+            "flaky",
+            &inputs,
+            |i, &x| {
+                if i == 3
+                    && fails_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("transient partition failure");
+                }
+                x * 2
+            },
+            |_| 1,
+            |_| 1,
+        );
+        assert_eq!(out, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(stats.retries, 1, "exactly the failed partition re-ran");
+    }
+
+    #[test]
+    fn deterministic_reducer_bugs_still_surface() {
+        let rt = MapReduceRuntime::with_threads(2);
+        let inputs: Vec<u64> = (0..4).collect();
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run_round(
+                "buggy",
+                &inputs,
+                |i, &x| {
+                    if i == 2 {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        panic!("deterministic bug");
+                    }
+                    x
+                },
+                |_| 1,
+                |_| 0,
+            )
+        }))
+        .expect_err("a permanent failure must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "deterministic bug", "the original payload re-raises");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            MapReduceRuntime::MAX_ATTEMPTS,
+            "the partition got every attempt before giving up"
+        );
     }
 
     #[test]
@@ -243,6 +372,7 @@ mod tests {
             emitted_points: 4,
             wall: Duration::from_millis(5),
             critical_path: Duration::from_millis(4),
+            retries: 0,
         });
         stats.rounds.push(RoundStats {
             name: "b".into(),
@@ -252,6 +382,7 @@ mod tests {
             emitted_points: 2,
             wall: Duration::from_millis(7),
             critical_path: Duration::from_millis(6),
+            retries: 0,
         });
         assert_eq!(stats.num_rounds(), 2);
         assert_eq!(stats.max_local_points(), 10);

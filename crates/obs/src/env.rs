@@ -66,12 +66,53 @@ pub fn positive_usize_value(name: &str, raw: &str, default: usize) -> usize {
 /// and `env.invalid.<NAME>` counters on the installed recorder every
 /// time, and prints one stderr warning per variable per process.
 pub fn report_invalid(name: &str, raw: &str, why: &str, default: usize) {
+    report_rejected(name, raw, why, &default.to_string());
+}
+
+/// The general form of [`report_invalid`] for knobs whose fallback is
+/// not a number (e.g. `DIVMAX_FAULTS`, where the fallback is "no fault
+/// plan"): same counters, same warn-once-per-variable stderr line.
+pub fn report_rejected(name: &str, raw: &str, why: &str, fallback: &str) {
     crate::count("env.invalid_value", 1);
     crate::count(&format!("env.invalid.{name}"), 1);
     let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
     if !warned.iter().any(|w| w == name) {
         warned.push(name.to_string());
-        eprintln!("[divmax-obs] ignoring invalid {name}={raw:?} ({why}); using default {default}");
+        eprintln!("[divmax-obs] ignoring invalid {name}={raw:?} ({why}); using {fallback}");
+    }
+}
+
+/// Strictly parses an unsigned integer knob value (zero allowed —
+/// seeds are u64s, not counts): trimmed digits only; signs, empties,
+/// non-digits, and overflow are rejections.
+pub fn parse_u64(raw: &str) -> Result<u64, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".into());
+    }
+    if !trimmed.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("not an unsigned integer: `{trimmed}`"));
+    }
+    trimmed
+        .parse::<u64>()
+        .map_err(|_| format!("not an unsigned integer: `{trimmed}`"))
+}
+
+/// Strictly parses a probability knob value: a finite float in
+/// `[0, 1]`. Leading `+`, NaN, infinities, and out-of-range values are
+/// rejections (never clamped).
+pub fn parse_unit_f64(raw: &str) -> Result<f64, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".into());
+    }
+    if trimmed.starts_with('+') {
+        return Err(format!("not a probability: `{trimmed}`"));
+    }
+    match trimmed.parse::<f64>() {
+        Ok(v) if v.is_finite() && (0.0..=1.0).contains(&v) => Ok(v),
+        Ok(v) => Err(format!("probability {v} outside [0, 1]")),
+        Err(_) => Err(format!("not a probability: `{trimmed}`")),
     }
 }
 
@@ -108,5 +149,30 @@ mod tests {
     #[test]
     fn unset_variable_is_the_default_not_a_warning() {
         assert_eq!(positive_usize("DIVMAX_OBS_NO_SUCH_VAR_12345", 3), 3);
+    }
+
+    #[test]
+    fn u64_values_parse_strictly() {
+        assert_eq!(parse_u64("0"), Ok(0));
+        assert_eq!(parse_u64("42"), Ok(42));
+        assert_eq!(parse_u64(" 7 "), Ok(7));
+        for bad in ["", "  ", "-1", "+2", "1.5", "seed", "0x10"] {
+            assert!(parse_u64(bad).is_err(), "accepted garbage value {bad:?}");
+        }
+        assert!(parse_u64("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unit_f64_values_parse_strictly() {
+        assert_eq!(parse_unit_f64("0"), Ok(0.0));
+        assert_eq!(parse_unit_f64("1"), Ok(1.0));
+        assert_eq!(parse_unit_f64("0.25"), Ok(0.25));
+        assert_eq!(parse_unit_f64(" 5e-2 "), Ok(0.05));
+        for bad in ["", "+0.5", "-0.1", "1.01", "NaN", "inf", "-inf", "half"] {
+            assert!(
+                parse_unit_f64(bad).is_err(),
+                "accepted garbage value {bad:?}"
+            );
+        }
     }
 }

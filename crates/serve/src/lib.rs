@@ -26,7 +26,27 @@
 //!   [`serve`](Serve::serve) on `diversity::Task`: the caller's opt-in
 //!   to a persistent handle behind `Strategy::ShardedDynamic`.
 //! * [`churn`] — the reusable churn-stress driver the `serve_churn`
-//!   test (and any downstream soak test) is built on.
+//!   test (and any downstream soak test) is built on, plus its chaos
+//!   variant [`chaos_round`] for runs under an installed fault plan.
+//!
+//! ## Fault tolerance
+//!
+//! Each shard carries a [`ShardHealth`] state machine. A panicking
+//! mutation is caught under the shard's write lock (`catch_unwind`),
+//! the shard is **quarantined**, and recovery rebuilds its engine from
+//! the last checkpoint plus the log of acknowledged operations — so no
+//! acknowledged write is ever lost and a recovered shard answers
+//! bit-identically to one that never failed. While shards are
+//! quarantined (or miss a [`ShardPool::query_within`] deadline),
+//! queries **degrade** instead of failing: the surviving shards'
+//! core-sets merge (dropping a shard from
+//! [`Coreset::merge`](diversity_core::coreset::Coreset::merge) is
+//! sound — the union of the survivors' artifacts is a valid core-set
+//! of exactly the survivors' points) and the [`diversity::Report`]
+//! carries a [`diversity::Degradation`] block scoping the certificate.
+//! Deterministic fault injection lives in `diversity-faults`
+//! (`DIVMAX_FAULTS`); the pool's injection points are named in
+//! [`ShardPool`]'s docs.
 //!
 //! ## Cold vs warm
 //!
@@ -51,16 +71,17 @@
 //! let pool = task.serve(Euclidean, 4)?;
 //!
 //! // Traffic: routed inserts, deletes by handle.
-//! let ids = pool.extend((0..40).map(|i| VecPoint::from([i as f64 * 2.0, 0.0])));
-//! pool.delete(ids[0]);
+//! let ids = pool.extend((0..40).map(|i| VecPoint::from([i as f64 * 2.0, 0.0])))?;
+//! pool.delete(ids[0])?;
 //!
 //! // Warm-path answer with the composed certificate.
 //! let report = pool.query(&task)?;
 //! assert_eq!(report.len(), 3);
 //! assert!(report.coreset_radius.is_some());
+//! assert!(report.degradation.is_none()); // every shard answered
 //!
 //! // Snapshot and restore: bit-identical answers.
-//! let restored = diversity_serve::ShardPool::restore(Euclidean, pool.checkpoint());
+//! let restored = diversity_serve::ShardPool::restore(Euclidean, pool.checkpoint()?)?;
 //! assert_eq!(restored.query(&task)?.value, report.value);
 //! # Ok::<(), diversity::DivError>(())
 //! ```
@@ -70,7 +91,10 @@ pub mod pool;
 pub mod router;
 pub mod task_ext;
 
-pub use churn::{churn_round, env_ops, value_loss, ChurnConfig, ChurnOutcome};
-pub use pool::{PoolState, ShardPool, ShardedId};
+pub use churn::{
+    assert_degradation_consistent, chaos_round, churn_round, env_ops, value_loss, ChaosOutcome,
+    ChurnConfig, ChurnOutcome,
+};
+pub use pool::{PoolState, ShardHealth, ShardPool, ShardedId};
 pub use router::{FnRouter, HashRouter, RoundRobin, Router};
 pub use task_ext::Serve;

@@ -1,18 +1,21 @@
 //! The long-lived shard-engine pool — the warm path behind
-//! `Strategy::ShardedDynamic`.
+//! `Strategy::ShardedDynamic` — with per-shard fault isolation:
+//! panic quarantine, checkpoint+log recovery, and certified degraded
+//! answers when shards drop out.
 
 use crate::router::{RoundRobin, Router};
-use diversity::{Backend, DivError, Report, StageMemory, StageTiming, Task};
+use diversity::{Backend, Degradation, DivError, Report, StageMemory, StageTiming, Task};
 use diversity_core::coreset::Coreset;
 use diversity_core::Problem;
 use diversity_dynamic::{DynamicConfig, DynamicDiversity, EngineState, PointId, UpdateStats};
+use diversity_faults as faults;
 use diversity_mapreduce::two_round::solve_union;
 use diversity_mapreduce::MapReduceRuntime;
 use metric::Metric;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Process-wide pool id source: every pool gets a distinct telemetry
 /// namespace (`serve.pool{id}.shard{i}.occupancy`), so concurrently
@@ -99,6 +102,107 @@ impl<P> PoolState<P> {
     }
 }
 
+/// The health state machine of one shard.
+///
+/// ```text
+///            panic caught in a mutation
+///  Healthy ────────────────────────────► Quarantined
+///     ▲                                      │
+///     │            rebuild succeeded         │ recovery begins (under
+///     └──────────── Recovering ◄─────────────┘ the shard write lock)
+/// ```
+///
+/// * **Healthy** — serves queries, accepts updates.
+/// * **Quarantined** — excluded from every query merge (answers become
+///   *degraded*, see [`Degradation`]) and from
+///   [`len`](ShardPool::len)/[`alive`](ShardPool::alive); updates
+///   routed here trigger an in-line recovery attempt first.
+/// * **Recovering** — transient: the shard's engine is being rebuilt
+///   from its last checkpoint plus the acknowledged-operation log,
+///   under the shard's write lock. Ends in `Healthy` (rebuild
+///   succeeded) or back in `Quarantined` (transient faults exhausted
+///   the backoff budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShardHealth {
+    /// Serving and accepting updates.
+    Healthy = 0,
+    /// Excluded from queries; awaiting recovery.
+    Quarantined = 1,
+    /// Being rebuilt from checkpoint + log (held briefly, under the
+    /// shard's write lock).
+    Recovering = 2,
+}
+
+impl ShardHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Quarantined,
+            _ => ShardHealth::Recovering,
+        }
+    }
+}
+
+/// One acknowledged mutation, replayed during recovery. The engine
+/// assigns [`PointId`]s from a deterministic counter, so replaying the
+/// log in acknowledgement order reproduces the exact pre-failure
+/// state, ids included.
+enum Op<P> {
+    Insert(P),
+    Delete(PointId),
+}
+
+/// A shard's recovery material: the last checkpointed engine state
+/// plus every mutation acknowledged since. `base + log` always equals
+/// the acknowledged state of the shard, so recovery never loses an
+/// acknowledged write. [`ShardPool::checkpoint`] folds the log into a
+/// fresh `base` (truncating it), bounding replay time and log memory
+/// between checkpoints.
+struct RecoveryState<P> {
+    base: EngineState<P>,
+    log: Vec<Op<P>>,
+}
+
+/// One shard slot: the engine, its health, its recovery material, and
+/// its last-acknowledged occupancy (readable without any lock — what a
+/// degraded answer's coverage fraction uses for skipped shards).
+struct Shard<P, M> {
+    engine: RwLock<DynamicDiversity<P, M>>,
+    health: AtomicU8,
+    recovery: Mutex<RecoveryState<P>>,
+    occupancy: AtomicUsize,
+}
+
+impl<P, M> Shard<P, M> {
+    fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, h: ShardHealth) {
+        self.health.store(h as u8, Ordering::Release);
+    }
+}
+
+/// What one per-shard extraction pass produced (see
+/// `ShardPool::extract_shards`).
+struct Extraction<P> {
+    /// Artifacts of the shards that answered, in shard order.
+    artifacts: Vec<Coreset<P>>,
+    /// Shards that dropped out: quarantined, past the deadline, lock
+    /// not acquired within the deadline, or a panic caught during
+    /// extraction.
+    skipped: Vec<usize>,
+    /// Alive points seen across the answering shards.
+    total: usize,
+    /// Largest single answering shard.
+    max_shard: usize,
+    /// Time spent waiting on shard read locks.
+    lock_wait_secs: f64,
+    /// Last-acknowledged occupancy summed over the skipped shards.
+    skipped_occupancy: usize,
+}
+
 /// A long-lived pool of `N` fully dynamic shard engines behind
 /// per-shard `RwLock`s: inserts and deletes route to one shard and
 /// take that shard's **write** lock only; queries take each shard's
@@ -145,12 +249,57 @@ impl<P> PoolState<P> {
 /// writers) are deterministic and equal to `Task::run_sharded` on the
 /// same shard contents.
 ///
+/// ## Fault tolerance
+///
+/// The same composition law makes *partial* answers principled: a
+/// shard that cannot answer simply drops out of the merge, and the
+/// union of the surviving artifacts is still a valid core-set of
+/// exactly the union of the surviving shards' alive points. The pool
+/// exploits this end to end:
+///
+/// * **Panic isolation.** Every engine mutation runs under
+///   `catch_unwind` (with the
+///   [`faults::sites::SHARD_MUTATE`] injection point inside the
+///   guarded scope). A panicking insert/delete can never leave a
+///   half-mutated shard visible: the shard is quarantined while the
+///   write lock is still held, and an in-line recovery is attempted
+///   immediately.
+/// * **Quarantine & recovery.** Each shard carries a
+///   [`ShardHealth`] state. Recovery rebuilds the engine from the
+///   shard's last checkpoint plus the log of every mutation
+///   acknowledged since — so acknowledged writes are never lost and a
+///   recovered shard is **bit-identical** to one that never failed.
+///   Transient faults during recovery ([`faults::sites::RECOVERY`])
+///   back off exponentially for up to
+///   [`RECOVERY_ATTEMPTS`](Self::RECOVERY_ATTEMPTS) tries; exhaustion
+///   leaves the shard `Quarantined` and the update returns
+///   [`DivError::ShardUnavailable`] while the rest of the pool keeps
+///   serving.
+/// * **Degraded answers.** [`query`](Self::query) merges whatever
+///   shards can answer. When any shard drops out (quarantine, a
+///   deadline miss in [`query_within`](Self::query_within), or a panic
+///   caught during extraction) the [`Report`] carries
+///   [`Degradation`] — shards answered/total, the skipped indices, and
+///   the covered fraction of the pool's last-known population — and
+///   its `coreset_radius` certificate is scoped to exactly the
+///   surviving points. Only when *no* shard answers does the query
+///   fail, with [`DivError::PoolUnavailable`].
+/// * **Deadline budgets.** [`query_within`](Self::query_within) bounds
+///   a query's wall time: shards whose read lock cannot be acquired in
+///   time (e.g. a straggling writer holding it —
+///   [`faults::sites::LOCK_HOLD`]) or whose turn comes after the
+///   deadline are skipped, degrading the answer instead of stalling
+///   it.
+/// * **Transient retries.** Query admission retries injected/ambient
+///   transient failures ([`faults::sites::QUERY`]) with bounded
+///   backoff before giving up with [`DivError::TransientFailure`].
+///
 /// Construction: [`ShardPool::new`]/[`with_config`](Self::with_config)
 /// for an empty pool, `Task::serve` (the `Serve` extension trait) to
 /// opt into a persistent handle from the front door, or
 /// [`restore`](Self::restore) to resume a [`checkpoint`](Self::checkpoint).
 pub struct ShardPool<P, M> {
-    shards: Vec<RwLock<DynamicDiversity<P, M>>>,
+    shards: Vec<Shard<P, M>>,
     metric: M,
     config: DynamicConfig,
     router: Box<dyn Router<P>>,
@@ -166,6 +315,10 @@ impl<P, M> std::fmt::Debug for ShardPool<P, M> {
         f.debug_struct("ShardPool")
             .field("shards", &self.shards.len())
             .field("config", &self.config)
+            .field(
+                "health",
+                &self.shards.iter().map(Shard::health).collect::<Vec<_>>(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -175,6 +328,21 @@ where
     P: Clone + Send + Sync,
     M: Metric<P> + Clone,
 {
+    /// Passes an update gets at the [`faults::sites::SHARD_MUTATE`]
+    /// injection point: the first execution plus one retry after a
+    /// successful in-line recovery.
+    pub const MUTATE_ATTEMPTS: usize = 2;
+
+    /// Rebuild attempts a recovery makes before giving up and leaving
+    /// the shard `Quarantined`; attempts after a transient failure
+    /// back off exponentially (0.2 ms, 0.4 ms, 0.8 ms, …).
+    pub const RECOVERY_ATTEMPTS: usize = 4;
+
+    /// Admission attempts a query gets at the
+    /// [`faults::sites::QUERY`] injection point before failing with
+    /// [`DivError::TransientFailure`]; retries back off exponentially.
+    pub const QUERY_ATTEMPTS: usize = 3;
+
     /// An empty pool of `shards` engines with the default
     /// [`DynamicConfig`] and a [`RoundRobin`] router.
     ///
@@ -193,7 +361,18 @@ where
     pub fn with_config(metric: M, config: DynamicConfig, shards: usize) -> Self {
         assert!(shards >= 1, "a pool needs at least one shard");
         let engines = (0..shards)
-            .map(|_| RwLock::new(DynamicDiversity::with_config(metric.clone(), config)))
+            .map(|_| {
+                let engine = DynamicDiversity::with_config(metric.clone(), config);
+                Shard {
+                    recovery: Mutex::new(RecoveryState {
+                        base: engine.state(),
+                        log: Vec::new(),
+                    }),
+                    engine: RwLock::new(engine),
+                    health: AtomicU8::new(ShardHealth::Healthy as u8),
+                    occupancy: AtomicUsize::new(0),
+                }
+            })
             .collect();
         let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         Self {
@@ -214,25 +393,47 @@ where
     /// a pool using a custom router should re-attach it with
     /// [`with_router`](Self::with_router) after restoring.
     ///
-    /// # Panics
-    /// Panics on a shard-less state or a structurally inconsistent
-    /// engine state (states produced by `checkpoint` always restore).
-    pub fn restore(metric: M, state: PoolState<P>) -> Self {
-        assert!(
-            !state.shards.is_empty(),
-            "a pool checkpoint holds at least one shard"
-        );
+    /// A corrupt state — no shards, shards checkpointed under
+    /// different configurations, or a structurally inconsistent engine
+    /// state (truncated/bit-flipped wire bytes) — returns
+    /// [`DivError::CorruptState`] so the caller can keep its last good
+    /// pool instead of aborting. States produced by `checkpoint`
+    /// always restore.
+    pub fn restore(metric: M, state: PoolState<P>) -> Result<Self, DivError> {
+        if state.shards.is_empty() {
+            return Err(DivError::CorruptState {
+                reason: "pool checkpoint holds no shards".into(),
+            });
+        }
         let span = diversity_obs::span("serve.restore_ns");
         let config = DynamicConfig {
             epsilon: state.shards[0].epsilon,
             dim: state.shards[0].dim,
             max_depth: state.shards[0].max_depth,
         };
-        let shards: Vec<RwLock<DynamicDiversity<P, M>>> = state
-            .shards
-            .into_iter()
-            .map(|s| RwLock::new(DynamicDiversity::resume(metric.clone(), s)))
-            .collect();
+        let mut shards = Vec::with_capacity(state.shards.len());
+        for (i, s) in state.shards.into_iter().enumerate() {
+            if s.epsilon != config.epsilon || s.dim != config.dim || s.max_depth != config.max_depth
+            {
+                return Err(DivError::CorruptState {
+                    reason: format!("shard {i} checkpointed under a different configuration"),
+                });
+            }
+            let engine = DynamicDiversity::resume(metric.clone(), s.clone()).map_err(|e| {
+                DivError::CorruptState {
+                    reason: format!("shard {i}: {}", e.reason),
+                }
+            })?;
+            shards.push(Shard {
+                occupancy: AtomicUsize::new(engine.len()),
+                recovery: Mutex::new(RecoveryState {
+                    base: s,
+                    log: Vec::new(),
+                }),
+                engine: RwLock::new(engine),
+                health: AtomicU8::new(ShardHealth::Healthy as u8),
+            });
+        }
         let router = RoundRobin::new();
         if let Some(cursor) = state.router {
             Router::<P>::restore(&router, cursor);
@@ -251,19 +452,13 @@ where
         if diversity_obs::enabled() {
             // Publish the restored occupancy so the pool's gauges are
             // correct before any traffic arrives.
-            for (shard, lock) in pool.shards.iter().enumerate() {
-                diversity_obs::gauge_set(&pool.gauge_names[shard], lock.read().len() as i64);
+            for (shard, slot) in pool.shards.iter().enumerate() {
+                diversity_obs::gauge_set(&pool.gauge_names[shard], slot.engine.read().len() as i64);
             }
         }
-        pool
+        Ok(pool)
     }
-}
 
-impl<P, M> ShardPool<P, M>
-where
-    P: Clone + Send + Sync,
-    M: Metric<P>,
-{
     /// Replaces the router (builder-style). Routing affects placement
     /// only, never soundness — see the type-level docs.
     pub fn with_router(mut self, router: impl Router<P> + 'static) -> Self {
@@ -285,20 +480,52 @@ where
         format!("serve.pool{}.", self.pool_id)
     }
 
-    /// Alive points in shard `shard`.
+    /// The health state of shard `shard`.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].health()
+    }
+
+    /// Every shard's health, in shard order.
+    pub fn healths(&self) -> Vec<ShardHealth> {
+        self.shards.iter().map(Shard::health).collect()
+    }
+
+    /// Number of shards currently `Healthy`.
+    pub fn healthy_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.health() == ShardHealth::Healthy)
+            .count()
+    }
+
+    /// Alive points in shard `shard` (`0` while it is quarantined —
+    /// quarantined shards are excluded from the serving population
+    /// until they recover).
     pub fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard].read().len()
+        let slot = &self.shards[shard];
+        if slot.health() != ShardHealth::Healthy {
+            return 0;
+        }
+        slot.engine.read().len()
     }
 
-    /// Total alive points across all shards. Under concurrent writers
+    /// Total alive points across the **healthy** shards — the
+    /// population queries currently certify. Under concurrent writers
     /// this is a momentary sum (shards are read one at a time).
+    /// Quarantined shards rejoin the count when they recover; their
+    /// last-acknowledged occupancy is still visible to degraded
+    /// answers' coverage accounting ([`Degradation::coverage`]).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards
+            .iter()
+            .filter(|s| s.health() == ShardHealth::Healthy)
+            .map(|s| s.engine.read().len())
+            .sum()
     }
 
-    /// `true` when every shard is empty.
+    /// `true` when every healthy shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.len() == 0
     }
 
     /// The engine configuration every shard was built with.
@@ -309,7 +536,12 @@ where
     /// Inserts a point, routing it through the pool's [`Router`].
     /// Takes one shard's write lock; other shards (and readers of
     /// other shards) proceed untouched.
-    pub fn insert(&self, point: P) -> ShardedId {
+    ///
+    /// When the routed shard is quarantined, an in-line recovery is
+    /// attempted first; [`DivError::ShardUnavailable`] means the shard
+    /// could not be recovered (the rest of the pool keeps serving —
+    /// there is no silent re-route, so placement stays deterministic).
+    pub fn insert(&self, point: P) -> Result<ShardedId, DivError> {
         let shard = self.router.route(&point, self.shards.len());
         self.insert_to(shard, point)
     }
@@ -319,78 +551,246 @@ where
     ///
     /// # Panics
     /// Panics if `shard` is out of range.
-    pub fn insert_to(&self, shard: usize, point: P) -> ShardedId {
-        if diversity_obs::enabled() {
-            let t0 = Instant::now();
-            let mut engine = self.shards[shard].write();
-            let acquired = Instant::now();
-            let id = engine.insert(point);
-            // Publish occupancy before releasing the lock: gauge
-            // updates then land in lock order, so the last writer's
-            // value is the true occupancy (publishing after the drop
-            // would race with the next writer on this shard).
-            diversity_obs::gauge_set(&self.gauge_names[shard], engine.len() as i64);
-            drop(engine);
-            diversity_obs::observe(
-                "serve.lock.write_wait_ns",
-                (acquired - t0).as_nanos() as u64,
-            );
-            diversity_obs::observe(
-                "serve.lock.write_hold_ns",
-                acquired.elapsed().as_nanos() as u64,
-            );
-            ShardedId { shard, id }
-        } else {
-            let id = self.shards[shard].write().insert(point);
-            ShardedId { shard, id }
+    pub fn insert_to(&self, shard: usize, point: P) -> Result<ShardedId, DivError> {
+        match self.mutate(shard, Op::Insert(point))? {
+            MutOutcome::Inserted(id) => Ok(ShardedId { shard, id }),
+            MutOutcome::Deleted(_) => unreachable!("insert ops produce insert outcomes"),
         }
     }
 
-    /// Inserts many points through the router, returning their handles.
-    pub fn extend(&self, points: impl IntoIterator<Item = P>) -> Vec<ShardedId> {
+    /// Inserts many points through the router, returning their
+    /// handles. Stops at the first unavailable shard.
+    pub fn extend(&self, points: impl IntoIterator<Item = P>) -> Result<Vec<ShardedId>, DivError> {
         points.into_iter().map(|p| self.insert(p)).collect()
     }
 
-    /// Deletes an alive point; `false` when the handle was already
-    /// gone (or its shard index is out of range).
-    pub fn delete(&self, id: ShardedId) -> bool {
-        let Some(lock) = self.shards.get(id.shard) else {
-            return false;
-        };
-        if diversity_obs::enabled() {
-            let t0 = Instant::now();
-            let mut engine = lock.write();
-            let acquired = Instant::now();
-            let deleted = engine.delete(id.id);
-            // In lock order, as in `insert_to` — see the note there.
-            diversity_obs::gauge_set(&self.gauge_names[id.shard], engine.len() as i64);
-            drop(engine);
-            diversity_obs::observe(
-                "serve.lock.write_wait_ns",
-                (acquired - t0).as_nanos() as u64,
-            );
-            diversity_obs::observe(
-                "serve.lock.write_hold_ns",
-                acquired.elapsed().as_nanos() as u64,
-            );
-            deleted
-        } else {
-            lock.write().delete(id.id)
+    /// Deletes an alive point; `Ok(false)` when the handle was already
+    /// gone (or its shard index is out of range). Like
+    /// [`insert`](Self::insert), a quarantined shard is recovered
+    /// in-line first or the delete fails with
+    /// [`DivError::ShardUnavailable`] — in which case the point is
+    /// still alive (the operation was not applied).
+    pub fn delete(&self, id: ShardedId) -> Result<bool, DivError> {
+        if id.shard >= self.shards.len() {
+            return Ok(false);
+        }
+        match self.mutate(id.shard, Op::Delete(id.id))? {
+            MutOutcome::Deleted(deleted) => Ok(deleted),
+            MutOutcome::Inserted(_) => unreachable!("delete ops produce delete outcomes"),
         }
     }
 
-    /// The point behind an alive handle, cloned out under the shard's
-    /// read lock.
-    pub fn point(&self, id: ShardedId) -> Option<P> {
-        self.shards.get(id.shard)?.read().point(id.id).cloned()
+    /// Quarantines a shard administratively — e.g. to drain it for
+    /// maintenance or to fence a suspect replica. Queries degrade
+    /// around it exactly as after a caught panic;
+    /// [`recover`](Self::recover) (or the next update routed to it)
+    /// brings it back with no data loss.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn quarantine(&self, shard: usize) {
+        let slot = &self.shards[shard];
+        // Under the write lock so the transition cannot interleave
+        // with a mutation's own health handling.
+        let _guard = slot.engine.write();
+        slot.set_health(ShardHealth::Quarantined);
+        diversity_obs::count("serve.quarantines", 1);
     }
 
-    /// Snapshot of all alive `(handle, point)` pairs, shard by shard.
+    /// Recovers shard `shard` if it is quarantined: rebuilds the
+    /// engine from the last checkpoint plus the acknowledged-operation
+    /// log (no acknowledged write is lost), with bounded exponential
+    /// backoff across transient faults. No-op on a healthy shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn recover(&self, shard: usize) -> Result<(), DivError> {
+        let slot = &self.shards[shard];
+        if slot.health() == ShardHealth::Healthy {
+            return Ok(());
+        }
+        let mut engine = slot.engine.write();
+        if slot.health() == ShardHealth::Healthy {
+            return Ok(()); // someone else recovered while we waited
+        }
+        self.recover_locked(shard, &mut engine)
+    }
+
+    /// Recovers every non-healthy shard ([`recover`](Self::recover)),
+    /// returning the first failure.
+    pub fn recover_all(&self) -> Result<(), DivError> {
+        for shard in 0..self.shards.len() {
+            self.recover(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a shard's engine from `checkpoint + log` while holding
+    /// its write lock. `Healthy` on success; `Quarantined` (and a
+    /// typed error) when transient faults exhaust the backoff budget
+    /// or the recovery material itself is corrupt.
+    fn recover_locked(
+        &self,
+        shard: usize,
+        engine: &mut DynamicDiversity<P, M>,
+    ) -> Result<(), DivError> {
+        let slot = &self.shards[shard];
+        slot.set_health(ShardHealth::Recovering);
+        let started = Instant::now();
+        for attempt in 1..=Self::RECOVERY_ATTEMPTS {
+            if faults::should_fail(faults::sites::RECOVERY) {
+                if attempt == Self::RECOVERY_ATTEMPTS {
+                    slot.set_health(ShardHealth::Quarantined);
+                    return Err(DivError::TransientFailure {
+                        site: faults::sites::RECOVERY.into(),
+                    });
+                }
+                // Bounded exponential backoff: 0.2 ms, 0.4 ms, 0.8 ms.
+                std::thread::sleep(Duration::from_micros(200 << (attempt - 1)));
+                continue;
+            }
+            let recovery = slot.recovery.lock();
+            let mut rebuilt =
+                match DynamicDiversity::resume(self.metric.clone(), recovery.base.clone()) {
+                    Ok(rebuilt) => rebuilt,
+                    Err(e) => {
+                        slot.set_health(ShardHealth::Quarantined);
+                        return Err(DivError::CorruptState {
+                            reason: format!("shard {shard} recovery checkpoint: {}", e.reason),
+                        });
+                    }
+                };
+            // Replay every acknowledged mutation since the checkpoint;
+            // id assignment is deterministic, so the rebuilt engine is
+            // bit-identical to one that never failed.
+            for op in &recovery.log {
+                match op {
+                    Op::Insert(p) => {
+                        rebuilt.insert(p.clone());
+                    }
+                    Op::Delete(id) => {
+                        rebuilt.delete(*id);
+                    }
+                }
+            }
+            let occupancy = rebuilt.len();
+            *engine = rebuilt;
+            drop(recovery);
+            slot.occupancy.store(occupancy, Ordering::Release);
+            slot.set_health(ShardHealth::Healthy);
+            diversity_obs::observe("serve.recovery_ns", started.elapsed().as_nanos() as u64);
+            diversity_obs::count("serve.recoveries", 1);
+            if diversity_obs::enabled() {
+                diversity_obs::gauge_set(&self.gauge_names[shard], occupancy as i64);
+            }
+            return Ok(());
+        }
+        unreachable!("the attempt loop returns on success or exhaustion")
+    }
+
+    /// Applies one mutation to a shard with panic isolation: the
+    /// engine call runs under `catch_unwind` (the
+    /// [`faults::sites::SHARD_MUTATE`] injection point fires inside
+    /// the guarded scope), so a panicking mutation quarantines the
+    /// shard — while the write lock is still held, before the
+    /// half-mutated engine could become visible — and triggers an
+    /// immediate recovery + one retry of the operation.
+    fn mutate(&self, shard: usize, op: Op<P>) -> Result<MutOutcome, DivError> {
+        let slot = &self.shards[shard];
+        for attempt in 1..=Self::MUTATE_ATTEMPTS {
+            // A quarantined shard gets an in-line recovery before the
+            // operation is applied (or refused).
+            if slot.health() != ShardHealth::Healthy {
+                self.recover(shard)
+                    .map_err(|_| DivError::ShardUnavailable { shard })?;
+            }
+            let obs = diversity_obs::enabled();
+            let t0 = Instant::now();
+            let mut engine = slot.engine.write();
+            let acquired = Instant::now();
+            if slot.health() != ShardHealth::Healthy {
+                // Quarantined while we waited for the lock; loop back
+                // through recovery.
+                drop(engine);
+                continue;
+            }
+            faults::slow_point(faults::sites::LOCK_HOLD);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                faults::panic_point(faults::sites::SHARD_MUTATE);
+                match &op {
+                    Op::Insert(p) => MutOutcome::Inserted(engine.insert(p.clone())),
+                    Op::Delete(id) => MutOutcome::Deleted(engine.delete(*id)),
+                }
+            }));
+            match outcome {
+                Ok(out) => {
+                    // Acknowledge: log the op for recovery, publish
+                    // occupancy — all before the lock drops, so
+                    // recovery material and gauges stay in lock order.
+                    {
+                        let mut recovery = slot.recovery.lock();
+                        recovery.log.push(match (&op, &out) {
+                            (Op::Insert(p), _) => Op::Insert(p.clone()),
+                            (Op::Delete(id), _) => Op::Delete(*id),
+                        });
+                    }
+                    slot.occupancy.store(engine.len(), Ordering::Release);
+                    if obs {
+                        diversity_obs::gauge_set(&self.gauge_names[shard], engine.len() as i64);
+                    }
+                    drop(engine);
+                    if obs {
+                        diversity_obs::observe(
+                            "serve.lock.write_wait_ns",
+                            (acquired - t0).as_nanos() as u64,
+                        );
+                        diversity_obs::observe(
+                            "serve.lock.write_hold_ns",
+                            acquired.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    return Ok(out);
+                }
+                Err(_panic) => {
+                    // The engine may be half-mutated; fence it before
+                    // anyone else can observe it, then rebuild in
+                    // place (still under the write lock).
+                    slot.set_health(ShardHealth::Quarantined);
+                    diversity_obs::count("serve.quarantines", 1);
+                    let recovered = self.recover_locked(shard, &mut engine);
+                    drop(engine);
+                    if recovered.is_err() || attempt == Self::MUTATE_ATTEMPTS {
+                        return Err(DivError::ShardUnavailable { shard });
+                    }
+                    // Recovered: retry the operation once.
+                }
+            }
+        }
+        Err(DivError::ShardUnavailable { shard })
+    }
+
+    /// The point behind an alive handle, cloned out under the shard's
+    /// read lock. `None` while the owning shard is quarantined.
+    pub fn point(&self, id: ShardedId) -> Option<P> {
+        let slot = self.shards.get(id.shard)?;
+        if slot.health() != ShardHealth::Healthy {
+            return None;
+        }
+        slot.engine.read().point(id.id).cloned()
+    }
+
+    /// Snapshot of all alive `(handle, point)` pairs across the
+    /// **healthy** shards, shard by shard — the population a query's
+    /// certificate covers right now.
     pub fn alive(&self) -> Vec<(ShardedId, P)> {
         let mut out = Vec::new();
-        for (shard, lock) in self.shards.iter().enumerate() {
+        for (shard, slot) in self.shards.iter().enumerate() {
+            if slot.health() != ShardHealth::Healthy {
+                continue;
+            }
             out.extend(
-                lock.read()
+                slot.engine
+                    .read()
                     .alive()
                     .into_iter()
                     .map(|(id, p)| (ShardedId { shard, id }, p)),
@@ -399,43 +799,111 @@ where
         out
     }
 
-    /// Per-shard cumulative update-work counters.
+    /// Per-shard cumulative update-work counters (healthy shards;
+    /// quarantined shards report the zero default until they recover —
+    /// recovery rebuilds the engine, which restarts its counters).
     pub fn shard_stats(&self) -> Vec<UpdateStats> {
-        self.shards.iter().map(|s| *s.read().stats()).collect()
+        self.shards
+            .iter()
+            .map(|s| {
+                if s.health() == ShardHealth::Healthy {
+                    *s.engine.read().stats()
+                } else {
+                    UpdateStats::default()
+                }
+            })
+            .collect()
     }
 
-    /// Exhaustively validates every shard's cover invariants (test
-    /// support; `O(n²)` per shard).
+    /// Exhaustively validates every healthy shard's cover invariants
+    /// (test support; `O(n²)` per shard).
     pub fn validate(&self) {
         for shard in &self.shards {
-            shard.read().validate();
+            if shard.health() == ShardHealth::Healthy {
+                shard.engine.read().validate();
+            }
         }
     }
 
-    /// Extracts every shard's core-set (read locks, one shard at a
-    /// time) with provenance rewritten to encoded [`ShardedId`]s.
-    /// Returns the artifacts plus `(total, max)` alive counts seen.
+    /// Extracts core-sets from every shard able to answer (read locks,
+    /// one shard at a time) with provenance rewritten to encoded
+    /// [`ShardedId`]s. A shard drops out — into `skipped` — when it is
+    /// quarantined, the deadline has passed (or its read lock could
+    /// not be acquired in time), or its extraction panics (which also
+    /// quarantines it).
     fn extract_shards(
         &self,
         problem: Problem,
         k: usize,
         k_prime: usize,
-    ) -> (Vec<Coreset<P>>, usize, usize, f64) {
-        let mut total = 0usize;
-        let mut max_shard = 0usize;
-        let mut lock_wait_secs = 0.0f64;
-        let mut artifacts = Vec::with_capacity(self.shards.len());
-        for (shard, lock) in self.shards.iter().enumerate() {
+        deadline: Option<Duration>,
+    ) -> Extraction<P> {
+        let started = Instant::now();
+        let mut ex = Extraction {
+            artifacts: Vec::with_capacity(self.shards.len()),
+            skipped: Vec::new(),
+            total: 0,
+            max_shard: 0,
+            lock_wait_secs: 0.0,
+            skipped_occupancy: 0,
+        };
+        let skip = |ex: &mut Extraction<P>, shard: usize, slot: &Shard<P, M>| {
+            ex.skipped.push(shard);
+            ex.skipped_occupancy += slot.occupancy.load(Ordering::Acquire);
+        };
+        for (shard, slot) in self.shards.iter().enumerate() {
+            if slot.health() != ShardHealth::Healthy {
+                skip(&mut ex, shard, slot);
+                continue;
+            }
             let t0 = Instant::now();
-            let engine = lock.read();
+            let engine = match deadline {
+                None => slot.engine.read(),
+                Some(budget) => {
+                    // A shard whose turn comes at or past the deadline
+                    // is skipped outright.
+                    if started.elapsed() >= budget {
+                        skip(&mut ex, shard, slot);
+                        continue;
+                    }
+                    // Bounded acquisition: a straggler holding the
+                    // write lock must not stall the whole query.
+                    let mut guard = slot.engine.try_read();
+                    while guard.is_none() && started.elapsed() < budget {
+                        std::thread::yield_now();
+                        guard = slot.engine.try_read();
+                    }
+                    match guard {
+                        Some(g) => g,
+                        None => {
+                            skip(&mut ex, shard, slot);
+                            continue;
+                        }
+                    }
+                }
+            };
             let acquired = Instant::now();
-            lock_wait_secs += (acquired - t0).as_secs_f64();
+            ex.lock_wait_secs += (acquired - t0).as_secs_f64();
+            // Re-check under the lock: a mutation that panicked while
+            // we waited has quarantined (and maybe not yet recovered)
+            // this engine.
+            if slot.health() != ShardHealth::Healthy {
+                drop(engine);
+                skip(&mut ex, shard, slot);
+                continue;
+            }
             let n_s = engine.len();
             let art = if engine.is_empty() {
                 // A drained shard contributes the merge identity.
-                Coreset::empty(k_prime)
+                Some(Coreset::empty(k_prime))
             } else {
-                engine.extract_coreset(problem, k, k_prime)
+                // Extraction is read-only, but a panic here (a bug, or
+                // corruption that slipped past the health fence) must
+                // cost this shard's contribution, not the process.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.extract_coreset(problem, k, k_prime)
+                }))
+                .ok()
             };
             drop(engine); // provenance rewrite needs no lock
             if diversity_obs::enabled() {
@@ -448,9 +916,15 @@ where
                     acquired.elapsed().as_nanos() as u64,
                 );
             }
-            total += n_s;
-            max_shard = max_shard.max(n_s);
-            artifacts.push(art.map_sources(|raw| {
+            let Some(art) = art else {
+                slot.set_health(ShardHealth::Quarantined);
+                diversity_obs::count("serve.quarantines", 1);
+                skip(&mut ex, shard, slot);
+                continue;
+            };
+            ex.total += n_s;
+            ex.max_shard = ex.max_shard.max(n_s);
+            ex.artifacts.push(art.map_sources(|raw| {
                 ShardedId {
                     shard,
                     id: PointId::from_raw(raw),
@@ -458,17 +932,20 @@ where
                 .encode()
             }));
         }
-        (artifacts, total, max_shard, lock_wait_secs)
+        ex
     }
 
     /// The merged warm-path core-set a [`query`](Self::query) for
     /// `(problem, k, k_prime)` would solve on: per-shard extractions
-    /// composed by [`Coreset::merge`], radius = max of the shard radii,
-    /// sources = encoded [`ShardedId`]s. Exposed for certificate
-    /// audits (`coreset.certifies(&alive_points, ..)`) and tests.
+    /// of every shard currently able to answer, composed by
+    /// [`Coreset::merge`], radius = max of the shard radii, sources =
+    /// encoded [`ShardedId`]s. With quarantined shards present this is
+    /// the *surviving* core-set — exactly what a degraded answer's
+    /// certificate is scoped to. Exposed for certificate audits
+    /// (`coreset.certifies(&alive_points, ..)`) and tests.
     pub fn coreset(&self, problem: Problem, k: usize, k_prime: usize) -> Coreset<P> {
-        let (artifacts, _, _, _) = self.extract_shards(problem, k, k_prime);
-        Coreset::merge_all(artifacts).expect("a pool has at least one shard")
+        let ex = self.extract_shards(problem, k, k_prime, None);
+        Coreset::merge_all(ex.artifacts).unwrap_or_else(|| Coreset::empty(k_prime))
     }
 
     /// Answers a [`Task`] on the **warm path**: extraction-only reads
@@ -487,7 +964,28 @@ where
     /// warm path never rescans points). Like the other dynamic-backed
     /// paths, no `(α+ε)` certificate is attached — the per-query
     /// composed radius is the honest accuracy witness.
+    ///
+    /// When shards are quarantined the answer **degrades** instead of
+    /// failing: the surviving shards' artifacts merge, and the report
+    /// carries [`Degradation`] scoping the certificate to the
+    /// survivors (see the type-level docs). Only a pool with *no*
+    /// answering shard errors, with [`DivError::PoolUnavailable`].
     pub fn query(&self, task: &Task) -> Result<Report<P>, DivError> {
+        self.query_opts(task, None)
+    }
+
+    /// [`query`](Self::query) under a wall-clock budget: shards whose
+    /// read lock cannot be acquired before `deadline` elapses (or
+    /// whose turn comes after it) are skipped, degrading the answer
+    /// rather than stalling it. The deadline bounds the *extraction*
+    /// phase — lock acquisition and per-shard reads; the final
+    /// combiner solve on the (small) merged core-set always runs to
+    /// completion, so answers past the deadline are still certified.
+    pub fn query_within(&self, task: &Task, deadline: Duration) -> Result<Report<P>, DivError> {
+        self.query_opts(task, Some(deadline))
+    }
+
+    fn query_opts(&self, task: &Task, deadline: Option<Duration>) -> Result<Report<P>, DivError> {
         let k = task.k();
         if k == 0 {
             return Err(DivError::InvalidK { k, n: None });
@@ -495,22 +993,72 @@ where
         let problem = task.problem();
         let k_prime = task.dynamic_k_prime(&self.config)?;
 
+        // Admission: transient failures retry with bounded backoff
+        // (0.1 ms, 0.2 ms) before surfacing as a typed error.
+        for attempt in 1..=Self::QUERY_ATTEMPTS {
+            if !faults::should_fail(faults::sites::QUERY) {
+                break;
+            }
+            if attempt == Self::QUERY_ATTEMPTS {
+                return Err(DivError::TransientFailure {
+                    site: faults::sites::QUERY.into(),
+                });
+            }
+            std::thread::sleep(Duration::from_micros(100 << (attempt - 1)));
+        }
+
         let e2e = diversity_obs::span("serve.query.e2e_ns");
         let t0 = Instant::now();
-        let (artifacts, total, max_shard, lock_wait_secs) =
-            self.extract_shards(problem, k, k_prime);
+        let ex = self.extract_shards(problem, k, k_prime, deadline);
         let extract_secs = t0.elapsed().as_secs_f64();
         if diversity_obs::enabled() {
             diversity_obs::observe("serve.extract_ns", (extract_secs * 1e9) as u64);
         }
-        if total == 0 {
-            return Err(DivError::EmptyInput);
+        let shards_total = self.shards.len();
+        let shards_answered = shards_total - ex.skipped.len();
+        if shards_answered == 0 {
+            return Err(DivError::PoolUnavailable {
+                healthy: 0,
+                total: shards_total,
+            });
         }
-        if k > total {
-            return Err(DivError::InvalidK { k, n: Some(total) });
+        if ex.total == 0 {
+            // Nothing alive among the answering shards: an empty pool
+            // when full coverage, otherwise an unanswerable query (the
+            // points that exist are all behind skipped shards).
+            return if ex.skipped.is_empty() {
+                Err(DivError::EmptyInput)
+            } else {
+                Err(DivError::PoolUnavailable {
+                    healthy: shards_answered,
+                    total: shards_total,
+                })
+            };
         }
+        if k > ex.total {
+            return Err(DivError::InvalidK {
+                k,
+                n: Some(ex.total),
+            });
+        }
+        let degradation = if ex.skipped.is_empty() {
+            None
+        } else {
+            diversity_obs::count("serve.query.degraded", 1);
+            let known = ex.total + ex.skipped_occupancy;
+            Some(Degradation {
+                shards_answered,
+                shards_total,
+                skipped_shards: ex.skipped.clone(),
+                coverage: if known == 0 {
+                    1.0
+                } else {
+                    ex.total as f64 / known as f64
+                },
+            })
+        };
 
-        let union = Coreset::merge_all(artifacts).expect("a pool has at least one shard");
+        let union = Coreset::merge_all(ex.artifacts).expect("at least one shard answered");
         // Keep (source, point) pairs to recover the selected points
         // after the solve without re-locking the shards — a concurrent
         // writer may have deleted a selected point by then, but it was
@@ -530,17 +1078,17 @@ where
             "combine:solve",
         );
 
-        let points = solution
-            .indices
-            .iter()
-            .map(|&encoded| {
-                lookup
-                    .iter()
-                    .find(|(src, _)| *src == encoded as u64)
-                    .map(|(_, p)| p.clone())
-                    .expect("solution indices come from the union's sources")
-            })
-            .collect();
+        let mut points = Vec::with_capacity(solution.indices.len());
+        for &encoded in &solution.indices {
+            let point = lookup
+                .iter()
+                .find(|(src, _)| *src == encoded as u64)
+                .map(|(_, p)| p.clone())
+                .ok_or_else(|| DivError::CorruptState {
+                    reason: format!("combiner selected {encoded}, absent from the union's sources"),
+                })?;
+            points.push(point);
+        }
 
         // End the e2e span before snapshotting so this very query is
         // already in the histogram the report carries.
@@ -565,7 +1113,7 @@ where
                 // Row names are pinned in `tests/serve_pool.rs`.
                 StageTiming {
                     stage: "warm-lock-wait".into(),
-                    secs: lock_wait_secs,
+                    secs: ex.lock_wait_secs,
                 },
                 StageTiming {
                     stage: round_stats.name.clone(),
@@ -575,9 +1123,9 @@ where
             memory: vec![
                 StageMemory {
                     stage: "warm-extract".into(),
-                    reducers: self.shards.len(),
-                    max_local_points: max_shard,
-                    total_points: total,
+                    reducers: shards_answered,
+                    max_local_points: ex.max_shard,
+                    total_points: ex.total,
                     emitted_points: solve_input_size,
                 },
                 StageMemory {
@@ -589,6 +1137,7 @@ where
                 },
             ],
             certificate: None,
+            degradation,
             telemetry: diversity_obs::snapshot(),
         };
         Ok(report)
@@ -597,11 +1146,40 @@ where
     /// Snapshots every shard into a serde-able [`PoolState`]. Shards
     /// are locked one at a time: the snapshot is per-shard consistent;
     /// take it at a quiescent point for a cross-shard-exact image.
-    pub fn checkpoint(&self) -> PoolState<P> {
+    ///
+    /// The checkpoint doubles as each shard's recovery baseline: the
+    /// acknowledged-operation log is folded into it and truncated, so
+    /// periodic checkpoints bound both recovery replay time and log
+    /// memory. Quarantined shards are recovered first (their state is
+    /// fully reconstructible); a shard that cannot be recovered fails
+    /// the checkpoint with the recovery's typed error.
+    pub fn checkpoint(&self) -> Result<PoolState<P>, DivError> {
         let _span = diversity_obs::span("serve.checkpoint_ns");
-        PoolState {
-            shards: self.shards.iter().map(|s| s.read().state()).collect(),
-            router: self.router.checkpoint(),
+        let mut states = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            self.recover(shard)?;
+            let slot = &self.shards[shard];
+            let engine = slot.engine.read();
+            let state = engine.state();
+            // Refresh the recovery baseline under the engine lock so
+            // no acknowledged op can slip between state and log
+            // truncation.
+            let mut recovery = slot.recovery.lock();
+            recovery.base = state.clone();
+            recovery.log.clear();
+            drop(recovery);
+            drop(engine);
+            states.push(state);
         }
+        Ok(PoolState {
+            shards: states,
+            router: self.router.checkpoint(),
+        })
     }
+}
+
+/// What a mutation produced (see `ShardPool::mutate`).
+enum MutOutcome {
+    Inserted(PointId),
+    Deleted(bool),
 }

@@ -90,7 +90,7 @@ impl Serve for Task {
         let pool = self.serve(metric, partitions.parts.len())?;
         for (shard, part) in partitions.parts.iter().enumerate() {
             for point in part {
-                pool.insert_to(shard, point.clone());
+                pool.insert_to(shard, point.clone())?;
             }
         }
         Ok(pool)

@@ -67,7 +67,7 @@ fn churn_stress(problem: Problem, k: usize) {
     // Seed with points no writer ever deletes: the pool can never
     // shrink below k, so every concurrent read must succeed.
     for i in 0..160 {
-        pool.insert(gen_point(u64::MAX, i));
+        pool.insert(gen_point(u64::MAX, i)).expect("seed insert");
     }
 
     let cfg = ChurnConfig {
@@ -87,7 +87,10 @@ fn churn_stress(problem: Problem, k: usize) {
         // writers (cross-round churn, not just own-round).
         if let Some(old) = round_survivors.last() {
             for id in old.iter().step_by(4) {
-                assert!(pool.delete(*id), "quiescent survivor must be deletable");
+                assert!(
+                    pool.delete(*id).expect("fault-free delete"),
+                    "quiescent survivor must be deletable"
+                );
             }
         }
         let outcome = churn_round(&pool, &task, &cfg, |w, i| {
@@ -157,9 +160,11 @@ fn churn_stress(problem: Problem, k: usize) {
         );
 
         // Checkpoint → wire → restore → query: bit-identical.
-        let json = serde_json::to_string(&pool.checkpoint()).expect("serialize pool");
+        let json = serde_json::to_string(&pool.checkpoint().expect("healthy checkpoint"))
+            .expect("serialize pool");
         let restored: ShardPool<VecPoint, _> =
-            ShardPool::restore(Euclidean, serde_json::from_str(&json).expect("deserialize"));
+            ShardPool::restore(Euclidean, serde_json::from_str(&json).expect("deserialize"))
+                .expect("own checkpoint restores");
         assert_eq!(restored.len(), pool.len());
         let replay = restored.query(&task).expect("restored query");
         assert_eq!(replay.indices, warm.indices, "selection must match exactly");
@@ -206,9 +211,11 @@ fn draining_a_shard_is_not_an_error() {
     let task = Task::new(Problem::RemoteEdge, 3).budget(Budget::KPrime(12));
     let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 3).expect("pool");
     // Round-robin: ids [0], [3], [6], ... land in shard 0.
-    let ids = pool.extend((0..30).map(|i| gen_point(7, i)));
+    let ids = pool
+        .extend((0..30).map(|i| gen_point(7, i)))
+        .expect("extend");
     for id in ids.iter().filter(|id| id.shard == 0) {
-        assert!(pool.delete(*id));
+        assert!(pool.delete(*id).expect("fault-free delete"));
     }
     assert_eq!(pool.shard_len(0), 0, "shard 0 fully drained");
     let report = pool.query(&task).expect("two live shards remain");
@@ -219,7 +226,7 @@ fn draining_a_shard_is_not_an_error() {
 
     // Drain everything: the typed error, not a panic.
     for (id, _) in pool.alive() {
-        assert!(pool.delete(id));
+        assert!(pool.delete(id).expect("fault-free delete"));
     }
     assert_eq!(pool.query(&task).unwrap_err(), DivError::EmptyInput);
 }

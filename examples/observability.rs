@@ -47,9 +47,9 @@ fn main() -> Result<(), DivError> {
 
     // ...including the warm serving path.
     let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 4)?;
-    let ids = pool.extend(points.iter().cloned());
+    let ids = pool.extend(points.iter().cloned())?;
     for id in ids.iter().step_by(5) {
-        pool.delete(*id);
+        pool.delete(*id)?;
     }
     let warm = pool.query(&task)?;
 

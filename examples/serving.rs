@@ -28,13 +28,13 @@ fn main() -> Result<(), DivError> {
 
     // Live traffic: insert the backlog, then churn — every third new
     // story replaces an old one (a sliding window in miniature).
-    let ids = pool.extend(stories[..30_000].iter().cloned());
+    let ids = pool.extend(stories[..30_000].iter().cloned())?;
     let mut expired = ids.into_iter();
     for (i, story) in stories[30_000..].iter().enumerate() {
-        pool.insert(story.clone());
+        pool.insert(story.clone())?;
         if i % 3 == 0 {
             if let Some(old) = expired.next() {
-                pool.delete(old);
+                pool.delete(old)?;
             }
         }
     }
@@ -73,8 +73,8 @@ fn main() -> Result<(), DivError> {
     );
 
     // Snapshot → restore: the restarted service answers identically.
-    let snapshot = pool.checkpoint();
-    let restored: ShardPool<VecPoint, _> = ShardPool::restore(Euclidean, snapshot);
+    let snapshot = pool.checkpoint()?;
+    let restored: ShardPool<VecPoint, _> = ShardPool::restore(Euclidean, snapshot)?;
     let replay = restored.query(&task)?;
     assert_eq!(replay.value.to_bits(), report.value.to_bits());
     assert_eq!(replay.indices, report.indices);

@@ -59,7 +59,7 @@ fn warm_report_timing_rows_are_pinned() {
     let pts = points(120);
     let task = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(16));
     let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 3).unwrap();
-    pool.extend(pts);
+    pool.extend(pts).unwrap();
     let warm = pool.query(&task).unwrap();
     let rows: Vec<&str> = warm.timings.iter().map(|t| t.stage.as_str()).collect();
     assert_eq!(
@@ -140,26 +140,26 @@ fn serve_validates_upfront() {
 fn pool_checkpoint_roundtrips_over_the_wire() {
     let task = Task::new(Problem::RemoteClique, 4).budget(Budget::KPrime(16));
     let pool: ShardPool<VecPoint, _> = task.serve(Euclidean, 3).unwrap();
-    let ids = pool.extend(points(75));
+    let ids = pool.extend(points(75)).unwrap();
     for id in ids.iter().step_by(5) {
-        assert!(pool.delete(*id));
+        assert!(pool.delete(*id).unwrap());
     }
     let live = pool.query(&task).unwrap();
 
-    let json = serde_json::to_string(&pool.checkpoint()).unwrap();
+    let json = serde_json::to_string(&pool.checkpoint().unwrap()).unwrap();
     let state: PoolState<VecPoint> = serde_json::from_str(&json).unwrap();
     assert_eq!(state.shards.len(), 3);
     assert_eq!(state.len(), pool.len());
 
-    let restored: ShardPool<VecPoint, _> = ShardPool::restore(Euclidean, state);
+    let restored: ShardPool<VecPoint, _> = ShardPool::restore(Euclidean, state).unwrap();
     let replay = restored.query(&task).unwrap();
     assert_eq!(replay.indices, live.indices);
     assert_eq!(replay.value.to_bits(), live.value.to_bits());
 
     // Router continuity: the next insert on both pools lands on the
     // same shard.
-    let a = pool.insert(VecPoint::from([1.0, 2.0]));
-    let b = restored.insert(VecPoint::from([1.0, 2.0]));
+    let a = pool.insert(VecPoint::from([1.0, 2.0])).unwrap();
+    let b = restored.insert(VecPoint::from([1.0, 2.0])).unwrap();
     assert_eq!(a.shard, b.shard);
 }
 

@@ -242,20 +242,29 @@ fn engine_state_wire_format_is_stable() {
     )
     .unwrap();
     assert!(empty.is_empty());
-    let resumed: DynamicDiversity<VecPoint, _> = DynamicDiversity::resume(Euclidean, empty);
+    let resumed: DynamicDiversity<VecPoint, _> =
+        DynamicDiversity::resume(Euclidean, empty).expect("empty state resumes");
     assert!(resumed.is_empty());
 }
 
-/// A structurally corrupt checkpoint must fail loudly at resume, not
-/// answer queries from a broken hierarchy.
+/// A structurally corrupt checkpoint must fail with a typed error at
+/// resume — not panic, and never answer queries from a broken
+/// hierarchy.
 #[test]
-#[should_panic(expected = "dangling parent")]
 fn corrupt_engine_state_is_rejected_at_resume() {
     let state: EngineState<VecPoint> = serde_json::from_str(
         r#"{"nodes":[{"id":0,"point":{"coords":[0]},"level":1,"parent":null,"children":[],"bucketed":false},{"id":1,"point":{"coords":[5]},"level":0,"parent":9,"children":[],"bucketed":false}],"root":0,"top_level":1,"next_id":2,"epsilon":1,"dim":2,"max_depth":48}"#,
     )
     .unwrap();
-    let _ = DynamicDiversity::resume(Euclidean, state);
+    let err = match DynamicDiversity::resume(Euclidean, state) {
+        Err(err) => err,
+        Ok(_) => panic!("a dangling parent must not resume"),
+    };
+    assert!(
+        err.reason.contains("dangling parent"),
+        "reason names the defect: {}",
+        err.reason
+    );
 }
 
 proptest! {
@@ -299,7 +308,8 @@ proptest! {
         }
         let json = serde_json::to_string(&engine.state()).unwrap();
         let state: EngineState<VecPoint> = serde_json::from_str(&json).unwrap();
-        let mut engine = DynamicDiversity::resume(Euclidean, state);
+        let mut engine =
+            DynamicDiversity::resume(Euclidean, state).expect("own checkpoint resumes");
         for &op in &script[cut..] {
             apply(&mut engine, &mut alive, op)?;
         }

@@ -75,6 +75,26 @@ impl<T: ?Sized> RwLock<T> {
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+
+    /// Non-blocking read: `None` when a writer holds (or is queued on)
+    /// the lock, matching parking_lot's `try_read`.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Non-blocking write: `None` when any reader or writer holds the
+    /// lock, matching parking_lot's `try_write`.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +114,19 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 9;
         assert_eq!(l.into_inner(), 9);
+    }
+
+    #[test]
+    fn try_lock_refuses_instead_of_blocking() {
+        let l = RwLock::new(1u32);
+        let r = l.read();
+        assert!(l.try_read().is_some(), "readers share");
+        assert!(l.try_write().is_none(), "a reader blocks writers");
+        drop(r);
+        let w = l.try_write().expect("uncontended try_write");
+        assert!(l.try_read().is_none(), "a writer blocks readers");
+        drop(w);
+        assert_eq!(*l.read(), 1);
     }
 
     #[test]
