@@ -84,6 +84,7 @@ pub use metric;
 mod error;
 mod report;
 mod task;
+pub mod wire;
 
 pub use error::DivError;
 pub use report::{Backend, Certificate, Degradation, Report, StageMemory, StageTiming};

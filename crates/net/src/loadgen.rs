@@ -1,0 +1,301 @@
+//! The load-generator harness behind `divmax-loadgen`: N client
+//! connections firing queries at a server, exact percentile latencies
+//! from the merged sample, and a JSON-printable report.
+
+use crate::client::{NetClient, NetError};
+use diversity::wire::{BinRead, BinWrite};
+use diversity::{Budget, Task};
+use std::time::{Duration, Instant};
+
+/// What to fire at the server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Queries per connection.
+    pub requests_per_conn: usize,
+    /// The base query.
+    pub task: Task,
+    /// Distinct query variants cycled across requests. 1 sends the
+    /// identical task every time (the fully coalescable workload);
+    /// `d > 1` perturbs the kernel budget per variant so payload bytes
+    /// differ.
+    pub distinct: usize,
+    /// Pacing target in queries/sec across all connections; 0 is
+    /// unpaced (closed-loop).
+    pub target_qps: u64,
+}
+
+impl LoadgenConfig {
+    /// An unpaced single-variant workload.
+    pub fn new(addr: impl Into<String>, task: Task) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 4,
+            requests_per_conn: 50,
+            task,
+            distinct: 1,
+            target_qps: 0,
+        }
+    }
+
+    /// The `i`-th query variant.
+    fn variant(&self, i: usize) -> Task {
+        if self.distinct <= 1 {
+            return self.task.clone();
+        }
+        // Perturb the kernel budget: changes the payload bytes (so
+        // coalescing cannot merge variants) while staying a valid
+        // query against the same pool.
+        let base = match self.task.budget_spec() {
+            Budget::KPrime(k_prime) => k_prime,
+            _ => self.task.k() * 4,
+        };
+        self.task
+            .clone()
+            .budget(Budget::KPrime(base + (i % self.distinct)))
+    }
+}
+
+/// The merged outcome of a loadgen run. All latencies are end-to-end
+/// client-side (encode + socket + server + decode), in nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Full-fidelity answers.
+    pub ok: u64,
+    /// Degraded answers (success scoped to surviving shards).
+    pub degraded: u64,
+    /// Typed server rejections (statuses 2–7, 9).
+    pub server_errors: u64,
+    /// Client-side protocol failures.
+    pub protocol_errors: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Achieved queries/sec.
+    pub qps: f64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Mean latency.
+    pub mean_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+impl LoadgenReport {
+    /// The report as a single-line JSON object (hand-rendered — every
+    /// field is numeric).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sent\":{},\"ok\":{},\"degraded\":{},\"server_errors\":{},",
+                "\"protocol_errors\":{},\"elapsed_secs\":{:.6},\"qps\":{:.2},",
+                "\"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}"
+            ),
+            self.sent,
+            self.ok,
+            self.degraded,
+            self.server_errors,
+            self.protocol_errors,
+            self.elapsed_secs,
+            self.qps,
+            self.p50_ns,
+            self.p99_ns,
+            self.mean_ns,
+            self.max_ns,
+        )
+    }
+}
+
+/// The exact `q`-th percentile of a sorted sample (classic
+/// nearest-rank: the smallest value with at least `q`% of the sample
+/// at or below it).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct ConnOutcome {
+    latencies: Vec<u64>,
+    ok: u64,
+    degraded: u64,
+    server_errors: u64,
+    protocol_errors: u64,
+}
+
+/// Runs the configured workload to completion and merges the
+/// per-connection samples.
+pub fn run<P>(config: &LoadgenConfig) -> LoadgenReport
+where
+    P: BinRead + BinWrite + Send + 'static,
+{
+    let started = Instant::now();
+    let per_conn_pace = if config.target_qps > 0 && config.connections > 0 {
+        let per_conn_qps = config.target_qps as f64 / config.connections as f64;
+        Some(Duration::from_secs_f64(1.0 / per_conn_qps.max(1e-9)))
+    } else {
+        None
+    };
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn| scope.spawn(move || run_connection::<P>(config, conn, per_conn_pace)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let (mut ok, mut degraded, mut server_errors, mut protocol_errors) = (0, 0, 0, 0);
+    for outcome in outcomes {
+        latencies.extend(outcome.latencies);
+        ok += outcome.ok;
+        degraded += outcome.degraded;
+        server_errors += outcome.server_errors;
+        protocol_errors += outcome.protocol_errors;
+    }
+    latencies.sort_unstable();
+    let sent = (config.connections * config.requests_per_conn) as u64;
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    LoadgenReport {
+        sent,
+        ok,
+        degraded,
+        server_errors,
+        protocol_errors,
+        elapsed_secs: elapsed,
+        qps: if elapsed > 0.0 {
+            sent as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ns: percentile(&latencies, 50.0),
+        p99_ns: percentile(&latencies, 99.0),
+        mean_ns: mean,
+        max_ns: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn run_connection<P>(config: &LoadgenConfig, conn: usize, pace: Option<Duration>) -> ConnOutcome
+where
+    P: BinRead + BinWrite,
+{
+    let mut outcome = ConnOutcome {
+        latencies: Vec::with_capacity(config.requests_per_conn),
+        ok: 0,
+        degraded: 0,
+        server_errors: 0,
+        protocol_errors: 0,
+    };
+    let mut client = match NetClient::<P>::connect(&config.addr) {
+        Ok(client) => client,
+        Err(_) => {
+            outcome.protocol_errors += config.requests_per_conn as u64;
+            return outcome;
+        }
+    };
+    for i in 0..config.requests_per_conn {
+        // Stripe variants across connections so concurrent identical
+        // payloads actually overlap when distinct == 1.
+        let task = config.variant(conn + i * config.connections.max(1));
+        let request_started = Instant::now();
+        match client.query(&task) {
+            Ok(report) => {
+                outcome
+                    .latencies
+                    .push(request_started.elapsed().as_nanos() as u64);
+                if report.degradation.is_some() {
+                    outcome.degraded += 1;
+                } else {
+                    outcome.ok += 1;
+                }
+            }
+            Err(NetError::Server { status, .. }) => {
+                outcome
+                    .latencies
+                    .push(request_started.elapsed().as_nanos() as u64);
+                debug_assert!(!status.is_success());
+                outcome.server_errors += 1;
+            }
+            Err(NetError::Proto(_)) => {
+                outcome.protocol_errors += 1;
+                // The stream may be desynchronized: reconnect.
+                match NetClient::<P>::connect(&config.addr) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => {
+                        outcome.protocol_errors += (config.requests_per_conn - i - 1) as u64;
+                        return outcome;
+                    }
+                }
+            }
+        }
+        if let Some(gap) = pace {
+            let spent = request_started.elapsed();
+            if spent < gap {
+                std::thread::sleep(gap - spent);
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversity::core::Problem;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 50.0), 50);
+        assert_eq!(percentile(&sample, 99.0), 99);
+        assert_eq!(percentile(&sample, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn variants_cycle_and_identical_when_distinct_is_one() {
+        let task = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(16));
+        let mut config = LoadgenConfig::new("127.0.0.1:1", task.clone());
+        assert_eq!(config.variant(0), task);
+        assert_eq!(config.variant(9), task);
+        config.distinct = 3;
+        let v0 = config.variant(0);
+        let v1 = config.variant(1);
+        let v3 = config.variant(3);
+        assert_ne!(v0, v1);
+        assert_eq!(v0, v3);
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let report = LoadgenReport {
+            sent: 10,
+            ok: 9,
+            degraded: 1,
+            server_errors: 0,
+            protocol_errors: 0,
+            elapsed_secs: 0.5,
+            qps: 20.0,
+            p50_ns: 100,
+            p99_ns: 900,
+            mean_ns: 200,
+            max_ns: 1000,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p99_ns\":900"));
+        assert!(json.contains("\"qps\":20.00"));
+    }
+}

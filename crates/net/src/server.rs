@@ -1,0 +1,608 @@
+//! The socket server: a thread-per-core accept loop over a shared
+//! [`ShardPool`], with admission control and epoch-keyed query
+//! coalescing.
+//!
+//! ## Concurrency model
+//!
+//! `workers` OS threads each run an accept loop on one shared
+//! non-blocking listener and handle accepted connections **inline** —
+//! connection concurrency equals the worker count, there is no hidden
+//! thread-per-connection growth. Each connection is a sequence of
+//! request frames answered in order; responses echo the request's
+//! opcode.
+//!
+//! ## Admission control
+//!
+//! Query/Mutate/Checkpoint requests pass a bounded in-flight gate
+//! (`max_inflight`). Over the bound, the request is rejected with
+//! [`Status::Overloaded`] — a typed backpressure signal, not a dropped
+//! connection. Stats and Shutdown bypass the gate so monitoring and
+//! draining work *under* overload.
+//!
+//! ## Query coalescing
+//!
+//! Identical query payloads arriving while the pool is quiescent share
+//! one extraction. The key is `(task bytes, pool mutation epoch)`: the
+//! pool bumps its epoch on every acknowledged mutation and health
+//! transition, so equal epochs witness that no answer-changing event
+//! separated the two requests. A follower that joins a leader's
+//! in-flight query waits on a condvar and receives the leader's
+//! encoded response bytes verbatim; `net.coalesced` counts followers.
+
+use crate::frame::{write_frame, FrameReader, Opcode, ReadOutcome, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{encode_response, status_for, MutateReply, MutateRequest, StatsReply, Status};
+use diversity::wire::{from_bytes, BinRead, BinWrite};
+use diversity::Task;
+use diversity_serve::{ShardPool, ShardedId};
+use metric::Metric;
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The `net.*` counters the server registers at start so a
+/// `divmax-stats --assert-keys` probe sees them even before traffic.
+pub const OBS_KEYS: [&str; 6] = [
+    "net.accepted",
+    "net.queries",
+    "net.mutates",
+    "net.coalesced",
+    "net.rejected",
+    "net.protocol_errors",
+];
+
+/// Server configuration. `Default` binds an ephemeral localhost port
+/// with one worker per available core.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Accept-loop threads; 0 means one per available core.
+    pub workers: usize,
+    /// In-flight Query/Mutate/Checkpoint bound; beyond it requests get
+    /// [`Status::Overloaded`].
+    pub max_inflight: usize,
+    /// Whether identical quiescent queries share one extraction.
+    pub coalesce: bool,
+    /// Test hook: milliseconds a coalescing leader holds the entry
+    /// open before executing, widening the join window
+    /// deterministically. 0 in production.
+    pub coalesce_hold_ms: u64,
+    /// Per-frame payload cap.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_inflight: 64,
+            coalesce: true,
+            coalesce_hold_ms: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A snapshot of the server's own counters (the in-process complement
+/// of the Stats opcode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Query requests handled.
+    pub queries: u64,
+    /// Mutate requests handled.
+    pub mutates: u64,
+    /// Queries answered from another request's extraction.
+    pub coalesced: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Frames or payloads that failed protocol validation.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    queries: AtomicU64,
+    mutates: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl NetCounters {
+    fn bump(&self, counter: &AtomicU64, obs_name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        diversity_obs::count(obs_name, 1);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            mutates: self.mutates.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One in-flight coalesced query: the leader publishes the encoded
+/// response here; followers wait on the condvar.
+struct Inflight {
+    done: Mutex<Option<(Status, Arc<Vec<u8>>)>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Arc<Self> {
+        Arc::new(Inflight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) -> (Status, Arc<Vec<u8>>) {
+        let mut guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return result.clone();
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+enum Claim {
+    Leader(Arc<Inflight>),
+    Follower(Arc<Inflight>),
+}
+
+/// The epoch-keyed coalescing table. An entry is joinable only while
+/// its recorded epoch still equals the pool's current epoch — a
+/// mutation acked between the leader's start and a would-be follower's
+/// arrival makes the follower a new leader instead.
+struct Coalescer {
+    entries: Mutex<HashMap<Vec<u8>, CoalesceEntry>>,
+}
+
+/// A joinable in-flight query: the pool epoch it was claimed at plus
+/// the shared completion slot.
+type CoalesceEntry = (u64, Arc<Inflight>);
+
+impl Coalescer {
+    fn new() -> Self {
+        Coalescer {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn claim(&self, key: &[u8], epoch: u64) -> Claim {
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((entry_epoch, inflight)) = map.get(key) {
+            if *entry_epoch == epoch {
+                return Claim::Follower(Arc::clone(inflight));
+            }
+        }
+        let inflight = Inflight::new();
+        // A stale entry (older epoch) is superseded: late followers of
+        // the old leader still hold their own Arc and will be answered.
+        map.insert(key.to_vec(), (epoch, Arc::clone(&inflight)));
+        Claim::Leader(inflight)
+    }
+
+    fn publish(&self, key: &[u8], own: &Arc<Inflight>, status: Status, bytes: Arc<Vec<u8>>) {
+        {
+            let mut done = own.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = Some((status, bytes));
+        }
+        own.cv.notify_all();
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, current)) = map.get(key) {
+            // Only remove our own entry — a newer leader's must survive.
+            if Arc::ptr_eq(current, own) {
+                map.remove(key);
+            }
+        }
+    }
+}
+
+/// Decrements the in-flight gauge on drop, so early returns and write
+/// failures cannot leak an admission slot.
+struct AdmissionSlot<'a>(&'a AtomicUsize);
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Inner<P, M> {
+    pool: ShardPool<P, M>,
+    config: ServerConfig,
+    counters: NetCounters,
+    coalescer: Coalescer,
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown_and_join`](Server::shutdown_and_join) (or send the
+/// Shutdown opcode) to drain it.
+pub struct Server<P, M> {
+    inner: Arc<Inner<P, M>>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<P, M> Server<P, M>
+where
+    P: Clone + Send + Sync + BinRead + BinWrite + 'static,
+    M: Metric<P> + Clone + Send + Sync + 'static,
+{
+    /// Binds `config.addr` and starts the accept loops over `pool`.
+    pub fn start(pool: ShardPool<P, M>, config: ServerConfig) -> std::io::Result<Self> {
+        for key in OBS_KEYS {
+            diversity_obs::count(key, 0);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            pool,
+            config,
+            counters: NetCounters::default(),
+            coalescer: Coalescer::new(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let listener = Arc::new(listener);
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let listener = Arc::clone(&listener);
+                std::thread::Builder::new()
+                    .name(format!("divmax-net-{i}"))
+                    .spawn(move || accept_loop(&inner, &listener))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Server {
+            inner,
+            addr,
+            workers: handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's counters right now.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Whether a shutdown (local or via the Shutdown opcode) has been
+    /// requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Shared access to the pool being served.
+    pub fn pool(&self) -> &ShardPool<P, M> {
+        &self.inner.pool
+    }
+
+    /// Requests shutdown and joins every worker; returns the final
+    /// counters.
+    pub fn shutdown_and_join(mut self) -> ServerStats {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.counters.snapshot()
+    }
+
+    /// Blocks until a Shutdown request (or a local
+    /// [`shutdown_and_join`](Server::shutdown_and_join) from another
+    /// handle) drains the workers; returns the final counters.
+    pub fn join(mut self) -> ServerStats {
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.counters.snapshot()
+    }
+}
+
+fn accept_loop<P, M>(inner: &Inner<P, M>, listener: &TcpListener)
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                inner
+                    .counters
+                    .bump(&inner.counters.accepted, "net.accepted");
+                handle_connection(inner, stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_connection<P, M>(inner: &Inner<P, M>, stream: TcpStream)
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+    // Short read timeout: the poll point where an idle connection
+    // notices a pending shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut write_half = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::with_max_len(stream, inner.config.max_frame_len);
+    loop {
+        match reader.poll_frame() {
+            Ok(ReadOutcome::Idle) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Frame(frame)) => {
+                let keep_going = handle_frame(inner, &mut write_half, frame.opcode, &frame.payload);
+                if !keep_going {
+                    return;
+                }
+            }
+            Err(err) => {
+                // The stream may be desynchronized: answer with the
+                // dedicated Err opcode, then close.
+                inner
+                    .counters
+                    .bump(&inner.counters.protocol_errors, "net.protocol_errors");
+                let body = encode_response(Status::ProtocolError, &err.to_string());
+                let _ = write_frame(&mut write_half, Opcode::Err, &body);
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one request frame; returns `false` when the connection
+/// should close (after a Shutdown request).
+fn handle_frame<P, M>(
+    inner: &Inner<P, M>,
+    write_half: &mut TcpStream,
+    opcode: Opcode,
+    payload: &[u8],
+) -> bool
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    if inner.shutdown.load(Ordering::Acquire) && opcode != Opcode::Shutdown {
+        let body = encode_response(Status::ShuttingDown, &"server draining".to_string());
+        let _ = write_frame(write_half, opcode, &body);
+        return false;
+    }
+    match opcode {
+        Opcode::Stats => {
+            let body = stats_body(inner);
+            write_frame(write_half, opcode, &body).is_ok()
+        }
+        Opcode::Shutdown => {
+            inner.shutdown.store(true, Ordering::Release);
+            let _ = write_frame(write_half, opcode, &[Status::Ok as u8]);
+            false
+        }
+        Opcode::Query | Opcode::Mutate | Opcode::Checkpoint => {
+            // Admission gate: bounded in-flight work.
+            let in_flight = inner.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+            let slot = AdmissionSlot(&inner.in_flight);
+            if in_flight > inner.config.max_inflight {
+                inner
+                    .counters
+                    .bump(&inner.counters.rejected, "net.rejected");
+                drop(slot);
+                let body = encode_response(
+                    Status::Overloaded,
+                    &format!(
+                        "{in_flight} requests in flight (bound {})",
+                        inner.config.max_inflight
+                    ),
+                );
+                return write_frame(write_half, opcode, &body).is_ok();
+            }
+            let body = match opcode {
+                Opcode::Query => answer_query(inner, payload),
+                Opcode::Mutate => answer_mutate(inner, payload),
+                _ => answer_checkpoint(inner, payload),
+            };
+            drop(slot);
+            write_frame(write_half, opcode, &body).is_ok()
+        }
+        Opcode::Err => {
+            // Err is a response-only opcode; receiving it is a
+            // protocol error.
+            inner
+                .counters
+                .bump(&inner.counters.protocol_errors, "net.protocol_errors");
+            let body = encode_response(
+                Status::ProtocolError,
+                &"Err is a response-only opcode".to_string(),
+            );
+            let _ = write_frame(write_half, Opcode::Err, &body);
+            false
+        }
+    }
+}
+
+fn answer_query<P, M>(inner: &Inner<P, M>, payload: &[u8]) -> Vec<u8>
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    inner.counters.bump(&inner.counters.queries, "net.queries");
+    if !inner.config.coalesce {
+        return run_query(inner, payload).1;
+    }
+    let epoch = inner.pool.epoch();
+    match inner.coalescer.claim(payload, epoch) {
+        Claim::Follower(inflight) => {
+            inner
+                .counters
+                .bump(&inner.counters.coalesced, "net.coalesced");
+            let (_, bytes) = inflight.wait();
+            bytes.as_ref().clone()
+        }
+        Claim::Leader(inflight) => {
+            if inner.config.coalesce_hold_ms > 0 {
+                std::thread::sleep(Duration::from_millis(inner.config.coalesce_hold_ms));
+            }
+            let (status, body) = run_query(inner, payload);
+            let shared = Arc::new(body);
+            inner
+                .coalescer
+                .publish(payload, &inflight, status, Arc::clone(&shared));
+            shared.as_ref().clone()
+        }
+    }
+}
+
+fn run_query<P, M>(inner: &Inner<P, M>, payload: &[u8]) -> (Status, Vec<u8>)
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    let task: Task = match from_bytes(payload) {
+        Ok(task) => task,
+        Err(err) => return protocol_error_body(inner, "Query payload", &err),
+    };
+    match inner.pool.query(&task) {
+        Ok(report) => {
+            let status = if report.degradation.is_some() {
+                Status::Degraded
+            } else {
+                Status::Ok
+            };
+            (status, encode_response(status, &report))
+        }
+        Err(err) => {
+            let status = status_for(&err);
+            (status, encode_response(status, &err))
+        }
+    }
+}
+
+fn answer_mutate<P, M>(inner: &Inner<P, M>, payload: &[u8]) -> Vec<u8>
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    inner.counters.bump(&inner.counters.mutates, "net.mutates");
+    let request: MutateRequest<P> = match from_bytes(payload) {
+        Ok(request) => request,
+        Err(err) => return protocol_error_body(inner, "Mutate payload", &err).1,
+    };
+    let outcome = match request {
+        MutateRequest::Insert(point) => inner
+            .pool
+            .insert(point)
+            .map(|id| MutateReply::Inserted(id.encode())),
+        MutateRequest::Delete(id) => inner
+            .pool
+            .delete(ShardedId::decode(id))
+            .map(MutateReply::Deleted),
+    };
+    match outcome {
+        Ok(reply) => encode_response(Status::Ok, &reply),
+        Err(err) => {
+            let status = status_for(&err);
+            encode_response(status, &err)
+        }
+    }
+}
+
+fn answer_checkpoint<P, M>(inner: &Inner<P, M>, payload: &[u8]) -> Vec<u8>
+where
+    P: Clone + Send + Sync + BinRead + BinWrite,
+    M: Metric<P> + Clone,
+{
+    if !payload.is_empty() {
+        let err = diversity::wire::WireError::TrailingBytes {
+            remaining: payload.len(),
+        };
+        return protocol_error_body(inner, "Checkpoint payload", &err).1;
+    }
+    match inner.pool.checkpoint_consistent() {
+        Ok(state) => encode_response(Status::Ok, &state),
+        Err(err) => {
+            let status = status_for(&err);
+            encode_response(status, &err)
+        }
+    }
+}
+
+fn protocol_error_body<P, M>(
+    inner: &Inner<P, M>,
+    what: &str,
+    err: &diversity::wire::WireError,
+) -> (Status, Vec<u8>) {
+    inner
+        .counters
+        .bump(&inner.counters.protocol_errors, "net.protocol_errors");
+    (
+        Status::ProtocolError,
+        encode_response(Status::ProtocolError, &format!("{what}: {err}")),
+    )
+}
+
+fn stats_body<P, M>(inner: &Inner<P, M>) -> Vec<u8>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P> + Clone,
+{
+    let counters = inner.counters.snapshot();
+    let occupancies = inner.pool.occupancies();
+    let reply = StatsReply {
+        accepted: counters.accepted,
+        queries: counters.queries,
+        mutates: counters.mutates,
+        coalesced: counters.coalesced,
+        rejected: counters.rejected,
+        protocol_errors: counters.protocol_errors,
+        epoch: inner.pool.epoch(),
+        healthy_shards: inner.pool.healthy_shards() as u64,
+        total_shards: inner.pool.num_shards() as u64,
+        skew: inner.pool.skew(),
+        occupancies: occupancies.into_iter().map(|n| n as u64).collect(),
+    };
+    encode_response(Status::Ok, &reply)
+}

@@ -1,0 +1,274 @@
+//! End-to-end loopback tests: a real `Server` on an ephemeral port, a
+//! real `NetClient` over TCP, and raw-socket probes for the
+//! protocol-error paths.
+
+use diversity::prelude::*;
+use diversity_net::{
+    frame, NetClient, NetError, Opcode, ReadOutcome, Server, ServerConfig, Status,
+};
+use diversity_serve::ShardPool;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn seeded_server(config: ServerConfig) -> Server<VecPoint, Euclidean> {
+    let (points, _) = datasets::sphere_shell(200, 8, 4, 42);
+    let pool = ShardPool::new(Euclidean, 4);
+    pool.extend(points).expect("seeding the pool");
+    Server::start(pool, config).expect("binding an ephemeral port")
+}
+
+fn edge_task() -> Task {
+    Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(16))
+}
+
+#[test]
+fn query_over_the_wire_matches_the_in_process_answer() {
+    let server = seeded_server(ServerConfig::default());
+    let task = edge_task();
+    let local = server.pool().query(&task).expect("local query");
+
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+    let remote = client.query(&task).expect("remote query");
+    assert_eq!(remote.len(), 4);
+    assert_eq!(remote.value, local.value);
+    assert_eq!(remote.indices, local.indices);
+    assert!(remote.degradation.is_none());
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.accepted >= 1);
+    assert!(stats.queries >= 1);
+    assert_eq!(stats.total_shards, 4);
+    assert_eq!(stats.healthy_shards, 4);
+    assert_eq!(stats.occupancies.iter().sum::<u64>(), 200);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn mutations_land_and_are_visible_to_queries() {
+    let server = seeded_server(ServerConfig::default());
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+
+    let before = server.pool().len();
+    let id = client
+        .insert(&VecPoint::new(vec![9.0, 9.0, 9.0, 9.0]))
+        .expect("insert");
+    assert_eq!(server.pool().len(), before + 1);
+
+    // The far-away point must now appear in a remote-edge answer.
+    let report = client.query(&edge_task()).expect("query");
+    let far = VecPoint::new(vec![9.0, 9.0, 9.0, 9.0]);
+    assert!(report.points.iter().any(|p| p.coords() == far.coords()));
+
+    assert!(client.delete(id).expect("delete"));
+    assert!(!client.delete(id).expect("double delete"));
+    assert_eq!(server.pool().len(), before);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn checkpoint_over_the_wire_restores_bit_identically() {
+    let server = seeded_server(ServerConfig::default());
+    let task = edge_task();
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+
+    let original = client.query(&task).expect("query");
+    let state = client.checkpoint().expect("checkpoint");
+    let restored = ShardPool::restore(Euclidean, state).expect("restore");
+    let after = restored.query(&task).expect("restored query");
+    assert_eq!(after.value, original.value);
+    assert_eq!(after.indices, original.indices);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn identical_concurrent_queries_coalesce() {
+    let server = seeded_server(ServerConfig {
+        workers: 8,
+        coalesce_hold_ms: 150,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let task = edge_task();
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let task = task.clone();
+                scope.spawn(move || {
+                    let mut client = NetClient::<VecPoint>::connect(addr).expect("connect");
+                    client.query(&task).expect("query")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for pair in reports.windows(2) {
+        assert_eq!(pair[0].value, pair[1].value);
+        assert_eq!(pair[0].indices, pair[1].indices);
+    }
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.queries, 4);
+    // The 150 ms hold guarantees the later arrivals join the first
+    // leader's in-flight extraction.
+    assert!(
+        stats.coalesced >= 1,
+        "expected coalesced followers, got {stats:?}"
+    );
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn a_mutation_between_queries_defeats_coalescing() {
+    let server = seeded_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let task = edge_task();
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+
+    client.query(&task).expect("first query");
+    client
+        .insert(&VecPoint::new(vec![3.0, 3.0, 3.0, 3.0]))
+        .expect("insert");
+    // Sequential queries with an epoch bump in between: both must be
+    // fresh extractions (coalescing keys on the mutation epoch).
+    client.query(&task).expect("second query");
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.coalesced, 0);
+}
+
+#[test]
+fn admission_control_rejects_with_a_typed_status() {
+    let server = seeded_server(ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+    match client.query(&edge_task()) {
+        Err(NetError::Server {
+            status: Status::Overloaded,
+            error: None,
+            message,
+        }) => assert!(message.contains("in flight")),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Stats bypass the gate so monitoring works under overload.
+    let stats = client.stats().expect("stats under overload");
+    assert_eq!(stats.rejected, 1);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn garbage_bytes_get_an_err_frame_then_a_close() {
+    let server = seeded_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let mut reader = frame::FrameReader::new(raw.try_clone().unwrap());
+    let response = loop {
+        match reader.poll_frame().expect("server's error frame") {
+            ReadOutcome::Frame(f) => break f,
+            ReadOutcome::Idle => {}
+            ReadOutcome::Closed => panic!("closed without an error frame"),
+        }
+    };
+    assert_eq!(response.opcode, Opcode::Err);
+    assert_eq!(response.payload[0], Status::ProtocolError as u8);
+    // And the server hangs up afterwards.
+    loop {
+        match reader.poll_frame() {
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Idle) => {}
+            other => panic!("expected close, got {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn an_unparseable_task_payload_keeps_the_connection_alive() {
+    let server = seeded_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // A well-framed Query whose payload is not a Task.
+    frame::write_frame(&mut raw, Opcode::Query, &[0xFF, 0xFF, 0xFF]).expect("write");
+
+    let mut reader = frame::FrameReader::new(raw.try_clone().unwrap());
+    let response = loop {
+        match reader.poll_frame().expect("response") {
+            ReadOutcome::Frame(f) => break f,
+            ReadOutcome::Idle => {}
+            ReadOutcome::Closed => panic!("closed instead of answering"),
+        }
+    };
+    assert_eq!(response.opcode, Opcode::Query);
+    assert_eq!(response.payload[0], Status::ProtocolError as u8);
+
+    // Same connection still serves a real query afterwards.
+    let task_bytes = diversity::wire::to_bytes(&edge_task());
+    frame::write_frame(&mut raw, Opcode::Query, &task_bytes).expect("write");
+    let response = loop {
+        match reader.poll_frame().expect("response") {
+            ReadOutcome::Frame(f) => break f,
+            ReadOutcome::Idle => {}
+            ReadOutcome::Closed => panic!("closed"),
+        }
+    };
+    assert_eq!(response.payload[0], Status::Ok as u8);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation() {
+    let server = seeded_server(ServerConfig {
+        max_frame_len: 1024,
+        ..ServerConfig::default()
+    });
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&frame::MAGIC);
+    header.push(frame::VERSION);
+    header.push(Opcode::Query as u8);
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&header).expect("write");
+
+    let mut reader = frame::FrameReader::new(raw);
+    let response = loop {
+        match reader.poll_frame().expect("error frame") {
+            ReadOutcome::Frame(f) => break f,
+            ReadOutcome::Idle => {}
+            ReadOutcome::Closed => panic!("closed without an error frame"),
+        }
+    };
+    assert_eq!(response.opcode, Opcode::Err);
+    assert_eq!(response.payload[0], Status::ProtocolError as u8);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_opcode_drains_the_server() {
+    let server = seeded_server(ServerConfig::default());
+    let addr = server.addr();
+    let mut client = NetClient::<VecPoint>::connect(addr).expect("connect");
+    client.shutdown_server().expect("shutdown");
+    // join() (not shutdown_and_join) proves the remote request alone
+    // stops the workers.
+    let stats = server.join();
+    assert!(stats.accepted >= 1);
+}

@@ -90,11 +90,12 @@ pub mod churn;
 pub mod pool;
 pub mod router;
 pub mod task_ext;
+pub mod wire;
 
 pub use churn::{
     assert_degradation_consistent, chaos_round, churn_round, env_ops, value_loss, ChaosOutcome,
     ChurnConfig, ChurnOutcome,
 };
 pub use pool::{PoolState, ShardHealth, ShardPool, ShardedId};
-pub use router::{FnRouter, HashRouter, RoundRobin, Router};
+pub use router::{occupancy_skew, FnRouter, HashRouter, RoundRobin, Router, RouterState};
 pub use task_ext::Serve;

@@ -3,7 +3,7 @@
 //! panic quarantine, checkpoint+log recovery, and certified degraded
 //! answers when shards drop out.
 
-use crate::router::{RoundRobin, Router};
+use crate::router::{RoundRobin, Router, RouterState};
 use diversity::{Backend, Degradation, DivError, Report, StageMemory, StageTiming, Task};
 use diversity_core::coreset::Coreset;
 use diversity_core::Problem;
@@ -14,7 +14,7 @@ use diversity_mapreduce::MapReduceRuntime;
 use metric::Metric;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Process-wide pool id source: every pool gets a distinct telemetry
@@ -86,8 +86,11 @@ impl std::fmt::Display for ShardedId {
 pub struct PoolState<P> {
     /// Per-shard engine checkpoints, in shard order.
     pub shards: Vec<EngineState<P>>,
-    /// Router state ([`Router::checkpoint`]), if the router keeps any.
-    pub router: Option<u64>,
+    /// The router's checkpointed state ([`Router::checkpoint`]) —
+    /// always present, and always tagged with the router kind, so a
+    /// restore can tell whether the pool was checkpointed under the
+    /// same placement discipline.
+    pub router: RouterState,
 }
 
 impl<P> PoolState<P> {
@@ -308,6 +311,17 @@ pub struct ShardPool<P, M> {
     pool_id: usize,
     /// Precomputed occupancy gauge names, one per shard.
     gauge_names: Vec<String>,
+    /// Mutation epoch: bumped (under the touched shard's write lock)
+    /// on every acknowledged mutation and every shard health
+    /// transition — anything that could change a query's answer. Two
+    /// reads of [`epoch`](Self::epoch) bracketing equal values witness
+    /// a quiescent pool, which is what the network layer's query
+    /// coalescing keys on.
+    epoch: AtomicU64,
+    /// Router state from a restored checkpoint whose kind did not
+    /// match the active router; held for [`with_router`]
+    /// (Self::with_router) to apply when the matching router arrives.
+    pending_router: Option<RouterState>,
 }
 
 impl<P, M> std::fmt::Debug for ShardPool<P, M> {
@@ -383,15 +397,22 @@ where
             runtime: MapReduceRuntime::with_threads(1),
             pool_id,
             gauge_names: occupancy_gauge_names(pool_id, shards),
+            epoch: AtomicU64::new(0),
+            pending_router: None,
         }
     }
 
     /// Resumes a pool from a [`checkpoint`](Self::checkpoint). Every
     /// shard engine is rebuilt losslessly; queries on the restored
-    /// pool are bit-identical to the pool that produced the state. The
-    /// router is the default [`RoundRobin`] with its cursor restored —
-    /// a pool using a custom router should re-attach it with
-    /// [`with_router`](Self::with_router) after restoring.
+    /// pool are bit-identical to the pool that produced the state.
+    ///
+    /// The router starts as the default [`RoundRobin`]. When the
+    /// checkpointed [`RouterState`] carries a matching kind its state
+    /// (the cursor) is re-applied immediately; a state of a *different*
+    /// kind — the pool was checkpointed under e.g. a `HashRouter` — is
+    /// held aside and applied by [`with_router`](Self::with_router)
+    /// when the matching router is re-attached, so no checkpointed
+    /// router state is silently dropped.
     ///
     /// A corrupt state — no shards, shards checkpointed under
     /// different configurations, or a structurally inconsistent engine
@@ -435,9 +456,11 @@ where
             });
         }
         let router = RoundRobin::new();
-        if let Some(cursor) = state.router {
-            Router::<P>::restore(&router, cursor);
-        }
+        let pending_router = if Router::<P>::restore(&router, &state.router) {
+            None
+        } else {
+            Some(state.router)
+        };
         let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let pool = Self {
             gauge_names: occupancy_gauge_names(pool_id, shards.len()),
@@ -447,6 +470,8 @@ where
             router: Box::new(router),
             runtime: MapReduceRuntime::with_threads(1),
             pool_id,
+            epoch: AtomicU64::new(0),
+            pending_router,
         };
         drop(span);
         if diversity_obs::enabled() {
@@ -461,9 +486,25 @@ where
 
     /// Replaces the router (builder-style). Routing affects placement
     /// only, never soundness — see the type-level docs.
+    ///
+    /// When the pool was [restored](Self::restore) from a checkpoint
+    /// whose router state belonged to a different kind, that held
+    /// state is applied now if `router` matches it — re-attaching the
+    /// checkpointed router picks up exactly where it left off.
     pub fn with_router(mut self, router: impl Router<P> + 'static) -> Self {
+        if let Some(state) = &self.pending_router {
+            if router.restore(state) {
+                self.pending_router = None;
+            }
+        }
         self.router = Box::new(router);
         self
+    }
+
+    /// Checkpointed router state still awaiting its matching router
+    /// (see [`restore`](Self::restore)); `None` once applied.
+    pub fn pending_router_state(&self) -> Option<&RouterState> {
+        self.pending_router.as_ref()
     }
 
     /// Number of shards.
@@ -496,6 +537,40 @@ where
             .iter()
             .filter(|s| s.health() == ShardHealth::Healthy)
             .count()
+    }
+
+    /// The pool's mutation epoch. Bumped under the touched shard's
+    /// write lock on every acknowledged mutation and every shard
+    /// health transition — anything that could change what a query
+    /// would answer. Equal values from two reads bracketing an
+    /// operation witness that the pool was quiescent in between;
+    /// that is the key the network layer's query coalescing uses to
+    /// share one extraction among concurrent identical queries.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Every shard's last-acknowledged occupancy, in shard order —
+    /// read lock-free, so safe to poll from a rebalancing loop.
+    /// Quarantined shards report the occupancy they last acknowledged
+    /// (the population a recovery will restore), not zero.
+    pub fn occupancies(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.occupancy.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// The router's imbalance figure over the current
+    /// [`occupancies`](Self::occupancies) ([`Router::skew`]; the
+    /// default policy is max/mean — `1.0` is perfectly balanced,
+    /// `0.0` an empty pool). The hook future rebalancing keys off.
+    pub fn skew(&self) -> f64 {
+        self.router.skew(&self.occupancies())
     }
 
     /// Alive points in shard `shard` (`0` while it is quarantined —
@@ -594,6 +669,7 @@ where
         // with a mutation's own health handling.
         let _guard = slot.engine.write();
         slot.set_health(ShardHealth::Quarantined);
+        self.bump_epoch();
         diversity_obs::count("serve.quarantines", 1);
     }
 
@@ -678,6 +754,7 @@ where
             drop(recovery);
             slot.occupancy.store(occupancy, Ordering::Release);
             slot.set_health(ShardHealth::Healthy);
+            self.bump_epoch();
             diversity_obs::observe("serve.recovery_ns", started.elapsed().as_nanos() as u64);
             diversity_obs::count("serve.recoveries", 1);
             if diversity_obs::enabled() {
@@ -735,6 +812,7 @@ where
                         });
                     }
                     slot.occupancy.store(engine.len(), Ordering::Release);
+                    self.bump_epoch();
                     if obs {
                         diversity_obs::gauge_set(&self.gauge_names[shard], engine.len() as i64);
                     }
@@ -756,6 +834,7 @@ where
                     // anyone else can observe it, then rebuild in
                     // place (still under the write lock).
                     slot.set_health(ShardHealth::Quarantined);
+                    self.bump_epoch();
                     diversity_obs::count("serve.quarantines", 1);
                     let recovered = self.recover_locked(shard, &mut engine);
                     drop(engine);
@@ -918,6 +997,7 @@ where
             }
             let Some(art) = art else {
                 slot.set_health(ShardHealth::Quarantined);
+                self.bump_epoch();
                 diversity_obs::count("serve.quarantines", 1);
                 skip(&mut ex, shard, slot);
                 continue;
@@ -1171,6 +1251,54 @@ where
             drop(engine);
             states.push(state);
         }
+        Ok(PoolState {
+            shards: states,
+            router: self.router.checkpoint(),
+        })
+    }
+
+    /// [`checkpoint`](Self::checkpoint) with **quiesced writers**: all
+    /// shard write locks are acquired (in shard order, so two
+    /// concurrent consistent checkpoints cannot deadlock each other or
+    /// the one-lock-at-a-time paths) before any shard is imaged, so
+    /// the snapshot is an exact cross-shard image — no concurrent
+    /// mutation can land between imaging shard `A` and shard `B`.
+    /// Restoring it yields a pool bit-identical to this one at the
+    /// moment of the snapshot, even when taken mid-churn.
+    ///
+    /// The cost is availability: writers to *every* shard block for
+    /// the duration (readers too — the engines sit behind `RwLock`s).
+    /// Use the plain [`checkpoint`](Self::checkpoint) when per-shard
+    /// consistency is enough. Like `checkpoint`, quarantined shards
+    /// are recovered first and each shard's recovery baseline is
+    /// refreshed (log folded in and truncated).
+    pub fn checkpoint_consistent(&self) -> Result<PoolState<P>, DivError> {
+        let _span = diversity_obs::span("serve.checkpoint_consistent_ns");
+        // Recovery needs the write lock itself, so run it before the
+        // global acquisition pass.
+        self.recover_all()?;
+        let mut guards = Vec::with_capacity(self.shards.len());
+        for slot in &self.shards {
+            guards.push(slot.engine.write());
+        }
+        // Health transitions happen under shard write locks, all of
+        // which we now hold — but one may have slipped in between
+        // recover_all and our acquisition. Recover in place.
+        for (shard, guard) in guards.iter_mut().enumerate() {
+            if self.shards[shard].health() != ShardHealth::Healthy {
+                self.recover_locked(shard, &mut *guard)?;
+            }
+        }
+        let mut states = Vec::with_capacity(self.shards.len());
+        for (shard, guard) in guards.iter().enumerate() {
+            let state = guard.state();
+            let mut recovery = self.shards[shard].recovery.lock();
+            recovery.base = state.clone();
+            recovery.log.clear();
+            drop(recovery);
+            states.push(state);
+        }
+        diversity_obs::count("serve.checkpoints.consistent", 1);
         Ok(PoolState {
             shards: states,
             router: self.router.checkpoint(),

@@ -6,9 +6,53 @@
 //! router is free to optimize for balance (round-robin), affinity
 //! (hashing), or anything else. It must be [`Sync`]: the pool routes
 //! from many writer threads concurrently.
+//!
+//! Routers are **checkpointable**: [`Router::checkpoint`] produces a
+//! serde-able [`RouterState`] persisted inside the pool's `PoolState`,
+//! and [`Router::restore`] re-applies it. The state always carries the
+//! router's [`kind`](Router::kind) — even for stateless routers — so a
+//! restored pool can detect that it was checkpointed under a different
+//! placement discipline (silently switching e.g. from hash affinity to
+//! round-robin would not be unsound, but it would break every placement
+//! expectation downstream) and hold the state for the matching router
+//! to be [re-attached](crate::ShardPool::with_router).
+//!
+//! Routers also own the **skew policy**: [`Router::skew`] condenses a
+//! shard-occupancy vector into one imbalance figure — the hook a future
+//! rebalancer keys off. The default ([`occupancy_skew`]) is
+//! `max/mean`: `1.0` is perfectly balanced, `2.0` means the fullest
+//! shard holds twice its fair share.
 
+use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The serde-able checkpoint of a [`Router`], persisted in
+/// `PoolState`. Every router records its [`kind`](Router::kind);
+/// stateful routers additionally use `cursor` (the round-robin
+/// position; `0` for stateless kinds).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterState {
+    /// Stable identifier of the router implementation
+    /// ([`Router::kind`]), e.g. `"round-robin"`, `"hash"`, `"fn"`.
+    pub kind: String,
+    /// Opaque cursor for stateful routers (`0` when unused).
+    pub cursor: u64,
+}
+
+/// `max / mean` of a shard-occupancy vector: `1.0` is perfectly
+/// balanced, larger means the fullest shard holds that multiple of its
+/// fair share; `0.0` for an empty (or all-empty) pool. This is the
+/// default [`Router::skew`] policy.
+pub fn occupancy_skew(occupancy: &[usize]) -> f64 {
+    let total: usize = occupancy.iter().sum();
+    if occupancy.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let max = *occupancy.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / occupancy.len() as f64;
+    max / mean
+}
 
 /// Chooses a shard in `0..shards` for an incoming point.
 pub trait Router<P>: Send + Sync {
@@ -16,15 +60,34 @@ pub trait Router<P>: Send + Sync {
     /// ≥ 1; the result must be `< shards`.
     fn route(&self, point: &P, shards: usize) -> usize;
 
-    /// Opaque router state to persist in a pool checkpoint (`None`
-    /// when the router is stateless). The default routers use it for
-    /// the round-robin cursor.
-    fn checkpoint(&self) -> Option<u64> {
-        None
+    /// Stable identifier of this router implementation, recorded in
+    /// every checkpoint so restores can match placement disciplines.
+    fn kind(&self) -> &'static str;
+
+    /// The router state to persist in a pool checkpoint. Stateless
+    /// routers record just their [`kind`](Self::kind).
+    fn checkpoint(&self) -> RouterState {
+        RouterState {
+            kind: self.kind().to_string(),
+            cursor: 0,
+        }
     }
 
-    /// Restores state persisted by [`checkpoint`](Self::checkpoint).
-    fn restore(&self, _state: u64) {}
+    /// Re-applies state persisted by [`checkpoint`](Self::checkpoint).
+    /// Returns `false` (and must change nothing) when `state` belongs
+    /// to a different router kind — the caller decides whether to hold
+    /// the state for the matching router or proceed fresh.
+    fn restore(&self, state: &RouterState) -> bool {
+        state.kind == self.kind()
+    }
+
+    /// Condenses a shard-occupancy vector into one imbalance figure —
+    /// the rebalancing hook. The default is [`occupancy_skew`]
+    /// (`max/mean`); a router with domain knowledge (e.g. weighted
+    /// tenants) can substitute its own measure.
+    fn skew(&self, occupancy: &[usize]) -> f64 {
+        occupancy_skew(occupancy)
+    }
 }
 
 /// Cycles through the shards — the balanced default. The cursor is a
@@ -48,12 +111,23 @@ impl<P> Router<P> for RoundRobin {
         (self.cursor.fetch_add(1, Ordering::Relaxed) % shards as u64) as usize
     }
 
-    fn checkpoint(&self) -> Option<u64> {
-        Some(self.cursor.load(Ordering::Relaxed))
+    fn kind(&self) -> &'static str {
+        "round-robin"
     }
 
-    fn restore(&self, state: u64) {
-        self.cursor.store(state, Ordering::Relaxed);
+    fn checkpoint(&self) -> RouterState {
+        RouterState {
+            kind: Router::<P>::kind(self).to_string(),
+            cursor: self.cursor.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(&self, state: &RouterState) -> bool {
+        if state.kind != Router::<P>::kind(self) {
+            return false;
+        }
+        self.cursor.store(state.cursor, Ordering::Relaxed);
+        true
     }
 }
 
@@ -69,6 +143,10 @@ impl<P: Hash> Router<P> for HashRouter {
         point.hash(&mut h);
         (h.finish() % shards as u64) as usize
     }
+
+    fn kind(&self) -> &'static str {
+        "hash"
+    }
 }
 
 /// Routes through a caller-supplied function of the point — the escape
@@ -82,6 +160,10 @@ where
     fn route(&self, point: &P, shards: usize) -> usize {
         ((self.0)(point) % shards as u64) as usize
     }
+
+    fn kind(&self) -> &'static str {
+        "fn"
+    }
 }
 
 #[cfg(test)]
@@ -93,10 +175,24 @@ mod tests {
         let r = RoundRobin::new();
         let picks: Vec<usize> = (0..7).map(|_| Router::<u32>::route(&r, &0, 3)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
-        assert_eq!(Router::<u32>::checkpoint(&r), Some(7));
+        let state = Router::<u32>::checkpoint(&r);
+        assert_eq!(state.kind, "round-robin");
+        assert_eq!(state.cursor, 7);
         let fresh = RoundRobin::new();
-        Router::<u32>::restore(&fresh, 7);
+        assert!(Router::<u32>::restore(&fresh, &state));
         assert_eq!(Router::<u32>::route(&fresh, &0, 3), 1);
+    }
+
+    #[test]
+    fn restore_refuses_foreign_kinds() {
+        let r = RoundRobin::new();
+        let foreign = RouterState {
+            kind: "hash".into(),
+            cursor: 9,
+        };
+        assert!(!Router::<u32>::restore(&r, &foreign));
+        // Nothing changed: the cursor still starts at shard 0.
+        assert_eq!(Router::<u32>::route(&r, &0, 3), 0);
     }
 
     #[test]
@@ -105,7 +201,10 @@ mod tests {
         let a = r.route(&"alpha", 5);
         assert_eq!(a, r.route(&"alpha", 5));
         assert!(a < 5);
-        assert!(Router::<&str>::checkpoint(&r).is_none());
+        let state = Router::<&str>::checkpoint(&r);
+        assert_eq!(state.kind, "hash");
+        assert_eq!(state.cursor, 0);
+        assert!(Router::<&str>::restore(&r, &state));
     }
 
     #[test]
@@ -113,5 +212,17 @@ mod tests {
         let r = FnRouter(|x: &u64| *x);
         assert_eq!(r.route(&10, 4), 2);
         assert_eq!(r.route(&3, 4), 3);
+        assert_eq!(Router::<u64>::kind(&r), "fn");
+    }
+
+    #[test]
+    fn skew_is_max_over_mean() {
+        let r = RoundRobin::new();
+        assert_eq!(Router::<u32>::skew(&r, &[]), 0.0);
+        assert_eq!(Router::<u32>::skew(&r, &[0, 0, 0]), 0.0);
+        assert_eq!(Router::<u32>::skew(&r, &[5, 5, 5]), 1.0);
+        // 12 points, 3 shards, fullest holds 8 = 2x its fair share.
+        assert_eq!(Router::<u32>::skew(&r, &[8, 2, 2]), 2.0);
+        assert_eq!(occupancy_skew(&[1]), 1.0);
     }
 }

@@ -1,0 +1,58 @@
+//! Binary codec impls for the pool's checkpoint types
+//! ([`PoolState`], [`RouterState`]) — the serving layer's half of
+//! [`diversity::wire`]. A pool checkpoint written with
+//! [`diversity::wire::to_bytes`] is the dense on-disk/on-wire form the
+//! `divmax-serve` Checkpoint opcode ships; the JSON serde path remains
+//! the debuggable one.
+
+use crate::pool::PoolState;
+use crate::router::RouterState;
+use diversity::wire::{BinRead, BinReader, BinWrite, WireError};
+
+impl BinWrite for RouterState {
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.kind.write_bin(out);
+        self.cursor.write_bin(out);
+    }
+}
+
+impl BinRead for RouterState {
+    fn read_bin(r: &mut BinReader<'_>) -> Result<Self, WireError> {
+        Ok(RouterState {
+            kind: BinRead::read_bin(r)?,
+            cursor: BinRead::read_bin(r)?,
+        })
+    }
+}
+
+impl<P: BinWrite> BinWrite for PoolState<P> {
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.shards.write_bin(out);
+        self.router.write_bin(out);
+    }
+}
+
+impl<P: BinRead> BinRead for PoolState<P> {
+    fn read_bin(r: &mut BinReader<'_>) -> Result<Self, WireError> {
+        Ok(PoolState {
+            shards: BinRead::read_bin(r)?,
+            router: BinRead::read_bin(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversity::wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn router_state_roundtrips() {
+        let state = RouterState {
+            kind: "round-robin".into(),
+            cursor: 42,
+        };
+        let back: RouterState = from_bytes(&to_bytes(&state)).unwrap();
+        assert_eq!(back, state);
+    }
+}

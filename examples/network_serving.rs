@@ -1,0 +1,84 @@
+//! Serving over the network: the same warm-path [`ShardPool`] as the
+//! `serving` example, but behind the `diversity-net` socket front —
+//! real TCP, the binary wire protocol, typed statuses, and a
+//! snapshot-consistent checkpoint pulled over the wire.
+//!
+//! The walkthrough:
+//!
+//! 1. seed a pool and start a [`Server`] on an ephemeral localhost
+//!    port (in production this is the `divmax-serve` binary);
+//! 2. connect a [`NetClient`], run a query, route an insert, and watch
+//!    the answer change;
+//! 3. quarantine a shard to see the **degraded-answer contract cross
+//!    the wire**: a `Degraded` status carrying the full report and its
+//!    `Degradation` block — not a dropped connection;
+//! 4. pull a binary checkpoint over the wire and restore it into a
+//!    second, local pool that answers bit-identically;
+//! 5. drain the server with the Shutdown opcode.
+//!
+//! Run with: `cargo run --release --example network_serving`
+
+use diversity::prelude::*;
+use diversity_net::{NetClient, Server, ServerConfig};
+use diversity_serve::ShardPool;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 8;
+    let (stories, _) = datasets::sphere_shell(10_000, k, 3, 23);
+    let task = Task::new(Problem::RemoteEdge, k).budget(Budget::KPrime(8 * k));
+
+    // 1. A seeded pool behind a socket server.
+    let pool = ShardPool::new(Euclidean, 4);
+    pool.extend(stories)?;
+    let server = Server::start(pool, ServerConfig::default())?;
+    println!("serving on {}", server.addr());
+
+    // 2. A client query, then a routed insert that must change it.
+    let mut client = NetClient::<VecPoint>::connect(server.addr())?;
+    let before = client.query(&task)?;
+    println!(
+        "remote answer: k={} value={:.4} (radius certificate {:.4})",
+        before.len(),
+        before.value,
+        before.coreset_radius.unwrap_or(f64::NAN),
+    );
+    let far = VecPoint::from([50.0, 50.0, 50.0]);
+    let id = client.insert(&far)?;
+    let after = client.query(&task)?;
+    assert!(after.value >= before.value);
+    println!(
+        "after inserting an outlier (id {id}): value={:.4}",
+        after.value
+    );
+
+    // 3. The degraded-answer contract over the wire.
+    server.pool().quarantine(2);
+    let degraded = client.query(&task)?;
+    let block = degraded.degradation.as_ref().expect("degraded answer");
+    println!(
+        "with shard 2 quarantined: value={:.4}, {}/{} shards answered, coverage {:.2}",
+        degraded.value, block.shards_answered, block.shards_total, block.coverage,
+    );
+    server.pool().recover_all()?;
+    assert!(client.query(&task)?.degradation.is_none());
+
+    // 4. A snapshot-consistent checkpoint over the wire, restored
+    //    locally: bit-identical answers.
+    let state = client.checkpoint()?;
+    let restored = ShardPool::restore(Euclidean, state)?;
+    let live = client.query(&task)?;
+    let replay = restored.query(&task)?;
+    assert_eq!(replay.indices, live.indices);
+    assert_eq!(replay.value.to_bits(), live.value.to_bits());
+    println!("checkpoint restored locally: bit-identical answer ✓");
+
+    // 5. Drain.
+    let stats = client.stats()?;
+    println!(
+        "server counters: {} queries, {} mutates, {} coalesced",
+        stats.queries, stats.mutates, stats.coalesced
+    );
+    client.shutdown_server()?;
+    server.join();
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! `divmax-loadgen` — fire a query workload at a `divmax-serve`
+//! instance and print the latency/QPS report as JSON. See
+//! [`diversity_net::cli::loadgen_config`] for the flags.
+
+fn main() {
+    match diversity_net::cli::loadgen_main(std::env::args().skip(1)) {
+        Ok(report) => {
+            if report.protocol_errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(message) => {
+            eprintln!("divmax-loadgen: {message}");
+            std::process::exit(2);
+        }
+    }
+}

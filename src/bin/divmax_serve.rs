@@ -1,0 +1,9 @@
+//! `divmax-serve` — serve a seeded shard pool over the divmax wire
+//! protocol. See [`diversity_net::cli::serve_main`] for the flags.
+
+fn main() {
+    if let Err(message) = diversity_net::cli::serve_main(std::env::args().skip(1)) {
+        eprintln!("divmax-serve: {message}");
+        std::process::exit(2);
+    }
+}

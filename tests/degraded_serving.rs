@@ -20,7 +20,9 @@
 
 use diversity::prelude::*;
 use diversity_faults as faults;
-use diversity_serve::{value_loss, PoolState, Serve, ShardHealth, ShardPool, ShardedId};
+use diversity_serve::{
+    value_loss, PoolState, RouterState, Serve, ShardHealth, ShardPool, ShardedId,
+};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex, Once};
 use std::time::Duration;
@@ -229,7 +231,10 @@ fn corrupt_pool_checkpoints_are_rejected_typed() {
         Euclidean,
         PoolState {
             shards: vec![],
-            router: None,
+            router: RouterState {
+                kind: "round-robin".into(),
+                cursor: 0,
+            },
         },
     )
     .expect_err("no shards");

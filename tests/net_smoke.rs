@@ -1,0 +1,149 @@
+//! The network-serving smoke test CI gates on: a real server and the
+//! loadgen harness over localhost TCP — in-process first (so the obs
+//! registry captures the `net.*` counters for the `divmax-stats
+//! --assert-keys` CI step), then the actual `divmax-serve` /
+//! `divmax-loadgen` binaries end to end.
+
+use diversity::obs;
+use diversity::prelude::*;
+use diversity_net::{loadgen, LoadgenConfig, Server, ServerConfig};
+use diversity_serve::ShardPool;
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Once};
+
+/// Installs one process-wide [`obs::Registry`] for the whole binary.
+fn shared_registry() -> Arc<obs::Registry> {
+    static INSTALL: Once = Once::new();
+    static mut SHARED: Option<Arc<obs::Registry>> = None;
+    unsafe {
+        INSTALL.call_once(|| {
+            let reg = Arc::new(obs::Registry::new());
+            obs::install(reg.clone());
+            SHARED = Some(reg);
+        });
+        #[allow(static_mut_refs)]
+        SHARED.clone().expect("installed above")
+    }
+}
+
+#[test]
+fn net_smoke_in_process() {
+    let registry = shared_registry();
+
+    let (points, _) = datasets::sphere_shell(400, 8, 4, 42);
+    let pool = ShardPool::new(Euclidean, 4);
+    pool.extend(points).expect("seed");
+    let server = Server::start(
+        pool,
+        ServerConfig {
+            workers: 8,
+            coalesce_hold_ms: 20,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind");
+    let addr = server.addr().to_string();
+
+    let task = Task::new(Problem::RemoteEdge, 6).budget(Budget::KPrime(24));
+    let mut config = LoadgenConfig::new(addr, task);
+    config.connections = 4;
+    config.requests_per_conn = 25;
+    config.distinct = 1;
+    let report = loadgen::run::<VecPoint>(&config);
+
+    assert_eq!(report.sent, 100);
+    assert_eq!(report.ok + report.degraded, 100, "every query must succeed");
+    assert_eq!(report.protocol_errors, 0, "zero protocol errors");
+    assert_eq!(report.server_errors, 0);
+    assert!(report.p99_ns > 0, "p99 must be a real latency");
+    assert!(report.p50_ns <= report.p99_ns && report.p99_ns <= report.max_ns);
+    assert!(report.qps > 0.0 && report.qps.is_finite());
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.queries, 100);
+    assert!(
+        stats.coalesced > 0,
+        "identical-query workload must coalesce, got {stats:?}"
+    );
+    assert_eq!(stats.protocol_errors, 0);
+
+    // The CI `divmax-stats --assert-keys` gate reads this export; the
+    // same keys must already be present in the snapshot here.
+    let snap = registry.snapshot_now();
+    for key in ["net.accepted", "net.queries", "net.coalesced"] {
+        assert!(
+            snap.counter(key).is_some(),
+            "{key} missing from the telemetry snapshot"
+        );
+    }
+    assert!(
+        snap.histogram("serve.query.e2e_ns").is_some(),
+        "warm-path query histogram missing"
+    );
+    obs::export_to_env_path(&snap).expect("JSONL export must not fail");
+}
+
+#[test]
+fn net_smoke_binaries_end_to_end() {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_divmax-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--n",
+            "400",
+            "--dim",
+            "4",
+            "--shards",
+            "4",
+            "--workers",
+            "4",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn divmax-serve");
+    let stdout = server.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_divmax-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "10",
+            "--k",
+            "4",
+            "--kprime",
+            "16",
+            "--shutdown",
+            "true",
+        ])
+        .output()
+        .expect("run divmax-loadgen");
+    assert!(
+        output.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = String::from_utf8(output.stdout).expect("utf-8 report");
+    let line = json.lines().last().expect("one JSON line");
+    assert!(line.contains("\"sent\":20"), "report: {line}");
+    assert!(line.contains("\"protocol_errors\":0"), "report: {line}");
+    assert!(line.contains("\"server_errors\":0"), "report: {line}");
+    assert!(!line.contains("\"p99_ns\":0,"), "p99 must be real: {line}");
+
+    // --shutdown drained the server; it must exit cleanly on its own.
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status:?}");
+}
