@@ -87,6 +87,9 @@ fn main() {
     println!("kernels: n={n}, d={dim}, k={k}, threads={threads}, reps={reps}, trials={trials}");
     // The minimum over trials is the noise-robust estimator for
     // microbenches: external interference only ever inflates a sample.
+    // Cells being compared are interleaved within each trial round —
+    // measuring one cell's trials back-to-back hands the later cells
+    // the sustained-load clock decay as a systematic handicap.
     let min_of = |mut f: Box<dyn FnMut() -> f64>| -> f64 {
         (0..trials).map(|_| f()).fold(f64::INFINITY, f64::min)
     };
@@ -98,30 +101,42 @@ fn main() {
     // ---- distance_many: scalar loop vs batch hook, both layouts ----
     let out = vec![0.0f64; n];
     let (mut o1, mut o2, mut o3) = (out.clone(), out.clone(), out);
-    let many_scalar = min_of(Box::new(|| {
-        time_many(
+    let (mut many_scalar, mut many_vec, mut many_dense) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..trials {
+        many_scalar = many_scalar.min(time_many(
             &Euclidean,
             &vec_points[0],
             &vec_points,
             &mut o1,
             reps,
             false,
-        )
-    }));
-    let many_vec = min_of(Box::new(|| {
-        time_many(&Euclidean, &vec_points[0], &vec_points, &mut o2, reps, true)
-    }));
-    let many_dense = min_of(Box::new(|| {
-        time_many(&Euclidean, &rows[0], &rows, &mut o3, reps, true)
-    }));
+        ));
+        many_vec = many_vec.min(time_many(
+            &Euclidean,
+            &vec_points[0],
+            &vec_points,
+            &mut o2,
+            reps,
+            true,
+        ));
+        many_dense = many_dense.min(time_many(&Euclidean, &rows[0], &rows, &mut o3, reps, true));
+    }
 
     // ---- relax: steady state after 8 real GMM rounds ----
     let warm = gmm_with_threads(&vec_points, &Euclidean, 8, 0, 1);
     let center = vec_points[warm.selected[7]].clone();
     let mut dists = warm.dist_to_centers.clone();
     let mut assignment = warm.assignment.clone();
-    let relax_scalar = min_of(Box::new(|| {
-        time_relax(
+    let mut dists2 = warm.dist_to_centers.clone();
+    let mut assignment2 = warm.assignment.clone();
+    let mut dists3 = warm.dist_to_centers.clone();
+    let mut assignment3 = warm.assignment.clone();
+    let center_row = DenseRow::new(store.row(warm.selected[7]));
+    let (mut relax_scalar, mut relax_vec, mut relax_dense) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..trials {
+        relax_scalar = relax_scalar.min(time_relax(
             &Euclidean,
             &center,
             &vec_points,
@@ -129,12 +144,8 @@ fn main() {
             &mut assignment,
             reps,
             false,
-        )
-    }));
-    let mut dists2 = warm.dist_to_centers.clone();
-    let mut assignment2 = warm.assignment.clone();
-    let relax_vec = min_of(Box::new(|| {
-        time_relax(
+        ));
+        relax_vec = relax_vec.min(time_relax(
             &Euclidean,
             &center,
             &vec_points,
@@ -142,13 +153,8 @@ fn main() {
             &mut assignment2,
             reps,
             true,
-        )
-    }));
-    let mut dists3 = warm.dist_to_centers.clone();
-    let mut assignment3 = warm.assignment.clone();
-    let center_row = DenseRow::new(store.row(warm.selected[7]));
-    let relax_dense = min_of(Box::new(|| {
-        time_relax(
+        ));
+        relax_dense = relax_dense.min(time_relax(
             &Euclidean,
             &center_row,
             &rows,
@@ -156,22 +162,20 @@ fn main() {
             &mut assignment3,
             reps,
             true,
-        )
-    }));
+        ));
+    }
 
     // ---- GMM end-to-end: sequential vs parallel ----
     let seq_out = gmm_with_threads(&rows, &Euclidean, k, 0, 1);
     let par_out = gmm_with_threads(&rows, &Euclidean, k, 0, threads);
     assert_eq!(seq_out.selected, par_out.selected, "parallel GMM diverged");
-    let gmm_seq = min_of(Box::new(|| {
-        timed(|| gmm_with_threads(&rows, &Euclidean, k, 0, 1)).1
-    }));
-    let gmm_par = min_of(Box::new(|| {
-        timed(|| gmm_with_threads(&rows, &Euclidean, k, 0, threads)).1
-    }));
-    let gmm_vec_seq = min_of(Box::new(|| {
-        timed(|| gmm_with_threads(&vec_points, &Euclidean, k, 0, 1)).1
-    }));
+    let (mut gmm_seq, mut gmm_par, mut gmm_vec_seq) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..trials {
+        gmm_seq = gmm_seq.min(timed(|| gmm_with_threads(&rows, &Euclidean, k, 0, 1)).1);
+        gmm_par = gmm_par.min(timed(|| gmm_with_threads(&rows, &Euclidean, k, 0, threads)).1);
+        gmm_vec_seq =
+            gmm_vec_seq.min(timed(|| gmm_with_threads(&vec_points, &Euclidean, k, 0, 1)).1);
+    }
 
     // ---- DistanceMatrix::build: sequential vs parallel ----
     let m = 2_000.min(n);
@@ -258,14 +262,11 @@ fn main() {
     diversity_obs::uninstall();
     let snap = registry.snapshot_now();
     let counter = |name: &str| snap.counter(name).unwrap_or(0);
-    let blocks_total = counter("kernel.blocks.total");
-    let fast_ratio = counter("kernel.blocks.fast") as f64 / blocks_total.max(1) as f64;
     let distances = counter("kernel.distances");
-    let elided_ratio = counter("kernel.blocks.elided") as f64 / blocks_total.max(1) as f64;
+    let elided_ratio = counter("kernel.roots_elided") as f64 / distances.max(1) as f64;
     println!(
         "
-obs: gmm run computed {distances} distances; contiguous fast-path {:.1}% of blocks,          {:.1}% of blocks fully root-elided",
-        fast_ratio * 100.0,
+obs: gmm run computed {distances} distances; {:.1}% of roots elided by the incumbent threshold",
         elided_ratio * 100.0
     );
 
@@ -290,8 +291,7 @@ obs: gmm run computed {distances} distances; contiguous fast-path {:.1}% of bloc
             "  \"matrix_build_seconds\": {{ \"n\": {m}, \"sequential\": {dm_seq:.6}, \"parallel\": {dm_par:.6} }},\n",
             "  \"obs_gmm_run\": {{\n",
             "    \"kernel_distances\": {distances},\n",
-            "    \"fast_block_ratio\": {fast_ratio:.4},\n",
-            "    \"elided_block_ratio\": {elided_ratio:.4}\n",
+            "    \"elided_root_ratio\": {elided_ratio:.4}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -314,7 +314,6 @@ obs: gmm run computed {distances} distances; contiguous fast-path {:.1}% of bloc
         dm_seq = dm_seq,
         dm_par = dm_par,
         distances = distances,
-        fast_ratio = fast_ratio,
         elided_ratio = elided_ratio,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");

@@ -84,6 +84,65 @@ pub fn gaussian_clusters_dense(
     DenseStore::from_points(&points)
 }
 
+/// Embedding-style high-dimensional workload: `clusters` latent topic
+/// directions (uniform on the unit sphere in `R^dim`), each point a
+/// topic plus isotropic Gaussian noise of scale `noise`, ℓ₂-normalized
+/// back onto the sphere — the geometry of modern text/image embedding
+/// vectors (unit norm, cluster structure in angle, no coordinate
+/// sparsity). Points are assigned to topics round-robin so cluster
+/// sizes are balanced. Built for the `d ∈ {128, 768, 1536}` regimes
+/// the `ablation_dims` bench sweeps: at these dimensions random
+/// inter-topic angles concentrate near 90°, which is exactly the
+/// regime where JL projection and the SIMD kernels pay off.
+///
+/// # Panics
+/// Panics if `clusters == 0` or `dim == 0`.
+pub fn embedding_clusters(
+    n: usize,
+    clusters: usize,
+    dim: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<VecPoint> {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = crate::rng(seed);
+    let topics: Vec<VecPoint> = (0..clusters)
+        .map(|_| random_unit_vector(dim, &mut rng))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let topic = topics[i % clusters].coords();
+            let v: Vec<f64> = topic
+                .iter()
+                .map(|&t| t + noise * standard_normal(&mut rng))
+                .collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            // noise would have to exactly cancel the unit topic for a
+            // zero norm; guard anyway so the output is always on the
+            // sphere.
+            if norm > 1e-12 {
+                VecPoint::new(v.into_iter().map(|x| x / norm).collect())
+            } else {
+                topics[i % clusters].clone()
+            }
+        })
+        .collect()
+}
+
+/// [`embedding_clusters`] loaded into contiguous SoA storage: same
+/// coordinates for the same seed, cache-linear layout.
+pub fn embedding_clusters_dense(
+    n: usize,
+    clusters: usize,
+    dim: usize,
+    noise: f64,
+    seed: u64,
+) -> DenseStore {
+    let points = embedding_clusters(n, clusters, dim, noise, seed);
+    DenseStore::from_points(&points)
+}
+
 /// `n` points uniform in the unit cube `[0, 1]^dim`.
 pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> Vec<VecPoint> {
     assert!(dim > 0, "dimension must be positive");
@@ -220,6 +279,33 @@ mod tests {
         let blobs = gaussian_clusters(120, 5, 2, 0.05, 3);
         let blobs_d = gaussian_clusters_dense(120, 5, 2, 0.05, 3);
         assert_eq!(blobs_d.to_points(), blobs);
+    }
+
+    #[test]
+    fn embedding_clusters_are_unit_norm_and_deterministic() {
+        let pts = embedding_clusters(60, 6, 128, 0.2, 21);
+        assert_eq!(pts.len(), 60);
+        for p in &pts {
+            assert_eq!(p.dim(), 128);
+            assert!((p.norm() - 1.0).abs() < 1e-9, "norm {}", p.norm());
+        }
+        assert_eq!(pts, embedding_clusters(60, 6, 128, 0.2, 21));
+        assert_ne!(pts, embedding_clusters(60, 6, 128, 0.2, 22));
+        let dense = embedding_clusters_dense(60, 6, 128, 0.2, 21);
+        assert_eq!(dense.to_points(), pts);
+    }
+
+    #[test]
+    fn embedding_clusters_have_angular_structure() {
+        use metric::{Euclidean, Metric};
+        // Low noise: same-topic pairs stay much closer than the
+        // near-orthogonal (√2 apart) cross-topic pairs. Note the noise
+        // vector's norm is ~noise·√dim, so "low" must shrink with dim.
+        let pts = embedding_clusters(40, 4, 256, 0.01, 3);
+        let same = Euclidean.distance(&pts[0], &pts[4]); // topic 0, topic 0
+        let cross = Euclidean.distance(&pts[0], &pts[1]); // topic 0, topic 1
+        assert!(same < 0.3, "same-topic distance {same}");
+        assert!(cross > 1.0, "cross-topic distance {cross}");
     }
 
     #[test]

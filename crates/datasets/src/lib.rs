@@ -29,8 +29,8 @@ mod zipf;
 
 pub use bag_of_words::{musixmatch_like, BagOfWordsConfig};
 pub use euclidean_sets::{
-    gaussian_clusters, gaussian_clusters_dense, grid, sphere_shell, sphere_shell_dense,
-    uniform_cube, uniform_cube_dense,
+    embedding_clusters, embedding_clusters_dense, gaussian_clusters, gaussian_clusters_dense, grid,
+    sphere_shell, sphere_shell_dense, uniform_cube, uniform_cube_dense,
 };
 pub use zipf::Zipf;
 

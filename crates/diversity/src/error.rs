@@ -71,6 +71,12 @@ pub enum DivError {
     /// A transient (injected or environmental) failure persisted
     /// through the bounded retry/backoff loop at `site`.
     TransientFailure { site: String },
+    /// `Task::run_projected` was called on a task that never opted into
+    /// a projection stage (`Task::project` was not set). The projected
+    /// entry point refuses to silently fall back to the unprojected
+    /// pipeline — the caller's certificate accounting depends on
+    /// knowing which one ran.
+    ProjectionMissing,
 }
 
 impl std::fmt::Display for DivError {
@@ -121,6 +127,12 @@ impl std::fmt::Display for DivError {
             DivError::TransientFailure { site } => {
                 write!(f, "transient failure at {site} persisted through retries")
             }
+            DivError::ProjectionMissing => {
+                write!(
+                    f,
+                    "task has no projection spec; configure one with Task::project"
+                )
+            }
         }
     }
 }
@@ -160,6 +172,8 @@ mod tests {
             site: "serve.query".into(),
         };
         assert!(e.to_string().contains("serve.query"));
+        let e = DivError::ProjectionMissing;
+        assert!(e.to_string().contains("Task::project"));
     }
 
     #[test]

@@ -88,14 +88,14 @@ pub mod wire;
 
 pub use error::DivError;
 pub use report::{Backend, Certificate, Degradation, Report, StageMemory, StageTiming};
-pub use task::{Budget, Strategy, Task};
+pub use task::{Budget, Projection, Strategy, Task};
 
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use crate::{baselines, datasets, dynamic, mapreduce, streaming};
     pub use crate::{
-        Backend, Budget, Certificate, Degradation, DivError, Report, StageMemory, StageTiming,
-        Strategy, Task,
+        Backend, Budget, Certificate, Degradation, DivError, Projection, Report, StageMemory,
+        StageTiming, Strategy, Task,
     };
     pub use diversity_core::{
         eval, exact, pipeline, seq, Coreset, CoresetSource, GenPair, GeneralizedCoreset, Problem,
@@ -103,7 +103,7 @@ pub mod prelude {
     };
     pub use diversity_dynamic::{DynamicDiversity, PointId};
     pub use metric::{
-        CosineDistance, DenseRow, DenseStore, DistanceMatrix, Euclidean, Jaccard, Manhattan,
-        Metric, SparseVector, VecPoint,
+        ColRow, CosineDistance, DenseRow, DenseStore, DenseStoreColMajor, DistanceMatrix,
+        Euclidean, Jaccard, JlKind, JlProjection, Manhattan, Metric, SparseVector, VecPoint,
     };
 }

@@ -77,6 +77,19 @@ pub struct Certificate {
     pub factor: f64,
 }
 
+impl Certificate {
+    /// Whether this certificate's claim holds for an achieved `value`
+    /// against a known lower bound on `OPT`: the guarantee is
+    /// `value ≥ OPT / factor`, so it certifies iff
+    /// `value · factor ≥ opt_lower_bound`. Useful for checking a run
+    /// against ground truth (exact `div_k` on small instances, or a
+    /// planted optimum) — including projected runs, whose widened
+    /// factor must still certify the *original-space* optimum.
+    pub fn certifies(&self, value: f64, opt_lower_bound: f64) -> bool {
+        value * self.factor >= opt_lower_bound
+    }
+}
+
 /// How much of the pool a degraded warm-path answer actually saw.
 ///
 /// Attached by the serving pool's `query` when one or more shards were
@@ -181,6 +194,15 @@ impl<P> Report<P> {
     pub fn total_secs(&self) -> f64 {
         self.timings.iter().map(|t| t.secs).sum()
     }
+
+    /// Checks this report's value against a known lower bound on `OPT`
+    /// through its attached certificate
+    /// ([`Certificate::certifies`]). `None` when the run carried no
+    /// certificate (budget was not [`crate::Budget::Eps`]).
+    pub fn certifies(&self, opt_lower_bound: f64) -> Option<bool> {
+        self.certificate
+            .map(|c| c.certifies(self.value, opt_lower_bound))
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +254,17 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
         assert!((r.total_secs() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certifies_checks_the_factor_claim() {
+        let r = sample(); // value 4.25, factor 2.5 → certifies OPT ≤ 10.625
+        assert_eq!(r.certifies(10.0), Some(true));
+        assert_eq!(r.certifies(10.625), Some(true), "boundary is inclusive");
+        assert_eq!(r.certifies(11.0), Some(false));
+        let mut bare = sample();
+        bare.certificate = None;
+        assert_eq!(bare.certifies(1.0), None);
     }
 
     #[test]

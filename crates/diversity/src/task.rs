@@ -28,7 +28,7 @@ use std::time::Instant;
 use crate::error::DivError;
 use crate::report::{Backend, Certificate, Report, StageMemory, StageTiming};
 use diversity_core::coreset::Coreset;
-use diversity_core::{coreset, par, pipeline, seq, Problem};
+use diversity_core::{coreset, eval, par, pipeline, seq, Problem};
 use diversity_dynamic::DynamicDiversity;
 use diversity_mapreduce::{
     randomized::randomized_two_round,
@@ -38,7 +38,7 @@ use diversity_mapreduce::{
     MapReduceRuntime, MrOutcome, MrStats, Partitions,
 };
 use diversity_streaming::{Smm, SmmExt};
-use metric::Metric;
+use metric::{DenseStore, Euclidean, JlProjection, Metric, VecPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -313,6 +313,23 @@ fn expect_key(p: &mut serde::Parser<'_>, want: &str) -> Result<(), serde::Error>
     Ok(())
 }
 
+/// An opt-in seeded Johnson–Lindenstrauss projection stage for
+/// [`Task::run_projected`]: the pipeline runs in
+/// `O(log k / eps²)`-dimensional projected space, then re-evaluates
+/// the selected subset on the **original** points, and the attached
+/// [`Certificate`] factor widens by `(1 + eps)/(1 − eps)` to account
+/// for the distortion (see [`metric::JlProjection`] for the full
+/// accounting against the paper's Lemmas 3–4). Deterministic: the same
+/// `(eps, seed)` always draws the same matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Distortion target `ε` in `(0, 1)` — pairwise distances are
+    /// preserved within `(1 ± ε)` with high probability.
+    pub eps: f64,
+    /// Seed for the deterministic matrix draw.
+    pub seed: u64,
+}
+
 /// A diversity-maximization job description: problem, solution size,
 /// accuracy budget, and an optional thread cap. `Serialize` /
 /// `Deserialize`, so a serving layer can accept it as a wire-format
@@ -330,6 +347,7 @@ pub struct Task {
     k: usize,
     budget: Budget,
     threads: Option<usize>,
+    projection: Option<Projection>,
 }
 
 impl Task {
@@ -341,6 +359,7 @@ impl Task {
             k,
             budget: Budget::default(),
             threads: None,
+            projection: None,
         }
     }
 
@@ -378,6 +397,19 @@ impl Task {
     /// The configured thread cap, if any.
     pub fn thread_cap(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// Opts into a seeded JL projection stage with distortion target
+    /// `eps` — consumed only by [`run_projected`](Task::run_projected);
+    /// the other entry points ignore it.
+    pub fn project(mut self, eps: f64, seed: u64) -> Self {
+        self.projection = Some(Projection { eps, seed });
+        self
+    }
+
+    /// The configured projection stage, if any.
+    pub fn projection_spec(&self) -> Option<Projection> {
+        self.projection
     }
 
     // ---- shared validation helpers ----------------------------------
@@ -517,6 +549,100 @@ impl Task {
             ],
             memory: Vec::new(),
             certificate: self.certificate(),
+            degradation: None,
+            telemetry: diversity_obs::snapshot(),
+        })
+    }
+
+    /// Runs the sequential pipeline through the task's seeded JL
+    /// projection stage ([`Task::project`]): project the store down to
+    /// `t = O(log k / eps²)` dimensions, run
+    /// [`run_seq`](Task::run_seq) in projected space (where the batched
+    /// SIMD kernels have far less data to stream), then map the
+    /// selected indices back and **re-evaluate the objective on the
+    /// original, unprojected points** — the reported `value` is always
+    /// an original-space quantity.
+    ///
+    /// Euclidean-only by construction: the JL lemma is a statement
+    /// about `ℓ₂`, so this entry point takes a [`DenseStore`] and fixes
+    /// the metric to [`Euclidean`].
+    ///
+    /// Certificate accounting (see [`metric::JlProjection`] for the
+    /// derivation): a [`Budget::Eps`] task's `(α + ε_c)` certificate
+    /// widens by `(1 + ε)/(1 − ε)` — the claim
+    /// `value ≥ OPT / factor` then holds against the *original-space*
+    /// optimum. The coreset covering radius is likewise scaled by
+    /// `1/(1 − ε)` to upper-bound its original-space counterpart.
+    ///
+    /// If the sufficient target dimension is not actually smaller than
+    /// the input dimension (low-dim input, or a tight `eps`), the
+    /// projection is skipped entirely — identity fallback, no
+    /// certificate widening — rather than inflating the data.
+    ///
+    /// Deterministic: the same `(eps, seed)` draws the same matrix, so
+    /// reports are reproducible from the task description alone.
+    pub fn run_projected(&self, store: &DenseStore) -> Result<Report<VecPoint>, DivError> {
+        let Some(Projection { eps, seed }) = self.projection else {
+            return Err(DivError::ProjectionMissing);
+        };
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(DivError::InvalidEps { eps });
+        }
+        if store.is_empty() {
+            return Err(DivError::EmptyInput);
+        }
+        self.check_k(store.len())?;
+
+        let t0 = Instant::now();
+        let target = JlProjection::target_dim(self.k, eps);
+        // Identity fallback: projecting sideways or *up* buys nothing.
+        // `jl_eps = 0` below then makes every distortion adjustment a
+        // no-op, so the report is exactly a `run_seq` report.
+        let (projected, jl_eps) = if target >= store.dim() {
+            (None, 0.0)
+        } else {
+            let jl = JlProjection::sparse(store.dim(), target, seed);
+            (Some(jl.project_store(store)), eps)
+        };
+        let project_secs = t0.elapsed().as_secs_f64();
+
+        let solve_store = projected.as_ref().unwrap_or(store);
+        let rows = solve_store.rows();
+        let inner = self.run_seq(&rows, &Euclidean)?;
+
+        // Same indices, original coordinates: project_store preserves
+        // point order, so index i of the projected store IS point i of
+        // the input.
+        let original = store.rows();
+        let value = eval::evaluate_subset(self.problem, &original, &Euclidean, &inner.indices);
+        let points: Vec<VecPoint> = inner.indices.iter().map(|&i| store.point(i)).collect();
+
+        let mut timings = vec![StageTiming {
+            stage: "project".into(),
+            secs: project_secs,
+        }];
+        timings.extend(inner.timings);
+
+        Ok(Report {
+            problem: inner.problem,
+            backend: inner.backend,
+            k: inner.k,
+            k_prime: inner.k_prime,
+            coreset_size: inner.coreset_size,
+            coreset_radius: inner.coreset_radius.map(|r| r / (1.0 - jl_eps)),
+            points,
+            indices: inner.indices,
+            value,
+            timings,
+            memory: inner.memory,
+            certificate: inner.certificate.map(|c| {
+                let factor = JlProjection::widen_factor(c.factor, jl_eps);
+                Certificate {
+                    alpha: c.alpha,
+                    eps: factor - c.alpha,
+                    factor,
+                }
+            }),
             degradation: None,
             telemetry: diversity_obs::snapshot(),
         })

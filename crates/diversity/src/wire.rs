@@ -30,7 +30,7 @@
 
 use crate::error::DivError;
 use crate::report::{Backend, Certificate, Degradation, Report, StageMemory, StageTiming};
-use crate::task::{Budget, Task};
+use crate::task::{Budget, Projection, Task};
 use diversity_core::coreset::Coreset;
 use diversity_core::Problem;
 use diversity_dynamic::{EngineState, NodeState};
@@ -618,6 +618,7 @@ impl BinWrite for DivError {
                 out.push(12);
                 site.write_bin(out);
             }
+            DivError::ProjectionMissing => out.push(13),
         }
     }
 }
@@ -668,6 +669,7 @@ impl BinRead for DivError {
             12 => Ok(DivError::TransientFailure {
                 site: BinRead::read_bin(r)?,
             }),
+            13 => Ok(DivError::ProjectionMissing),
             tag => Err(WireError::BadTag {
                 what: "DivError",
                 tag,
@@ -679,12 +681,29 @@ impl BinRead for DivError {
 
 // ---- domain types ---------------------------------------------------
 
+impl BinWrite for Projection {
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.eps);
+        self.seed.write_bin(out);
+    }
+}
+
+impl BinRead for Projection {
+    fn read_bin(r: &mut BinReader<'_>) -> Result<Self, WireError> {
+        Ok(Projection {
+            eps: BinRead::read_bin(r)?,
+            seed: BinRead::read_bin(r)?,
+        })
+    }
+}
+
 impl BinWrite for Task {
     fn write_bin(&self, out: &mut Vec<u8>) {
         self.problem().write_bin(out);
         self.k().write_bin(out);
         self.budget_spec().write_bin(out);
         self.thread_cap().write_bin(out);
+        self.projection_spec().write_bin(out);
     }
 }
 
@@ -694,11 +713,16 @@ impl BinRead for Task {
         let k: usize = BinRead::read_bin(r)?;
         let budget: Budget = BinRead::read_bin(r)?;
         let threads: Option<usize> = BinRead::read_bin(r)?;
+        let projection: Option<Projection> = BinRead::read_bin(r)?;
         // The builder normalizes threads(0) back to None, matching the
         // accessor the encoder read.
-        Ok(Task::new(problem, k)
+        let task = Task::new(problem, k)
             .budget(budget)
-            .threads(threads.unwrap_or(0)))
+            .threads(threads.unwrap_or(0));
+        Ok(match projection {
+            Some(p) => task.project(p.eps, p.seed),
+            None => task,
+        })
     }
 }
 

@@ -1,0 +1,429 @@
+//! A column-major (transposed) dense store for high-dimensional data.
+//!
+//! [`crate::DenseStore`] is row-major: point `i`'s coordinates are
+//! contiguous, so the SIMD kernels must *gather* four points' `j`-th
+//! coordinates with strided loads. [`DenseStoreColMajor`] transposes
+//! the layout — coordinate `j` of consecutive points sits in adjacent
+//! memory — so a 4-lane vector fills with one unit-stride load
+//! (`Batch::Col` in [`crate::simd`]). At dim ≥ 128 that roughly halves
+//! the load traffic of the gather path and keeps the prefetcher on one
+//! stream per coordinate.
+//!
+//! The trade-off is per-point access: reading a single point touches
+//! `dim` cache lines, so this store is for *batch-dominated* phases
+//! (GMM over a fixed store) rather than point-at-a-time serving. Both
+//! layouts produce bitwise-identical distances — the SIMD lanes and
+//! the scalar fallbacks accumulate in the same order regardless of
+//! where the coordinates live.
+
+use crate::kernels;
+use crate::{DenseStore, Euclidean, Metric, VecPoint};
+use serde::{Deserialize, Serialize};
+
+/// Column-major flat storage of `len` points in `R^dim`: coordinate
+/// `j` of point `i` lives at `data[j * len + i]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseStoreColMajor {
+    data: Vec<f64>,
+    len: usize,
+    dim: usize,
+}
+
+impl DenseStoreColMajor {
+    /// Transposes a row-major store.
+    pub fn from_store(store: &DenseStore) -> Self {
+        let (len, dim) = (store.len(), store.dim());
+        let flat = store.as_flat();
+        let mut data = vec![0.0; len * dim];
+        for i in 0..len {
+            for j in 0..dim {
+                data[j * len + i] = flat[i * dim + j];
+            }
+        }
+        Self { data, len, dim }
+    }
+
+    /// Copies a slice of [`VecPoint`]s into column-major storage.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or the points disagree on dimension.
+    pub fn from_points(points: &[VecPoint]) -> Self {
+        assert!(!points.is_empty(), "cannot infer dimension of zero points");
+        let dim = points[0].dim();
+        let len = points.len();
+        let mut data = vec![0.0; len * dim];
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.dim(), dim, "inconsistent point dimensions");
+            for (j, &c) in p.coords().iter().enumerate() {
+                data[j * len + i] = c;
+            }
+        }
+        Self { data, len, dim }
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ambient dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinate `j` of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` or `j >= dim()`.
+    #[inline]
+    pub fn coord(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len && j < self.dim, "index out of bounds");
+        self.data[j * self.len + i]
+    }
+
+    /// The transposed coordinate buffer (`dim` columns of `len` values).
+    #[inline]
+    pub fn as_cols(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Materializes point `i` (touches `dim` cache lines — batch APIs
+    /// are the fast path on this layout).
+    pub fn point(&self, i: usize) -> VecPoint {
+        assert!(i < self.len, "index out of bounds");
+        VecPoint::new((0..self.dim).map(|j| self.data[j * self.len + i]).collect())
+    }
+
+    /// Transposes back to a row-major store.
+    pub fn to_store(&self) -> DenseStore {
+        let mut flat = vec![0.0; self.len * self.dim];
+        for i in 0..self.len {
+            for j in 0..self.dim {
+                flat[i * self.dim + j] = self.data[j * self.len + i];
+            }
+        }
+        DenseStore::from_flat(flat, self.dim)
+    }
+
+    /// Zero-copy point views, in order — the `&[P]` the generic
+    /// algorithms consume, mirroring [`DenseStore::rows`].
+    pub fn rows(&self) -> Vec<ColRow<'_>> {
+        (0..self.len)
+            .map(|index| ColRow {
+                cols: &self.data,
+                stride: self.len,
+                dim: self.dim,
+                index,
+            })
+            .collect()
+    }
+}
+
+/// A borrowed view of one [`DenseStoreColMajor`] point. Like
+/// [`crate::DenseRow`] it carries the whole-buffer borrow, so any
+/// contiguous chunk of `store.rows()` lets the batched kernels prove a
+/// unit-stride run (see [`ColRow::contiguous_run`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ColRow<'a> {
+    cols: &'a [f64],
+    stride: usize,
+    dim: usize,
+    index: usize,
+}
+
+impl<'a> ColRow<'a> {
+    /// The ambient dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The point's index within its store.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Coordinate `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= dim()`.
+    #[inline]
+    pub fn coord(&self, j: usize) -> f64 {
+        assert!(j < self.dim, "coordinate out of bounds");
+        self.cols[j * self.stride + self.index]
+    }
+
+    /// An owning copy.
+    pub fn to_point(&self) -> VecPoint {
+        VecPoint::new((0..self.dim).map(|j| self.coord(j)).collect())
+    }
+
+    /// If `rows` are consecutive points of one column-major buffer,
+    /// returns `(cols, stride, first)` describing the run; otherwise
+    /// `None`. Exact — every row is checked, so a permuted or
+    /// subsetted batch can never masquerade as a run.
+    pub fn contiguous_run(rows: &[ColRow<'a>]) -> Option<(&'a [f64], usize, usize)> {
+        let first = rows.first()?;
+        if first.dim == 0 {
+            return None;
+        }
+        let base = first.index;
+        for (i, r) in rows.iter().enumerate() {
+            if !std::ptr::eq(r.cols, first.cols)
+                || r.stride != first.stride
+                || r.dim != first.dim
+                || r.index != base + i
+            {
+                return None;
+            }
+        }
+        Some((first.cols, first.stride, base))
+    }
+}
+
+impl PartialEq for ColRow<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && (0..self.dim).all(|j| self.coord(j) == other.coord(j))
+    }
+}
+
+/// Scalar distance with the exact scalar association order — the
+/// reference every batched `ColRow` path must match bitwise.
+fn colrow_dsq(a: &ColRow<'_>, b: &ColRow<'_>) -> f64 {
+    debug_assert_eq!(a.dim, b.dim, "dimension mismatch");
+    let mut sum = 0.0;
+    for j in 0..a.dim {
+        let d = a.coord(j) - b.coord(j);
+        sum += d * d;
+    }
+    sum
+}
+
+fn col_batch<'a>(run: (&'a [f64], usize, usize), len: usize, dim: usize) -> crate::simd::Batch<'a> {
+    let (cols, stride, first) = run;
+    crate::simd::Batch::Col {
+        cols,
+        stride,
+        first,
+        len,
+        dim,
+    }
+}
+
+/// The `ColRow` hooks prove a unit-stride run upfront and hand it to
+/// the SIMD kernels ([`Batch::Col`](crate::simd::Batch::Col) — the
+/// layout's whole point); scalar fallbacks accumulate coordinate-wise
+/// in the same order, so all paths are bitwise-identical.
+impl Metric<ColRow<'_>> for Euclidean {
+    #[inline]
+    fn distance(&self, a: &ColRow<'_>, b: &ColRow<'_>) -> f64 {
+        colrow_dsq(a, b).sqrt()
+    }
+
+    fn distance_many(&self, p: &ColRow<'_>, others: &[ColRow<'_>], out: &mut [f64]) {
+        assert_eq!(out.len(), others.len(), "output length mismatch");
+        if p.dim > 4 && crate::simd::enabled() {
+            if let Some(run) = ColRow::contiguous_run(others) {
+                let center = p.to_point();
+                if crate::simd::try_many(&col_batch(run, others.len(), p.dim), center.coords(), out)
+                {
+                    return;
+                }
+            }
+        }
+        for (o, q) in out.iter_mut().zip(others) {
+            *o = colrow_dsq(p, q).sqrt();
+        }
+        diversity_obs::count("kernel.distances", out.len() as u64);
+    }
+
+    fn relax(
+        &self,
+        center: &ColRow<'_>,
+        points: &[ColRow<'_>],
+        dists: &mut [f64],
+        assignment: &mut [usize],
+        cj: usize,
+    ) -> Option<(usize, f64)> {
+        assert_eq!(dists.len(), points.len(), "dists length mismatch");
+        assert_eq!(assignment.len(), points.len(), "assignment length mismatch");
+        if center.dim > 4 && crate::simd::enabled() {
+            if let Some(run) = ColRow::contiguous_run(points) {
+                let c = center.to_point();
+                if let Some(best) = crate::simd::try_relax(
+                    &col_batch(run, points.len(), center.dim),
+                    c.coords(),
+                    dists,
+                    assignment,
+                    cj,
+                ) {
+                    return best;
+                }
+            }
+        }
+        // Scalar fused relax with root elision — same epilogue helpers
+        // as every other layout, so bitwise-identical to the SIMD path.
+        let mut best: Option<(usize, f64)> = None;
+        let mut elided = 0u64;
+        for (i, q) in points.iter().enumerate() {
+            let d_sq = colrow_dsq(center, q);
+            if !kernels::sq_beats_threshold(d_sq, dists[i]) {
+                let d = d_sq.sqrt();
+                if d < dists[i] {
+                    dists[i] = d;
+                    assignment[i] = cj;
+                }
+            } else {
+                elided += 1;
+            }
+            kernels::consider_max(&mut best, i, dists[i]);
+        }
+        if diversity_obs::enabled() {
+            diversity_obs::count("kernel.distances", dists.len() as u64);
+            diversity_obs::count("kernel.relax_fused_rounds", 1);
+            diversity_obs::count("kernel.roots_elided", elided);
+        }
+        best
+    }
+
+    fn distance_to_set_within(&self, p: &ColRow<'_>, set: &[ColRow<'_>], threshold: f64) -> bool {
+        if p.dim > 4 && crate::simd::enabled() {
+            if let Some(run) = ColRow::contiguous_run(set) {
+                let center = p.to_point();
+                if let Some(hit) = crate::simd::try_within(
+                    &col_batch(run, set.len(), p.dim),
+                    center.coords(),
+                    threshold,
+                ) {
+                    return hit;
+                }
+            }
+        }
+        // Same guard as `kernels::euclidean_within`.
+        let guard = threshold.next_up();
+        let thr_sq = guard * guard;
+        for q in set {
+            let d_sq = colrow_dsq(p, q);
+            if d_sq <= thr_sq && d_sq.sqrt() <= threshold {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> (DenseStore, DenseStoreColMajor) {
+        let flat: Vec<f64> = (0..60).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let row = DenseStore::from_flat(flat, 6);
+        let col = DenseStoreColMajor::from_store(&row);
+        (row, col)
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let (row, col) = sample_store();
+        assert_eq!(col.len(), row.len());
+        assert_eq!(col.dim(), row.dim());
+        assert_eq!(col.to_store(), row);
+        for i in 0..row.len() {
+            assert_eq!(col.point(i).coords(), row.row(i));
+            for j in 0..row.dim() {
+                assert_eq!(col.coord(i, j), row.row(i)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_points_matches_from_store() {
+        let pts = vec![
+            VecPoint::from([1.0, 2.0, 3.0]),
+            VecPoint::from([4.0, 5.0, 6.0]),
+        ];
+        let via_points = DenseStoreColMajor::from_points(&pts);
+        let via_store = DenseStoreColMajor::from_store(&DenseStore::from_points(&pts));
+        assert_eq!(via_points, via_store);
+    }
+
+    #[test]
+    fn contiguous_run_detection() {
+        let (_, col) = sample_store();
+        let rows = col.rows();
+        let (cols, stride, first) = ColRow::contiguous_run(&rows).expect("full view is a run");
+        assert!(std::ptr::eq(cols, col.as_cols()));
+        assert_eq!((stride, first), (col.len(), 0));
+        let (_, _, first) = ColRow::contiguous_run(&rows[3..7]).expect("chunk is a run");
+        assert_eq!(first, 3);
+        let perm = vec![rows[0], rows[2], rows[1]];
+        assert!(ColRow::contiguous_run(&perm).is_none());
+        let gap = vec![rows[0], rows[2]];
+        assert!(ColRow::contiguous_run(&gap).is_none());
+        assert!(ColRow::contiguous_run(&[]).is_none());
+    }
+
+    #[test]
+    fn distances_match_row_major_bitwise() {
+        let (row, col) = sample_store();
+        let rrows = row.rows();
+        let crows = col.rows();
+        let e = Euclidean;
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                let dr = e.distance(&rrows[i], &rrows[j]);
+                let dc = e.distance(&crows[i], &crows[j]);
+                assert_eq!(dr.to_bits(), dc.to_bits(), "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_hooks_match_row_major_bitwise() {
+        let (row, col) = sample_store();
+        let rrows = row.rows();
+        let crows = col.rows();
+        let e = Euclidean;
+        let n = row.len();
+
+        let mut out_r = vec![0.0; n];
+        let mut out_c = vec![0.0; n];
+        e.distance_many(&rrows[2], &rrows, &mut out_r);
+        e.distance_many(&crows[2], &crows, &mut out_c);
+        for (a, b) in out_r.iter().zip(&out_c) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut dist_r = vec![f64::INFINITY; n];
+        let mut dist_c = vec![f64::INFINITY; n];
+        let mut asg_r = vec![0usize; n];
+        let mut asg_c = vec![0usize; n];
+        for c in [0usize, 4, 7] {
+            let br = e.relax(&rrows[c], &rrows, &mut dist_r, &mut asg_r, c);
+            let bc = e.relax(&crows[c], &crows, &mut dist_c, &mut asg_c, c);
+            assert_eq!(
+                br.map(|(i, v)| (i, v.to_bits())),
+                bc.map(|(i, v)| (i, v.to_bits()))
+            );
+        }
+        assert_eq!(asg_r, asg_c);
+
+        for (i, (&dr, &dc)) in dist_r.iter().zip(&dist_c).enumerate() {
+            assert_eq!(dr.to_bits(), dc.to_bits(), "point {i}");
+            assert_eq!(
+                e.distance_to_set_within(&rrows[i], &rrows[..4], dr + 0.125),
+                e.distance_to_set_within(&crows[i], &crows[..4], dr + 0.125)
+            );
+        }
+    }
+}

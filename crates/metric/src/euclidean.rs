@@ -28,6 +28,20 @@ impl Metric<VecPoint> for Euclidean {
     }
 
     fn distance_many(&self, p: &VecPoint, others: &[VecPoint], out: &mut [f64]) {
+        let dim = p.dim();
+        if dim > 4 && crate::simd::enabled() {
+            // Gathering four row pointers per vector still beats the
+            // scalar add-latency chain at high dim; the O(n) pointer
+            // collection is noise next to the O(n·d) kernel.
+            let rows: Vec<&[f64]> = others.iter().map(VecPoint::coords).collect();
+            if crate::simd::try_many(
+                &crate::simd::Batch::Ptrs { rows: &rows, dim },
+                p.coords(),
+                out,
+            ) {
+                return;
+            }
+        }
         kernels::euclidean_many(p.coords(), others.iter().map(VecPoint::coords), out);
     }
 
@@ -39,6 +53,19 @@ impl Metric<VecPoint> for Euclidean {
         assignment: &mut [usize],
         cj: usize,
     ) -> Option<(usize, f64)> {
+        let dim = center.dim();
+        if dim > 4 && crate::simd::enabled() {
+            let rows: Vec<&[f64]> = points.iter().map(VecPoint::coords).collect();
+            if let Some(best) = crate::simd::try_relax(
+                &crate::simd::Batch::Ptrs { rows: &rows, dim },
+                center.coords(),
+                dists,
+                assignment,
+                cj,
+            ) {
+                return best;
+            }
+        }
         kernels::euclidean_relax(
             center.coords(),
             points.iter().map(VecPoint::coords),
@@ -86,8 +113,15 @@ impl Metric<DenseRow<'_>> for Euclidean {
         set: &[DenseRow<'_>],
         threshold: f64,
     ) -> bool {
-        // Early exit beats blocking here: the first in-range row ends
-        // the scan, so the per-row kernel is the right shape.
+        // Only pay the O(n) run check when a SIMD sweep can cash it
+        // in; at low dim the early-exit per-row scan is the right
+        // shape (the first in-range row ends it).
+        if p.dim() > 4 && crate::simd::enabled() {
+            if let Some((flat, dim)) = DenseRow::contiguous_run(set) {
+                debug_assert_eq!(p.dim(), dim, "dimension mismatch");
+                return kernels::euclidean_within_flat(p.coords(), flat, dim, threshold);
+            }
+        }
         kernels::euclidean_within(p.coords(), set.iter().map(DenseRow::coords), threshold)
     }
 }

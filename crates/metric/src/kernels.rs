@@ -109,7 +109,7 @@ pub(crate) fn sq_beats_threshold(d_sq: f64, incumbent: f64) -> bool {
 /// contract, but let's not diverge on it) never replaces, just as
 /// `argmax` skips it.
 #[inline(always)]
-fn consider_max(best: &mut Option<(usize, f64)>, i: usize, v: f64) {
+pub(crate) fn consider_max(best: &mut Option<(usize, f64)>, i: usize, v: f64) {
     match best {
         Some((_, bv)) => {
             if v > *bv {
@@ -298,95 +298,111 @@ pub(crate) fn manhattan_relax_flat(
 }
 
 // ---------------------------------------------------------------------
-// Fused-verification kernels over `&[DenseRow]`
+// Flat-buffer Euclidean kernels (proven-contiguous runs)
 // ---------------------------------------------------------------------
-//
-// A `&[DenseRow]` batch is *usually* a contiguous run of one store
-// (`store.rows()` or a chunk of it), but proving that upfront costs a
-// full pass over the row descriptors — as expensive as the kernel
-// itself on memory-bound hosts. Instead the check rides inside the
-// block loop: each block verifies its 8 rows' offsets (exact — a
-// permuted batch can never alias a run) and takes the flat fast path,
-// falling back to per-row loads only for blocks that fail.
 
-/// Euclidean relax over row views with per-block run detection.
-pub(crate) fn euclidean_relax_rows(
-    center: &[f64],
-    rows: &[DenseRow<'_>],
-    dists: &mut [f64],
-    assignment: &mut [usize],
-    cj: usize,
-) -> Option<(usize, f64)> {
-    assert_eq!(dists.len(), rows.len(), "dists length mismatch");
-    assert_eq!(assignment.len(), rows.len(), "assignment length mismatch");
-    let dim = center.len();
+/// Batched Euclidean distances over a contiguous coordinate buffer:
+/// monomorphized check-free blocks at the paper's small dimensions,
+/// SIMD ([`crate::simd`]) above them when enabled, scalar chunks
+/// otherwise. Bitwise-identical across all three paths.
+pub(crate) fn euclidean_many_flat(p: &[f64], flat: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(flat.len(), dim * out.len(), "flat buffer shape mismatch");
+    debug_assert_eq!(p.len(), dim);
     match dim {
-        1 => relax_rows_fixed::<1>(center, rows, dists, assignment, cj),
-        2 => relax_rows_fixed::<2>(center, rows, dists, assignment, cj),
-        3 => relax_rows_fixed::<3>(center, rows, dists, assignment, cj),
-        4 => relax_rows_fixed::<4>(center, rows, dists, assignment, cj),
-        _ => euclidean_relax(
-            center,
-            rows.iter().map(DenseRow::coords),
-            dists,
-            assignment,
-            cj,
-        ),
+        1 => many_flat_fixed::<1>(p, flat, out),
+        2 => many_flat_fixed::<2>(p, flat, out),
+        3 => many_flat_fixed::<3>(p, flat, out),
+        4 => many_flat_fixed::<4>(p, flat, out),
+        _ => {
+            if crate::simd::enabled()
+                && crate::simd::try_many(&crate::simd::Batch::Flat { flat, dim }, p, out)
+            {
+                return;
+            }
+            euclidean_many(p, flat.chunks_exact(dim), out);
+        }
     }
 }
 
-/// `true` iff `rows[at..at + BLOCK]` are consecutive rows of `flat`
-/// starting at `base` with dimension `D`.
-#[inline(always)]
-fn block_is_run<const D: usize>(
-    rows: &[DenseRow<'_>],
-    at: usize,
-    flat: &[f64],
-    base: usize,
-) -> bool {
-    let mut ok = true;
-    for w in 0..BLOCK {
-        let r = &rows[at + w];
-        ok &= std::ptr::eq(r.flat, flat) && r.dim == D && r.offset == base + D * w;
+fn many_flat_fixed<const D: usize>(p: &[f64], flat: &[f64], out: &mut [f64]) {
+    let c: &[f64; D] = p[..D].try_into().expect("dim checked by caller");
+    // A plain `chunks_exact` sweep: the const-D chunk length lets LLVM
+    // drop every bounds check and vectorize the sub/mul/add chain AND
+    // the roots across points (`llvm.sqrt` lanes are correctly rounded,
+    // so vectorizing them is bitwise-free). Any manual blocking or
+    // squared-then-root staging measured *slower* here — the interleaved
+    // stores and the second pass both break exactly this vectorization.
+    for (o, q) in out.iter_mut().zip(flat.chunks_exact(D)) {
+        let mut s = 0.0;
+        for j in 0..D {
+            let d = c[j] - q[j];
+            s += d * d;
+        }
+        *o = s.sqrt();
     }
-    ok
+    diversity_obs::count("kernel.distances", out.len() as u64);
 }
 
-fn relax_rows_fixed<const D: usize>(
+/// Batched Euclidean relaxation over a contiguous coordinate buffer
+/// with root elision and fused argmax; dispatch as
+/// [`euclidean_many_flat`].
+pub(crate) fn euclidean_relax_flat(
     center: &[f64],
-    rows: &[DenseRow<'_>],
+    flat: &[f64],
+    dim: usize,
     dists: &mut [f64],
     assignment: &mut [usize],
     cj: usize,
 ) -> Option<(usize, f64)> {
-    let n = rows.len();
+    assert_eq!(flat.len(), dim * dists.len(), "flat buffer shape mismatch");
+    assert_eq!(assignment.len(), dists.len(), "assignment length mismatch");
+    debug_assert_eq!(center.len(), dim);
+    match dim {
+        1 => relax_flat_fixed::<1>(center, flat, dists, assignment, cj),
+        2 => relax_flat_fixed::<2>(center, flat, dists, assignment, cj),
+        3 => relax_flat_fixed::<3>(center, flat, dists, assignment, cj),
+        4 => relax_flat_fixed::<4>(center, flat, dists, assignment, cj),
+        _ => {
+            if crate::simd::enabled() {
+                if let Some(best) = crate::simd::try_relax(
+                    &crate::simd::Batch::Flat { flat, dim },
+                    center,
+                    dists,
+                    assignment,
+                    cj,
+                ) {
+                    return best;
+                }
+            }
+            euclidean_relax(center, flat.chunks_exact(dim), dists, assignment, cj)
+        }
+    }
+}
+
+fn relax_flat_fixed<const D: usize>(
+    center: &[f64],
+    flat: &[f64],
+    dists: &mut [f64],
+    assignment: &mut [usize],
+    cj: usize,
+) -> Option<(usize, f64)> {
+    let n = dists.len();
     let c: &[f64; D] = center[..D].try_into().expect("dim checked by caller");
     let mut best: Option<(usize, f64)> = None;
     let mut i = 0;
-    // Plain-local block tallies: the contiguous fast-path ratio is
-    // reported once per batch, never per block.
-    let mut fast_blocks = 0u64;
-    let mut total_blocks = 0u64;
     let mut elided_blocks = 0u64;
+    let mut total_blocks = 0u64;
     while i + BLOCK <= n {
-        let r0 = &rows[i];
+        let q = &flat[D * i..D * (i + BLOCK)];
         let mut dsq = [0.0f64; BLOCK];
         total_blocks += 1;
-        if block_is_run::<D>(rows, i, r0.flat, r0.offset) {
-            fast_blocks += 1;
-            let q = &r0.flat[r0.offset..r0.offset + D * BLOCK];
-            for w in 0..BLOCK {
-                let mut s = 0.0;
-                for j in 0..D {
-                    let d = c[j] - q[D * w + j];
-                    s += d * d;
-                }
-                dsq[w] = s;
+        for w in 0..BLOCK {
+            let mut s = 0.0;
+            for j in 0..D {
+                let d = c[j] - q[D * w + j];
+                s += d * d;
             }
-        } else {
-            for w in 0..BLOCK {
-                dsq[w] = l2_sq_fixed::<D>(center, rows[i + w].coords());
-            }
+            dsq[w] = s;
         }
         let dv: &[f64; BLOCK] = dists[i..i + BLOCK].try_into().expect("block in bounds");
         let mut hit = false;
@@ -405,16 +421,12 @@ fn relax_rows_fixed<const D: usize>(
                 }
             }
         }
-        // One argmax fold per block: the lane scan below picks the
-        // block's first maximum, and `consider_max`'s strict `>` keeps
-        // the earliest block on cross-block ties — together exactly
-        // the global first-max rule of `crate::argmax`.
         let (bw, bv) = block_first_max(&dists[i..i + BLOCK]);
         consider_max(&mut best, i + bw, bv);
         i += BLOCK;
     }
     for ii in i..n {
-        let d_sq = l2_sq_fixed::<D>(center, rows[ii].coords());
+        let d_sq = l2_sq_fixed::<D>(center, &flat[D * ii..D * (ii + 1)]);
         if !sq_beats_threshold(d_sq, dists[ii]) {
             let d = d_sq.sqrt();
             if d < dists[ii] {
@@ -426,10 +438,148 @@ fn relax_rows_fixed<const D: usize>(
     }
     if diversity_obs::enabled() {
         diversity_obs::count("kernel.distances", n as u64);
+        // A proven run streams every block flat.
         diversity_obs::count("kernel.blocks.total", total_blocks);
-        diversity_obs::count("kernel.blocks.fast", fast_blocks);
+        diversity_obs::count("kernel.blocks.fast", total_blocks);
         diversity_obs::count("kernel.blocks.elided", elided_blocks);
         diversity_obs::count("kernel.relax_fused_rounds", 1);
+    }
+    best
+}
+
+/// Early-exit Euclidean coverage check over a contiguous buffer.
+pub(crate) fn euclidean_within_flat(p: &[f64], flat: &[f64], dim: usize, threshold: f64) -> bool {
+    debug_assert_eq!(flat.len() % dim, 0, "flat buffer shape mismatch");
+    if dim > 4 && crate::simd::enabled() {
+        if let Some(hit) =
+            crate::simd::try_within(&crate::simd::Batch::Flat { flat, dim }, p, threshold)
+        {
+            return hit;
+        }
+    }
+    euclidean_within(p, flat.chunks_exact(dim), threshold)
+}
+
+// ---------------------------------------------------------------------
+// Kernels over `&[DenseRow]`
+// ---------------------------------------------------------------------
+//
+// A `&[DenseRow]` batch is *usually* a contiguous run of one store
+// (`store.rows()` or a chunk of it). One upfront pass over the row
+// descriptors (`DenseRow::contiguous_run`, a branch-light compare
+// sweep) proves that exactly and hands the whole batch to the
+// check-free flat kernels above — at d ≤ 4 that is what lets LLVM
+// vectorize the entire sweep, roots included, and at d > 4 it is what
+// unlocks the SIMD kernels. But the proof is not free: it reads every
+// 32-byte descriptor, so whether to attempt it is a bandwidth
+// question, decided by `scan_worthwhile` below. Re-verifying
+// contiguity per 8-point block inside the loop — sharing the
+// descriptor loads with the compute — was measured and rejected: the
+// pointer/offset compares cost more than the d = 3 distance
+// arithmetic they guard, and the blocked store pattern breaks the
+// root vectorization besides. Batches that skip or fail the scan take
+// the per-row kernels — correct for any row shapes.
+
+/// Below this row count a batch's descriptors and coordinates sit in
+/// cache together, the sweep is compute-bound, and the contiguity scan
+/// is repaid many times over by the flat kernels' cross-point
+/// vectorization (~2× at d = 3). Above it a d ≤ 4 sweep is
+/// memory-bandwidth-bound: the descriptors have to be streamed either
+/// way, so no layout can beat per-row parity and a second pass over
+/// them is pure loss — measured at n = 100k/d = 3, the scan alone cost
+/// more than the entire flat distance loop it was meant to enable.
+const SCAN_WORTH_ROWS: usize = 8192;
+
+/// Whether to attempt the upfront contiguity scan: always at `d > 4`
+/// (the `O(n·d)` kernel amortizes it and it unlocks SIMD), only for
+/// cache-resident batches at `d ≤ 4`.
+#[inline]
+fn scan_worthwhile(dim: usize, n: usize) -> bool {
+    dim > 4 || n <= SCAN_WORTH_ROWS
+}
+
+/// Euclidean relax over row views: contiguity scan where worthwhile,
+/// then the flat (and SIMD) kernels; per-row fallback. All paths
+/// bitwise-identical.
+pub(crate) fn euclidean_relax_rows(
+    center: &[f64],
+    rows: &[DenseRow<'_>],
+    dists: &mut [f64],
+    assignment: &mut [usize],
+    cj: usize,
+) -> Option<(usize, f64)> {
+    assert_eq!(dists.len(), rows.len(), "dists length mismatch");
+    assert_eq!(assignment.len(), rows.len(), "assignment length mismatch");
+    if scan_worthwhile(center.len(), rows.len()) {
+        if let Some((flat, dim)) = DenseRow::contiguous_run(rows) {
+            debug_assert_eq!(center.len(), dim, "dimension mismatch");
+            return euclidean_relax_flat(center, flat, dim, dists, assignment, cj);
+        }
+    }
+    if center.len() > 4 && crate::simd::enabled() {
+        // Mixed high-dim batch: gather row pointers for the SIMD lanes,
+        // exactly as the `VecPoint` hooks do.
+        let coords: Vec<&[f64]> = rows.iter().map(DenseRow::coords).collect();
+        let batch = crate::simd::Batch::Ptrs {
+            rows: &coords,
+            dim: center.len(),
+        };
+        if let Some(best) = crate::simd::try_relax(&batch, center, dists, assignment, cj) {
+            return best;
+        }
+    }
+    match center.len() {
+        1 => relax_rows_seq_fixed::<1>(center, rows, dists, assignment, cj),
+        2 => relax_rows_seq_fixed::<2>(center, rows, dists, assignment, cj),
+        3 => relax_rows_seq_fixed::<3>(center, rows, dists, assignment, cj),
+        4 => relax_rows_seq_fixed::<4>(center, rows, dists, assignment, cj),
+        _ => euclidean_relax(
+            center,
+            rows.iter().map(DenseRow::coords),
+            dists,
+            assignment,
+            cj,
+        ),
+    }
+}
+
+/// Per-row fixed-D relax over `DenseRow` views, identical operation
+/// order to [`euclidean_relax`]. A dedicated loop rather than the
+/// iterator adapter: decoding each row descriptor is the inner-loop
+/// cost here, and this shape keeps it to one slice construction per
+/// row that LLVM folds into the address arithmetic.
+fn relax_rows_seq_fixed<const D: usize>(
+    center: &[f64],
+    rows: &[DenseRow<'_>],
+    dists: &mut [f64],
+    assignment: &mut [usize],
+    cj: usize,
+) -> Option<(usize, f64)> {
+    let c: &[f64; D] = center[..D].try_into().expect("dim checked by caller");
+    let mut best: Option<(usize, f64)> = None;
+    let mut elided = 0u64;
+    for (i, r) in rows.iter().enumerate() {
+        let q = r.coords();
+        let mut s = 0.0;
+        for j in 0..D {
+            let d = c[j] - q[j];
+            s += d * d;
+        }
+        if !sq_beats_threshold(s, dists[i]) {
+            let d = s.sqrt();
+            if d < dists[i] {
+                dists[i] = d;
+                assignment[i] = cj;
+            }
+        } else {
+            elided += 1;
+        }
+        consider_max(&mut best, i, dists[i]);
+    }
+    if diversity_obs::enabled() {
+        diversity_obs::count("kernel.distances", dists.len() as u64);
+        diversity_obs::count("kernel.relax_fused_rounds", 1);
+        diversity_obs::count("kernel.roots_elided", elided);
     }
     best
 }
@@ -448,55 +598,49 @@ fn block_first_max(lanes: &[f64]) -> (usize, f64) {
     (bw, bv)
 }
 
-/// Euclidean distance sweep over row views with per-block run
-/// detection.
+/// Euclidean distance sweep over row views: contiguity scan where
+/// worthwhile, then the flat (and SIMD) kernels; per-row fallback.
 pub(crate) fn euclidean_many_rows(p: &[f64], rows: &[DenseRow<'_>], out: &mut [f64]) {
     assert_eq!(out.len(), rows.len(), "output length mismatch");
-    let dim = p.len();
-    match dim {
-        1 => many_rows_fixed::<1>(p, rows, out),
-        2 => many_rows_fixed::<2>(p, rows, out),
-        3 => many_rows_fixed::<3>(p, rows, out),
-        4 => many_rows_fixed::<4>(p, rows, out),
+    if scan_worthwhile(p.len(), rows.len()) {
+        if let Some((flat, dim)) = DenseRow::contiguous_run(rows) {
+            debug_assert_eq!(p.len(), dim, "dimension mismatch");
+            return euclidean_many_flat(p, flat, dim, out);
+        }
+    }
+    if p.len() > 4 && crate::simd::enabled() {
+        let coords: Vec<&[f64]> = rows.iter().map(DenseRow::coords).collect();
+        let batch = crate::simd::Batch::Ptrs {
+            rows: &coords,
+            dim: p.len(),
+        };
+        if crate::simd::try_many(&batch, p, out) {
+            return;
+        }
+    }
+    match p.len() {
+        1 => many_rows_seq_fixed::<1>(p, rows, out),
+        2 => many_rows_seq_fixed::<2>(p, rows, out),
+        3 => many_rows_seq_fixed::<3>(p, rows, out),
+        4 => many_rows_seq_fixed::<4>(p, rows, out),
         _ => euclidean_many(p, rows.iter().map(DenseRow::coords), out),
     }
 }
 
-fn many_rows_fixed<const D: usize>(p: &[f64], rows: &[DenseRow<'_>], out: &mut [f64]) {
+/// Per-row fixed-D distance sweep over `DenseRow` views — the `many`
+/// counterpart of [`relax_rows_seq_fixed`], same rationale.
+fn many_rows_seq_fixed<const D: usize>(p: &[f64], rows: &[DenseRow<'_>], out: &mut [f64]) {
     let c: &[f64; D] = p[..D].try_into().expect("dim checked by caller");
-    let n = rows.len();
-    let mut i = 0;
-    let mut fast_blocks = 0u64;
-    let mut total_blocks = 0u64;
-    while i + BLOCK <= n {
-        let r0 = &rows[i];
-        total_blocks += 1;
-        if block_is_run::<D>(rows, i, r0.flat, r0.offset) {
-            fast_blocks += 1;
-            let q = &r0.flat[r0.offset..r0.offset + D * BLOCK];
-            for w in 0..BLOCK {
-                let mut s = 0.0;
-                for j in 0..D {
-                    let d = c[j] - q[D * w + j];
-                    s += d * d;
-                }
-                out[i + w] = s.sqrt();
-            }
-        } else {
-            for w in 0..BLOCK {
-                out[i + w] = l2_sq_fixed::<D>(p, rows[i + w].coords()).sqrt();
-            }
+    for (o, r) in out.iter_mut().zip(rows.iter()) {
+        let q = r.coords();
+        let mut s = 0.0;
+        for j in 0..D {
+            let d = c[j] - q[j];
+            s += d * d;
         }
-        i += BLOCK;
+        *o = s.sqrt();
     }
-    for ii in i..n {
-        out[ii] = l2_sq_fixed::<D>(p, rows[ii].coords()).sqrt();
-    }
-    if diversity_obs::enabled() {
-        diversity_obs::count("kernel.distances", n as u64);
-        diversity_obs::count("kernel.blocks.total", total_blocks);
-        diversity_obs::count("kernel.blocks.fast", fast_blocks);
-    }
+    diversity_obs::count("kernel.distances", out.len() as u64);
 }
 
 #[cfg(test)]

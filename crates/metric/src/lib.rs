@@ -37,8 +37,13 @@
 //! assert_eq!(Euclidean.distance(&a, &b), 5.0);
 //! ```
 
+// Every `unsafe` block in this crate (all of them in `simd.rs`) must
+// be explicit and carry its own `// SAFETY:` justification.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod bitset;
 mod chebyshev;
+mod colmajor;
 mod cosine;
 mod dense;
 mod discrete;
@@ -52,12 +57,15 @@ mod lp;
 mod manhattan;
 mod matrix;
 pub mod par;
+mod project;
+pub mod simd;
 mod sparse;
 mod store;
 mod traits;
 
 pub use bitset::BitSetPoint;
 pub use chebyshev::Chebyshev;
+pub use colmajor::{ColRow, DenseStoreColMajor};
 pub use cosine::CosineDistance;
 pub use dense::VecPoint;
 pub use discrete::Discrete;
@@ -69,6 +77,7 @@ pub use levenshtein::Levenshtein;
 pub use lp::Lp;
 pub use manhattan::Manhattan;
 pub use matrix::DistanceMatrix;
+pub use project::{JlKind, JlProjection};
 pub use sparse::SparseVector;
 pub use store::{DenseRow, DenseStore};
 pub use traits::Metric;

@@ -82,6 +82,49 @@ pub fn report_rejected(name: &str, raw: &str, why: &str, fallback: &str) {
     }
 }
 
+/// Strictly parses an enumerated-choice knob value: the trimmed value
+/// must match one of `allowed` **exactly** (case-sensitive — strict
+/// knobs don't guess at `OFF` vs `off`). Returns the index into
+/// `allowed`, so callers map it onto their own enum without string
+/// plumbing.
+pub fn parse_choice(raw: &str, allowed: &[&str]) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".into());
+    }
+    allowed
+        .iter()
+        .position(|a| *a == trimmed)
+        .ok_or_else(|| format!("expected one of {allowed:?}, got `{trimmed}`"))
+}
+
+/// Reads env knob `name` as one of `allowed`: `default` (an index into
+/// `allowed`) when unset; strict-parsed when set, with invalid values
+/// rejected via [`report_rejected`] (warn once, count always) and
+/// replaced by the default choice.
+///
+/// # Panics
+/// Panics if `default >= allowed.len()`.
+pub fn choice(name: &str, allowed: &[&str], default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => choice_value(name, &raw, allowed, default),
+    }
+}
+
+/// The testable core of [`choice`]: decides on an already-fetched raw
+/// value.
+pub fn choice_value(name: &str, raw: &str, allowed: &[&str], default: usize) -> usize {
+    assert!(default < allowed.len(), "default index out of range");
+    match parse_choice(raw, allowed) {
+        Ok(i) => i,
+        Err(why) => {
+            report_rejected(name, raw, &why, allowed[default]);
+            default
+        }
+    }
+}
+
 /// Strictly parses an unsigned integer knob value (zero allowed —
 /// seeds are u64s, not counts): trimmed digits only; signs, empties,
 /// non-digits, and overflow are rejections.
@@ -149,6 +192,29 @@ mod tests {
     #[test]
     fn unset_variable_is_the_default_not_a_warning() {
         assert_eq!(positive_usize("DIVMAX_OBS_NO_SUCH_VAR_12345", 3), 3);
+    }
+
+    #[test]
+    fn choice_values_parse_strictly() {
+        const MODES: &[&str] = &["off", "auto", "on"];
+        assert_eq!(parse_choice("off", MODES), Ok(0));
+        assert_eq!(parse_choice("auto", MODES), Ok(1));
+        assert_eq!(parse_choice(" on ", MODES), Ok(2));
+        // Per-value rejections: empties, case drift, typos, numerics,
+        // and multi-token values must all be rejected, never guessed.
+        for bad in [
+            "", "   ", "OFF", "On", "AUTO", "0", "1", "true", "of", "onn", "on off",
+        ] {
+            assert!(parse_choice(bad, MODES).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_choice_falls_back_to_default() {
+        const MODES: &[&str] = &["off", "auto", "on"];
+        assert_eq!(choice_value("TEST_KNOB_B", "garbage", MODES, 1), 1);
+        assert_eq!(choice_value("TEST_KNOB_B", "on", MODES, 1), 2);
+        assert_eq!(choice("DIVMAX_OBS_NO_SUCH_VAR_99887", MODES, 0), 0);
     }
 
     #[test]

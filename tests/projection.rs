@@ -1,0 +1,174 @@
+//! Integration tests for the seeded JL projection stage
+//! (`Task::run_projected`): determinism, original-space re-evaluation,
+//! certificate widening, and the identity fallback.
+
+use diversity::prelude::*;
+
+/// A small high-dimensional instance where the projection actually
+/// fires: `target_dim(k, eps)` must come out below `dim`.
+fn high_dim_store() -> DenseStore {
+    datasets::embedding_clusters_dense(120, 6, 128, 0.15, 42)
+}
+
+#[test]
+fn projected_run_is_deterministic() {
+    let task = Task::new(Problem::RemoteEdge, 4)
+        .budget(Budget::KPrime(24))
+        .project(0.5, 7);
+    let store = high_dim_store();
+    let a = task.run_projected(&store).unwrap();
+    let b = task.run_projected(&store).unwrap();
+    assert_eq!(a.indices, b.indices);
+    assert_eq!(a.value.to_bits(), b.value.to_bits());
+    assert_eq!(
+        a.coreset_radius.map(f64::to_bits),
+        b.coreset_radius.map(f64::to_bits)
+    );
+
+    // A different seed draws a different matrix; the run still
+    // succeeds and returns k original-space points.
+    let c = task
+        .budget(Budget::KPrime(24))
+        .project(0.5, 8)
+        .run_projected(&store)
+        .unwrap();
+    assert_eq!(c.len(), 4);
+}
+
+#[test]
+fn projection_actually_reduces_and_reports_original_space() {
+    let store = high_dim_store();
+    let task = Task::new(Problem::RemoteClique, 4)
+        .budget(Budget::KPrime(24))
+        .project(0.5, 7);
+    // target_dim(4, 0.5) = ceil(8·ln4/0.25) = 45 < 128: the projection
+    // fires.
+    assert!(JlProjection::target_dim(4, 0.5) < store.dim());
+    let report = task.run_projected(&store).unwrap();
+
+    // The selected points are the ORIGINAL 128-dim points...
+    assert_eq!(report.len(), 4);
+    for (idx, p) in report.indices.iter().zip(&report.points) {
+        assert_eq!(p.coords(), store.row(*idx));
+    }
+    // ...and the value is the objective of those original points.
+    let rows = store.rows();
+    let expected = eval::evaluate_subset(Problem::RemoteClique, &rows, &Euclidean, &report.indices);
+    assert_eq!(report.value.to_bits(), expected.to_bits());
+    // A "project" stage is recorded ahead of the pipeline stages.
+    assert_eq!(report.timings[0].stage, "project");
+    assert_eq!(report.timings.len(), 3);
+}
+
+#[test]
+fn certificate_widens_and_still_certifies_ground_truth() {
+    // Small enough for exact OPT, high-dimensional enough to project:
+    // n=40, k=3, d=64.
+    let store = datasets::embedding_clusters_dense(40, 5, 64, 0.1, 11);
+    let eps = 0.5;
+    let task = Task::new(Problem::RemoteEdge, 3)
+        .budget(Budget::Eps { eps: 0.4, dim: 2 })
+        .project(eps, 3);
+    assert!(JlProjection::target_dim(3, eps) < store.dim());
+    let report = task.run_projected(&store).unwrap();
+
+    let cert = report.certificate.expect("Eps budget attaches one");
+    let alpha = Problem::RemoteEdge.alpha();
+    let unwidened = alpha + 0.4;
+    let expected = JlProjection::widen_factor(unwidened, eps);
+    assert!(
+        (cert.factor - expected).abs() < 1e-12,
+        "factor {} != widened {}",
+        cert.factor,
+        expected
+    );
+    assert!(cert.factor > unwidened, "projection must widen the factor");
+    assert!((cert.alpha - alpha).abs() < 1e-12);
+    assert!(
+        (cert.alpha + cert.eps - cert.factor).abs() < 1e-12,
+        "factor stays alpha + eps after widening"
+    );
+
+    // The widened certificate must hold against the exact optimum on
+    // the UNPROJECTED points.
+    let points = store.to_points();
+    let opt = exact::divk_exact(Problem::RemoteEdge, &points, &Euclidean, 3).value;
+    assert!(opt > 0.0);
+    assert_eq!(
+        report.certifies(opt),
+        Some(true),
+        "value {} × factor {} must cover OPT {}",
+        report.value,
+        cert.factor,
+        opt
+    );
+}
+
+#[test]
+fn low_dim_input_takes_the_identity_fallback() {
+    // d=3 with target_dim(4, 0.5) = 45 ≥ 3: no projection, no
+    // widening — the report matches a plain run_seq bit for bit.
+    let (store, _) = datasets::sphere_shell_dense(200, 4, 3, 9);
+    let task = Task::new(Problem::RemoteEdge, 4)
+        .budget(Budget::Eps { eps: 0.4, dim: 3 })
+        .threads(1)
+        .project(0.5, 7);
+    let projected = task.run_projected(&store).unwrap();
+    let rows = store.rows();
+    let plain = task.run_seq(&rows, &Euclidean).unwrap();
+
+    assert_eq!(projected.indices, plain.indices);
+    assert_eq!(projected.value.to_bits(), plain.value.to_bits());
+    assert_eq!(
+        projected.coreset_radius.map(f64::to_bits),
+        plain.coreset_radius.map(f64::to_bits),
+        "identity fallback must not scale the radius"
+    );
+    let (pc, sc) = (projected.certificate.unwrap(), plain.certificate.unwrap());
+    assert_eq!(pc.factor.to_bits(), sc.factor.to_bits(), "no widening");
+}
+
+#[test]
+fn missing_or_invalid_spec_is_a_typed_error() {
+    let store = high_dim_store();
+    let bare = Task::new(Problem::RemoteEdge, 4).budget(Budget::KPrime(24));
+    assert_eq!(
+        bare.run_projected(&store).unwrap_err(),
+        DivError::ProjectionMissing
+    );
+    let bad = bare.project(1.0, 7);
+    assert!(matches!(
+        bad.run_projected(&store).unwrap_err(),
+        DivError::InvalidEps { .. }
+    ));
+    let empty = DenseStore::new(128);
+    let ok = Task::new(Problem::RemoteEdge, 4)
+        .budget(Budget::KPrime(24))
+        .project(0.5, 7);
+    assert_eq!(ok.run_projected(&empty).unwrap_err(), DivError::EmptyInput);
+    let too_big = Task::new(Problem::RemoteEdge, 500)
+        .budget(Budget::KPrime(600))
+        .project(0.5, 7);
+    assert!(matches!(
+        too_big.run_projected(&store).unwrap_err(),
+        DivError::InvalidK { .. }
+    ));
+}
+
+#[test]
+fn projection_spec_survives_both_wire_formats() {
+    let task = Task::new(Problem::RemoteClique, 8)
+        .budget(Budget::KPrime(32))
+        .project(0.25, 99);
+    let json = serde_json::to_string(&task).unwrap();
+    assert_eq!(serde_json::from_str::<Task>(&json).unwrap(), task);
+    let bytes = diversity::wire::to_bytes(&task);
+    assert_eq!(diversity::wire::from_bytes::<Task>(&bytes).unwrap(), task);
+    assert_eq!(
+        task.projection_spec(),
+        Some(Projection {
+            eps: 0.25,
+            seed: 99
+        })
+    );
+}

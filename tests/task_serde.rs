@@ -53,9 +53,21 @@ fn arb_coreset() -> impl proptest::Strategy<Value = Coreset<VecPoint>> {
 }
 
 fn arb_task() -> impl proptest::Strategy<Value = Task> {
-    (arb_problem(), 1usize..1000, arb_budget(), 0usize..9).prop_map(
-        |(problem, k, budget, threads)| Task::new(problem, k).budget(budget).threads(threads),
+    (
+        arb_problem(),
+        1usize..1000,
+        arb_budget(),
+        0usize..9,
+        (0u8..2, 0.01f64..0.99, 0u64..1000),
     )
+        .prop_map(|(problem, k, budget, threads, (project, eps, seed))| {
+            let task = Task::new(problem, k).budget(budget).threads(threads);
+            if project == 1 {
+                task.project(eps, seed)
+            } else {
+                task
+            }
+        })
 }
 
 proptest! {
@@ -125,23 +137,30 @@ fn wire_format_is_stable() {
         .threads(4);
     assert_eq!(
         serde_json::to_string(&task).unwrap(),
-        r#"{"problem":"RemoteClique","k":8,"budget":{"Eps":{"eps":0.5,"dim":3}},"threads":4}"#
+        r#"{"problem":"RemoteClique","k":8,"budget":{"Eps":{"eps":0.5,"dim":3}},"threads":4,"projection":null}"#
     );
 
     let task = Task::new(Problem::RemoteEdge, 2);
     assert_eq!(
         serde_json::to_string(&task).unwrap(),
-        r#"{"problem":"RemoteEdge","k":2,"budget":{"Auto":{"eps":0.5,"cap":null}},"threads":null}"#
+        r#"{"problem":"RemoteEdge","k":2,"budget":{"Auto":{"eps":0.5,"cap":null}},"threads":null,"projection":null}"#
+    );
+
+    let task = Task::new(Problem::RemoteEdge, 2).project(0.25, 7);
+    assert_eq!(
+        serde_json::to_string(&task).unwrap(),
+        r#"{"problem":"RemoteEdge","k":2,"budget":{"Auto":{"eps":0.5,"cap":null}},"threads":null,"projection":{"eps":0.25,"seed":7}}"#
     );
 
     let spec: Task = serde_json::from_str(
-        r#"{"problem":"RemoteTree","k":5,"budget":{"KPrime":40},"threads":null}"#,
+        r#"{"problem":"RemoteTree","k":5,"budget":{"KPrime":40},"threads":null,"projection":null}"#,
     )
     .unwrap();
     assert_eq!(spec.problem(), Problem::RemoteTree);
     assert_eq!(spec.k(), 5);
     assert_eq!(spec.budget_spec(), Budget::KPrime(40));
     assert_eq!(spec.thread_cap(), None);
+    assert_eq!(spec.projection_spec(), None);
 
     assert_eq!(
         serde_json::to_string(&Strategy::TwoRound).unwrap(),

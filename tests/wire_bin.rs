@@ -18,18 +18,29 @@ use proptest::Strategy as _;
 #[test]
 fn golden_task_bytes() {
     let task = Task::new(Problem::RemoteEdge, 8).budget(Budget::KPrime(32));
-    // problem tag 0, k=8 varint, budget tag 1 + varint 32, threads None.
-    assert_eq!(to_bytes(&task), vec![0, 8, 1, 32, 0]);
+    // problem tag 0, k=8 varint, budget tag 1 + varint 32, threads
+    // None, projection None.
+    assert_eq!(to_bytes(&task), vec![0, 8, 1, 32, 0, 0]);
     let with_threads = Task::new(Problem::RemoteCycle, 300)
         .budget(Budget::Eps { eps: 0.5, dim: 3 })
         .threads(2);
     // problem tag 5; 300 = 0xAC 0x02 varint; budget tag 2 + f64(0.5)
-    // LE + dim varint 3; threads Some(2).
+    // LE + dim varint 3; threads Some(2); projection None.
     let mut expected = vec![5, 0xAC, 0x02, 2];
     expected.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
-    expected.extend_from_slice(&[3, 1, 2]);
+    expected.extend_from_slice(&[3, 1, 2, 0]);
     assert_eq!(to_bytes(&with_threads), expected);
     assert_eq!(from_bytes::<Task>(&expected).unwrap(), with_threads);
+
+    // A projection spec appends Option tag 1 + f64(eps) + seed varint.
+    let projected = Task::new(Problem::RemoteEdge, 8)
+        .budget(Budget::KPrime(32))
+        .project(0.25, 7);
+    let mut expected = vec![0, 8, 1, 32, 0, 1];
+    expected.extend_from_slice(&0.25f64.to_bits().to_le_bytes());
+    expected.push(7);
+    assert_eq!(to_bytes(&projected), expected);
+    assert_eq!(from_bytes::<Task>(&expected).unwrap(), projected);
 }
 
 #[test]
@@ -70,9 +81,21 @@ fn arb_budget() -> impl proptest::Strategy<Value = Budget> {
 }
 
 fn arb_task() -> impl proptest::Strategy<Value = Task> {
-    (arb_problem(), 1usize..1000, arb_budget(), 0usize..9).prop_map(
-        |(problem, k, budget, threads)| Task::new(problem, k).budget(budget).threads(threads),
+    (
+        arb_problem(),
+        1usize..1000,
+        arb_budget(),
+        0usize..9,
+        (0u8..2, 0.01f64..0.99, 0u64..1000),
     )
+        .prop_map(|(problem, k, budget, threads, (project, eps, seed))| {
+            let task = Task::new(problem, k).budget(budget).threads(threads);
+            if project == 1 {
+                task.project(eps, seed)
+            } else {
+                task
+            }
+        })
 }
 
 fn arb_coreset() -> impl proptest::Strategy<Value = Coreset<VecPoint>> {
