@@ -15,6 +15,7 @@
 //! | [`sites::MR_PARTITION`]      | [`FaultKind::DropPartition`] | drops one reducer's output, forcing the round driver's retry-with-reshuffle |
 //! | [`sites::QUERY`]             | [`FaultKind::Transient`]     | a transient query-path error the pool retries with bounded backoff |
 //! | [`sites::RECOVERY`]          | [`FaultKind::Transient`]     | a transient failure *during* shard recovery, exercising the backoff loop |
+//! | [`sites::REBALANCE`]         | [`FaultKind::ShardPanic`]    | `panic!` mid-rebalance, before the shard-set swap commits (the pool's `catch_unwind` keeps the old set serving — rebalance is all-or-nothing) |
 //!
 //! ## Determinism
 //!
@@ -85,6 +86,12 @@ pub mod sites {
     /// During shard recovery — fires [`super::FaultKind::Transient`]
     /// (the recovery loop backs off and retries).
     pub const RECOVERY: &str = "serve.recovery";
+    /// Mid-rebalance, after the cut is imaged but before the new shard
+    /// set is committed — fires [`super::FaultKind::ShardPanic`]. The
+    /// pool's `catch_unwind` makes the swap all-or-nothing: an injected
+    /// panic here must leave the old shard set serving unchanged
+    /// answers.
+    pub const REBALANCE: &str = "serve.rebalance";
 }
 
 /// What kind of fault an event injected.

@@ -196,6 +196,15 @@ pub struct StatsReply {
     pub skew: f64,
     /// Per-shard live-point counts.
     pub occupancies: Vec<u64>,
+    /// Committed rebalances over the pool's lifetime. Appended after
+    /// `occupancies` — wire field order is contract.
+    pub rebalances: u64,
+    /// Skew the most recent rebalance started from (`0.0` before the
+    /// first rebalance).
+    pub rebalance_skew_before: f64,
+    /// Skew the most recent rebalance ended at (`0.0` before the
+    /// first rebalance).
+    pub rebalance_skew_after: f64,
 }
 
 impl BinWrite for StatsReply {
@@ -211,6 +220,9 @@ impl BinWrite for StatsReply {
         self.total_shards.write_bin(out);
         self.skew.write_bin(out);
         self.occupancies.write_bin(out);
+        self.rebalances.write_bin(out);
+        self.rebalance_skew_before.write_bin(out);
+        self.rebalance_skew_after.write_bin(out);
     }
 }
 
@@ -228,6 +240,9 @@ impl BinRead for StatsReply {
             total_shards: BinRead::read_bin(r)?,
             skew: BinRead::read_bin(r)?,
             occupancies: BinRead::read_bin(r)?,
+            rebalances: BinRead::read_bin(r)?,
+            rebalance_skew_before: BinRead::read_bin(r)?,
+            rebalance_skew_after: BinRead::read_bin(r)?,
         })
     }
 }
@@ -350,6 +365,9 @@ mod tests {
             total_shards: 4,
             skew: 1.25,
             occupancies: vec![10, 12, 8, 0],
+            rebalances: 3,
+            rebalance_skew_before: 2.5,
+            rebalance_skew_after: 1.0625,
         };
         let back: StatsReply = from_bytes(&to_bytes(&stats)).unwrap();
         assert_eq!(back, stats);

@@ -231,6 +231,13 @@ struct Inner<P, M> {
     coalescer: Coalescer,
     in_flight: AtomicUsize,
     shutdown: AtomicBool,
+    /// `DIVMAX_REBALANCE` policy, read once at start. When set, every
+    /// successful mutate polls [`ShardPool::maybe_rebalance`] — the
+    /// threshold + pacing gates inside keep the poll cheap, and a
+    /// failed rebalance (e.g. an injected mid-swap panic) leaves the
+    /// pool serving from the old shard set, so errors are only counted,
+    /// never surfaced to the mutating client.
+    rebalance: Option<diversity_serve::RebalanceConfig>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -267,6 +274,7 @@ where
             coalescer: Coalescer::new(),
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            rebalance: diversity_serve::RebalanceConfig::from_env(),
         });
         let listener = Arc::new(listener);
         let handles = (0..workers)
@@ -542,7 +550,16 @@ where
             .map(MutateReply::Deleted),
     };
     match outcome {
-        Ok(reply) => encode_response(Status::Ok, &reply),
+        Ok(reply) => {
+            if let Some(config) = &inner.rebalance {
+                // Skew-triggered rebalancing rides the mutate path: the
+                // threshold/pacing gates make this a cheap poll, and a
+                // failure is invisible to the client (the old shard set
+                // keeps serving — rebalance is all-or-nothing).
+                let _ = inner.pool.maybe_rebalance(config);
+            }
+            encode_response(Status::Ok, &reply)
+        }
         Err(err) => {
             let status = status_for(&err);
             encode_response(status, &err)
@@ -591,6 +608,7 @@ where
 {
     let counters = inner.counters.snapshot();
     let occupancies = inner.pool.occupancies();
+    let rebalance = inner.pool.rebalance_stats();
     let reply = StatsReply {
         accepted: counters.accepted,
         queries: counters.queries,
@@ -603,6 +621,9 @@ where
         total_shards: inner.pool.num_shards() as u64,
         skew: inner.pool.skew(),
         occupancies: occupancies.into_iter().map(|n| n as u64).collect(),
+        rebalances: rebalance.rebalances,
+        rebalance_skew_before: rebalance.last_skew_before,
+        rebalance_skew_after: rebalance.last_skew_after,
     };
     encode_response(Status::Ok, &reply)
 }

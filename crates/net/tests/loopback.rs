@@ -146,6 +146,40 @@ fn a_mutation_between_queries_defeats_coalescing() {
     assert_eq!(stats.coalesced, 0);
 }
 
+/// A rebalance bumps the mutation epoch exactly like a mutation does,
+/// so the coalescing cache can never hand a follower a pre-swap
+/// extraction as current — and the Stats opcode reports the rebalance
+/// counters over the wire.
+#[test]
+fn a_rebalance_between_queries_defeats_coalescing() {
+    let server = seeded_server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let task = edge_task();
+    let mut client = NetClient::<VecPoint>::connect(server.addr()).expect("connect");
+
+    client.query(&task).expect("first query");
+    let epoch_before = server.pool().epoch();
+    let report = server.pool().rebalance().expect("rebalance");
+    assert!(
+        server.pool().epoch() > epoch_before,
+        "a committed rebalance must bump the mutation epoch"
+    );
+    // Identical payload, but the epoch moved: a fresh extraction, never
+    // the pre-swap one (the old ids no longer exist in the new set).
+    client.query(&task).expect("second query");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rebalances, 1);
+    assert_eq!(stats.rebalance_skew_before, report.skew_before);
+    assert_eq!(stats.rebalance_skew_after, report.skew_after);
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.coalesced, 0);
+}
+
 #[test]
 fn admission_control_rejects_with_a_typed_status() {
     let server = seeded_server(ServerConfig {

@@ -17,6 +17,14 @@
 //!   radius certificate.
 //! * [`Router`] — where updates land ([`RoundRobin`], [`HashRouter`],
 //!   [`FnRouter`]); placement never affects soundness.
+//! * [`rebalance`] — live shard rebalancing on router skew:
+//!   [`ShardPool::maybe_rebalance`] quiesces the pool when
+//!   [`ShardPool::skew`] crosses a [`RebalanceConfig`] threshold
+//!   (`DIVMAX_REBALANCE`), re-partitions the consistent cut
+//!   ([`rebalance_state`] — sound for *arbitrary* partitions by the
+//!   paper's Definition 2), and swaps the rebuilt shard set in
+//!   atomically; pre-rebalance [`ShardedId`]s keep resolving through
+//!   a [`RemapEntry`] table.
 //! * [`PoolState`] / [`ShardPool::checkpoint`] /
 //!   [`ShardPool::restore`] — serde snapshots of the whole pool
 //!   (engine cover hierarchies included, via
@@ -88,6 +96,7 @@
 
 pub mod churn;
 pub mod pool;
+pub mod rebalance;
 pub mod router;
 pub mod task_ext;
 pub mod wire;
@@ -97,5 +106,8 @@ pub use churn::{
     ChurnConfig, ChurnOutcome,
 };
 pub use pool::{PoolState, ShardHealth, ShardPool, ShardedId};
+pub use rebalance::{
+    rebalance_state, RebalanceConfig, RebalanceReport, RebalanceStats, RemapEntry,
+};
 pub use router::{occupancy_skew, FnRouter, HashRouter, RoundRobin, Router, RouterState};
 pub use task_ext::Serve;

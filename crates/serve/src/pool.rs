@@ -3,6 +3,9 @@
 //! panic quarantine, checkpoint+log recovery, and certified degraded
 //! answers when shards drop out.
 
+use crate::rebalance::{
+    rebalance_state, RebalanceConfig, RebalanceReport, RebalanceStats, RemapEntry,
+};
 use crate::router::{RoundRobin, Router, RouterState};
 use diversity::{Backend, Degradation, DivError, Report, StageMemory, StageTiming, Task};
 use diversity_core::coreset::Coreset;
@@ -14,7 +17,9 @@ use diversity_mapreduce::MapReduceRuntime;
 use metric::Metric;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Process-wide pool id source: every pool gets a distinct telemetry
@@ -53,12 +58,30 @@ impl ShardedId {
     ///
     /// # Panics
     /// Panics past 2^16 shards or 2^48 updates on one shard — both far
-    /// beyond anything a single pool holds.
+    /// beyond anything a single pool holds. Paths that handle
+    /// wire-received or remapped ids use the checked
+    /// [`try_encode`](Self::try_encode) instead: the old
+    /// unchecked shift silently *corrupted* out-of-range handles
+    /// (`shard << 48 | raw` with `raw >= 2^48` bleeds into the shard
+    /// bits), which mattered the moment rebalancing started remapping
+    /// ids across shards.
     pub fn encode(self) -> u64 {
         let raw = self.id.raw();
         assert!(raw < 1 << RAW_BITS, "engine id overflows the encoding");
         assert!(self.shard < 1 << 16, "shard index overflows the encoding");
         ((self.shard as u64) << RAW_BITS) | raw
+    }
+
+    /// Checked [`encode`](Self::encode): [`DivError::InvalidShards`]
+    /// instead of a panic when `raw >= 2^48` or `shard >= 2^16` — the
+    /// boundary past which the packed form can no longer represent the
+    /// handle losslessly.
+    pub fn try_encode(self) -> Result<u64, DivError> {
+        let raw = self.id.raw();
+        if raw >= 1 << RAW_BITS || self.shard >= 1 << 16 {
+            return Err(DivError::InvalidShards);
+        }
+        Ok(((self.shard as u64) << RAW_BITS) | raw)
     }
 
     /// Inverse of [`encode`](Self::encode).
@@ -87,10 +110,16 @@ pub struct PoolState<P> {
     /// Per-shard engine checkpoints, in shard order.
     pub shards: Vec<EngineState<P>>,
     /// The router's checkpointed state ([`Router::checkpoint`]) —
-    /// always present, and always tagged with the router kind, so a
-    /// restore can tell whether the pool was checkpointed under the
-    /// same placement discipline.
+    /// always present, always tagged with the router kind, and stamped
+    /// with the shard count it was routing over, so a restore can tell
+    /// whether the pool was checkpointed under the same placement
+    /// discipline *and* the same shard layout.
     pub router: RouterState,
+    /// The rebalance remap table ([`RemapEntry`]), sorted by `from`:
+    /// every pre-rebalance encoded [`ShardedId`] still resolvable to a
+    /// live point, however many rebalances ago it was issued. Empty
+    /// for a never-rebalanced pool.
+    pub remap: Vec<RemapEntry>,
 }
 
 impl<P> PoolState<P> {
@@ -190,6 +219,10 @@ impl<P, M> Shard<P, M> {
 /// What one per-shard extraction pass produced (see
 /// `ShardPool::extract_shards`).
 struct Extraction<P> {
+    /// Shard count of the snapshot this extraction ran over (constant
+    /// across rebalances, but read from the same snapshot as the
+    /// artifacts so one query never mixes generations).
+    shards_total: usize,
     /// Artifacts of the shards that answered, in shard order.
     artifacts: Vec<Coreset<P>>,
     /// Shards that dropped out: quarantined, past the deadline, lock
@@ -302,38 +335,96 @@ struct Extraction<P> {
 /// opt into a persistent handle from the front door, or
 /// [`restore`](Self::restore) to resume a [`checkpoint`](Self::checkpoint).
 pub struct ShardPool<P, M> {
-    shards: Vec<Shard<P, M>>,
+    /// The live shard set, swapped **atomically** by
+    /// [`rebalance`](Self::rebalance): readers clone the `Arc` under a
+    /// brief outer read lock (never holding it across shard-lock
+    /// acquisition), so in-flight queries on a superseded set finish
+    /// undisturbed while new routes see the replacement.
+    shards: RwLock<Arc<Vec<Shard<P, M>>>>,
     metric: M,
     config: DynamicConfig,
     router: Box<dyn Router<P>>,
     runtime: MapReduceRuntime,
     /// This pool's telemetry namespace (`serve.pool{id}.…`).
     pool_id: usize,
-    /// Precomputed occupancy gauge names, one per shard.
+    /// Precomputed occupancy gauge names, one per shard (shard count
+    /// is invariant across rebalances, so the names survive swaps).
     gauge_names: Vec<String>,
     /// Mutation epoch: bumped (under the touched shard's write lock)
-    /// on every acknowledged mutation and every shard health
-    /// transition — anything that could change a query's answer. Two
-    /// reads of [`epoch`](Self::epoch) bracketing equal values witness
-    /// a quiescent pool, which is what the network layer's query
-    /// coalescing keys on.
+    /// on every acknowledged mutation, every shard health transition,
+    /// and every committed rebalance — anything that could change a
+    /// query's answer *or its id space*. Two reads of
+    /// [`epoch`](Self::epoch) bracketing equal values witness a
+    /// quiescent pool, which is what the network layer's query
+    /// coalescing keys on; the rebalance bump is what guarantees a
+    /// coalesced follower can never be handed a pre-swap extraction as
+    /// current.
     epoch: AtomicU64,
+    /// Swap generation: bumped under the outer `shards` write lock on
+    /// every committed rebalance. Writers re-check it after acquiring
+    /// a shard write lock — a mutation applied to a superseded shard
+    /// set would be silently lost, so a stale writer retries against
+    /// the fresh snapshot instead.
+    generation: AtomicU64,
+    /// Old encoded [`ShardedId`] → current encoded id, folded across
+    /// every committed rebalance ([`RemapEntry`] composition), so
+    /// handles issued any number of rebalances ago keep resolving.
+    remap: RwLock<HashMap<u64, u64>>,
+    /// Serializes rebalances and carries the last-commit instant
+    /// (`min_interval_ms` pacing) — held across the whole quiesce →
+    /// re-partition → swap sequence.
+    rebalance_ctl: Mutex<RebalanceCtl>,
+    /// Committed rebalances (monotone; mirrored to `serve.rebalances`).
+    rebalances: AtomicU64,
+    /// `f64::to_bits` of the skew the latest rebalance started from.
+    last_skew_before: AtomicU64,
+    /// `f64::to_bits` of the skew the latest rebalance ended at.
+    last_skew_after: AtomicU64,
     /// Router state from a restored checkpoint whose kind did not
     /// match the active router; held for [`with_router`]
     /// (Self::with_router) to apply when the matching router arrives.
     pending_router: Option<RouterState>,
 }
 
+/// Rebalance serialization state (see `ShardPool::rebalance_ctl`).
+struct RebalanceCtl {
+    /// When the last rebalance committed; `None` before the first.
+    last: Option<Instant>,
+}
+
 impl<P, M> std::fmt::Debug for ShardPool<P, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shards = self.shards();
         f.debug_struct("ShardPool")
-            .field("shards", &self.shards.len())
+            .field("shards", &shards.len())
             .field("config", &self.config)
             .field(
                 "health",
-                &self.shards.iter().map(Shard::health).collect::<Vec<_>>(),
+                &shards.iter().map(Shard::health).collect::<Vec<_>>(),
             )
             .finish_non_exhaustive()
+    }
+}
+
+impl<P, M> ShardPool<P, M> {
+    /// The current shard set. The outer read lock is held only for the
+    /// `Arc` clone — never across shard-lock acquisition — so a
+    /// rebalance's swap (outer write lock) can never deadlock against
+    /// readers or writers parked on shard locks.
+    fn shards(&self) -> Arc<Vec<Shard<P, M>>> {
+        self.shards.read().clone()
+    }
+
+    /// The current shard set plus the swap generation it belongs to,
+    /// read under one outer lock so the pair is consistent. Writers
+    /// re-check the generation after acquiring a shard write lock: a
+    /// mismatch means a rebalance swapped the set out from under them
+    /// and the mutation must retry on the fresh snapshot (applying it
+    /// to the superseded set would lose the write).
+    fn snapshot(&self) -> (Arc<Vec<Shard<P, M>>>, u64) {
+        let guard = self.shards.read();
+        let generation = self.generation.load(Ordering::Acquire);
+        (guard.clone(), generation)
     }
 }
 
@@ -390,7 +481,7 @@ where
             .collect();
         let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         Self {
-            shards: engines,
+            shards: RwLock::new(Arc::new(engines)),
             metric,
             config,
             router: Box::new(RoundRobin::new()),
@@ -398,6 +489,12 @@ where
             pool_id,
             gauge_names: occupancy_gauge_names(pool_id, shards),
             epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            remap: RwLock::new(HashMap::new()),
+            rebalance_ctl: Mutex::new(RebalanceCtl { last: None }),
+            rebalances: AtomicU64::new(0),
+            last_skew_before: AtomicU64::new(0),
+            last_skew_after: AtomicU64::new(0),
             pending_router: None,
         }
     }
@@ -415,16 +512,43 @@ where
     /// router state is silently dropped.
     ///
     /// A corrupt state — no shards, shards checkpointed under
-    /// different configurations, or a structurally inconsistent engine
-    /// state (truncated/bit-flipped wire bytes) — returns
-    /// [`DivError::CorruptState`] so the caller can keep its last good
-    /// pool instead of aborting. States produced by `checkpoint`
-    /// always restore.
+    /// different configurations, a router state stamped with a
+    /// *different* shard count than the checkpoint holds (restoring it
+    /// would mis-route every stable-id placement — e.g. a `HashRouter`
+    /// hashing over the wrong `shards.len()`), a remap entry pointing
+    /// at a shard the pool does not have, or a structurally
+    /// inconsistent engine state (truncated/bit-flipped wire bytes) —
+    /// returns [`DivError::CorruptState`] so the caller can keep its
+    /// last good pool instead of aborting. States produced by
+    /// `checkpoint` always restore.
     pub fn restore(metric: M, state: PoolState<P>) -> Result<Self, DivError> {
         if state.shards.is_empty() {
             return Err(DivError::CorruptState {
                 reason: "pool checkpoint holds no shards".into(),
             });
+        }
+        if state.router.shards as usize != state.shards.len() {
+            return Err(DivError::CorruptState {
+                reason: format!(
+                    "router state was checkpointed over {} shards but the pool holds {}",
+                    state.router.shards,
+                    state.shards.len()
+                ),
+            });
+        }
+        for entry in &state.remap {
+            let to = ShardedId::decode(entry.to);
+            if to.shard >= state.shards.len() {
+                return Err(DivError::CorruptState {
+                    reason: format!(
+                        "remap entry {} -> {} points at shard {} of a {}-shard pool",
+                        entry.from,
+                        entry.to,
+                        to.shard,
+                        state.shards.len()
+                    ),
+                });
+            }
         }
         let span = diversity_obs::span("serve.restore_ns");
         let config = DynamicConfig {
@@ -461,23 +585,30 @@ where
         } else {
             Some(state.router)
         };
+        let remap: HashMap<u64, u64> = state.remap.iter().map(|e| (e.from, e.to)).collect();
         let pool_id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let pool = Self {
             gauge_names: occupancy_gauge_names(pool_id, shards.len()),
-            shards,
+            shards: RwLock::new(Arc::new(shards)),
             metric,
             config,
             router: Box::new(router),
             runtime: MapReduceRuntime::with_threads(1),
             pool_id,
             epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            remap: RwLock::new(remap),
+            rebalance_ctl: Mutex::new(RebalanceCtl { last: None }),
+            rebalances: AtomicU64::new(0),
+            last_skew_before: AtomicU64::new(0),
+            last_skew_after: AtomicU64::new(0),
             pending_router,
         };
         drop(span);
         if diversity_obs::enabled() {
             // Publish the restored occupancy so the pool's gauges are
             // correct before any traffic arrives.
-            for (shard, slot) in pool.shards.iter().enumerate() {
+            for (shard, slot) in pool.shards().iter().enumerate() {
                 diversity_obs::gauge_set(&pool.gauge_names[shard], slot.engine.read().len() as i64);
             }
         }
@@ -507,9 +638,10 @@ where
         self.pending_router.as_ref()
     }
 
-    /// Number of shards.
+    /// Number of shards (invariant across rebalances — only placement
+    /// changes).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shards().len()
     }
 
     /// This pool's telemetry namespace prefix: every per-shard
@@ -523,17 +655,17 @@ where
 
     /// The health state of shard `shard`.
     pub fn shard_health(&self, shard: usize) -> ShardHealth {
-        self.shards[shard].health()
+        self.shards()[shard].health()
     }
 
     /// Every shard's health, in shard order.
     pub fn healths(&self) -> Vec<ShardHealth> {
-        self.shards.iter().map(Shard::health).collect()
+        self.shards().iter().map(Shard::health).collect()
     }
 
     /// Number of shards currently `Healthy`.
     pub fn healthy_shards(&self) -> usize {
-        self.shards
+        self.shards()
             .iter()
             .filter(|s| s.health() == ShardHealth::Healthy)
             .count()
@@ -559,7 +691,7 @@ where
     /// Quarantined shards report the occupancy they last acknowledged
     /// (the population a recovery will restore), not zero.
     pub fn occupancies(&self) -> Vec<usize> {
-        self.shards
+        self.shards()
             .iter()
             .map(|s| s.occupancy.load(Ordering::Acquire))
             .collect()
@@ -567,8 +699,10 @@ where
 
     /// The router's imbalance figure over the current
     /// [`occupancies`](Self::occupancies) ([`Router::skew`]; the
-    /// default policy is max/mean — `1.0` is perfectly balanced,
-    /// `0.0` an empty pool). The hook future rebalancing keys off.
+    /// default policy is max/mean — `1.0` is perfectly balanced, and
+    /// an empty pool also reports `1.0`). This is what
+    /// [`maybe_rebalance`](Self::maybe_rebalance) compares against its
+    /// threshold.
     pub fn skew(&self) -> f64 {
         self.router.skew(&self.occupancies())
     }
@@ -577,11 +711,13 @@ where
     /// quarantined shards are excluded from the serving population
     /// until they recover).
     pub fn shard_len(&self, shard: usize) -> usize {
-        let slot = &self.shards[shard];
+        let shards = self.shards();
+        let slot = &shards[shard];
         if slot.health() != ShardHealth::Healthy {
             return 0;
         }
-        slot.engine.read().len()
+        let len = slot.engine.read().len();
+        len
     }
 
     /// Total alive points across the **healthy** shards — the
@@ -591,7 +727,7 @@ where
     /// last-acknowledged occupancy is still visible to degraded
     /// answers' coverage accounting ([`Degradation::coverage`]).
     pub fn len(&self) -> usize {
-        self.shards
+        self.shards()
             .iter()
             .filter(|s| s.health() == ShardHealth::Healthy)
             .map(|s| s.engine.read().len())
@@ -617,7 +753,7 @@ where
     /// could not be recovered (the rest of the pool keeps serving —
     /// there is no silent re-route, so placement stays deterministic).
     pub fn insert(&self, point: P) -> Result<ShardedId, DivError> {
-        let shard = self.router.route(&point, self.shards.len());
+        let shard = self.router.route(&point, self.num_shards());
         self.insert_to(shard, point)
     }
 
@@ -645,13 +781,46 @@ where
     /// in-line first or the delete fails with
     /// [`DivError::ShardUnavailable`] — in which case the point is
     /// still alive (the operation was not applied).
+    ///
+    /// Handles issued before a [`rebalance`](Self::rebalance) are
+    /// [resolved](Self::resolve) through the remap table first, so
+    /// pre-rebalance ids keep deleting the point they named.
     pub fn delete(&self, id: ShardedId) -> Result<bool, DivError> {
-        if id.shard >= self.shards.len() {
-            return Ok(false);
+        loop {
+            let generation = self.generation.load(Ordering::Acquire);
+            let resolved = self.resolve(id);
+            if resolved.shard >= self.num_shards() {
+                return Ok(false);
+            }
+            let deleted = match self.mutate(resolved.shard, Op::Delete(resolved.id))? {
+                MutOutcome::Deleted(deleted) => deleted,
+                MutOutcome::Inserted(_) => unreachable!("delete ops produce delete outcomes"),
+            };
+            if deleted || self.generation.load(Ordering::Acquire) == generation {
+                return Ok(deleted);
+            }
+            // A rebalance committed between resolving the handle and
+            // applying the delete, so the miss may be an artifact of
+            // the stale resolution. Re-resolve against the fresh remap
+            // table and retry (a *successful* delete is never retried).
         }
-        match self.mutate(id.shard, Op::Delete(id.id))? {
-            MutOutcome::Deleted(deleted) => Ok(deleted),
-            MutOutcome::Inserted(_) => unreachable!("delete ops produce delete outcomes"),
+    }
+
+    /// Follows the rebalance remap table: the current [`ShardedId`] of
+    /// the point `id` named when it was issued. Ids the table does not
+    /// know — ids issued after the last rebalance, ids of points that
+    /// died before one, out-of-range hand-built ids — pass through
+    /// unchanged (and then simply miss, since rebuilt id spaces never
+    /// reuse pre-rebalance ids). One lookup suffices however many
+    /// rebalances have happened: each commit folds the new hop into
+    /// the table instead of chaining.
+    pub fn resolve(&self, id: ShardedId) -> ShardedId {
+        let Ok(key) = id.try_encode() else {
+            return id;
+        };
+        match self.remap.read().get(&key) {
+            Some(&to) => ShardedId::decode(to),
+            None => id,
         }
     }
 
@@ -664,13 +833,22 @@ where
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn quarantine(&self, shard: usize) {
-        let slot = &self.shards[shard];
-        // Under the write lock so the transition cannot interleave
-        // with a mutation's own health handling.
-        let _guard = slot.engine.write();
-        slot.set_health(ShardHealth::Quarantined);
-        self.bump_epoch();
-        diversity_obs::count("serve.quarantines", 1);
+        loop {
+            let (shards, generation) = self.snapshot();
+            let slot = &shards[shard];
+            // Under the write lock so the transition cannot interleave
+            // with a mutation's own health handling.
+            let _guard = slot.engine.write();
+            if self.generation.load(Ordering::Acquire) != generation {
+                // A rebalance swapped the set while we waited for the
+                // lock; fencing the superseded shard would be a no-op.
+                continue;
+            }
+            slot.set_health(ShardHealth::Quarantined);
+            self.bump_epoch();
+            diversity_obs::count("serve.quarantines", 1);
+            return;
+        }
     }
 
     /// Recovers shard `shard` if it is quarantined: rebuilds the
@@ -681,21 +859,28 @@ where
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn recover(&self, shard: usize) -> Result<(), DivError> {
-        let slot = &self.shards[shard];
-        if slot.health() == ShardHealth::Healthy {
-            return Ok(());
+        loop {
+            let (shards, generation) = self.snapshot();
+            let slot = &shards[shard];
+            if slot.health() == ShardHealth::Healthy {
+                return Ok(());
+            }
+            let mut engine = slot.engine.write();
+            if self.generation.load(Ordering::Acquire) != generation {
+                drop(engine); // superseded set; re-check the fresh one
+                continue;
+            }
+            if slot.health() == ShardHealth::Healthy {
+                return Ok(()); // someone else recovered while we waited
+            }
+            return self.recover_locked(slot, shard, &mut engine);
         }
-        let mut engine = slot.engine.write();
-        if slot.health() == ShardHealth::Healthy {
-            return Ok(()); // someone else recovered while we waited
-        }
-        self.recover_locked(shard, &mut engine)
     }
 
     /// Recovers every non-healthy shard ([`recover`](Self::recover)),
     /// returning the first failure.
     pub fn recover_all(&self) -> Result<(), DivError> {
-        for shard in 0..self.shards.len() {
+        for shard in 0..self.num_shards() {
             self.recover(shard)?;
         }
         Ok(())
@@ -707,10 +892,10 @@ where
     /// or the recovery material itself is corrupt.
     fn recover_locked(
         &self,
+        slot: &Shard<P, M>,
         shard: usize,
         engine: &mut DynamicDiversity<P, M>,
     ) -> Result<(), DivError> {
-        let slot = &self.shards[shard];
         slot.set_health(ShardHealth::Recovering);
         let started = Instant::now();
         for attempt in 1..=Self::RECOVERY_ATTEMPTS {
@@ -773,8 +958,10 @@ where
     /// half-mutated engine could become visible — and triggers an
     /// immediate recovery + one retry of the operation.
     fn mutate(&self, shard: usize, op: Op<P>) -> Result<MutOutcome, DivError> {
-        let slot = &self.shards[shard];
-        for attempt in 1..=Self::MUTATE_ATTEMPTS {
+        let mut attempt = 1;
+        loop {
+            let (shards, generation) = self.snapshot();
+            let slot = &shards[shard];
             // A quarantined shard gets an in-line recovery before the
             // operation is applied (or refused).
             if slot.health() != ShardHealth::Healthy {
@@ -785,6 +972,14 @@ where
             let t0 = Instant::now();
             let mut engine = slot.engine.write();
             let acquired = Instant::now();
+            if self.generation.load(Ordering::Acquire) != generation {
+                // A rebalance swapped the shard set while we waited
+                // for the lock: applying the op to the superseded
+                // engine would silently lose the write. Retry on the
+                // fresh snapshot (does not consume a fault attempt).
+                drop(engine);
+                continue;
+            }
             if slot.health() != ShardHealth::Healthy {
                 // Quarantined while we waited for the lock; loop back
                 // through recovery.
@@ -836,26 +1031,37 @@ where
                     slot.set_health(ShardHealth::Quarantined);
                     self.bump_epoch();
                     diversity_obs::count("serve.quarantines", 1);
-                    let recovered = self.recover_locked(shard, &mut engine);
+                    let recovered = self.recover_locked(slot, shard, &mut engine);
                     drop(engine);
                     if recovered.is_err() || attempt == Self::MUTATE_ATTEMPTS {
                         return Err(DivError::ShardUnavailable { shard });
                     }
                     // Recovered: retry the operation once.
+                    attempt += 1;
                 }
             }
         }
-        Err(DivError::ShardUnavailable { shard })
     }
 
     /// The point behind an alive handle, cloned out under the shard's
     /// read lock. `None` while the owning shard is quarantined.
+    /// Pre-rebalance handles are [resolved](Self::resolve) through the
+    /// remap table first.
     pub fn point(&self, id: ShardedId) -> Option<P> {
-        let slot = self.shards.get(id.shard)?;
+        // Resolve while holding the outer read lock: a rebalance
+        // commits its swap *and* its remap update under the outer
+        // write lock, so the (shard set, resolution) pair read here can
+        // never straddle a swap.
+        let (shards, id) = {
+            let guard = self.shards.read();
+            (guard.clone(), self.resolve(id))
+        };
+        let slot = shards.get(id.shard)?;
         if slot.health() != ShardHealth::Healthy {
             return None;
         }
-        slot.engine.read().point(id.id).cloned()
+        let point = slot.engine.read().point(id.id).cloned();
+        point
     }
 
     /// Snapshot of all alive `(handle, point)` pairs across the
@@ -863,7 +1069,8 @@ where
     /// certificate covers right now.
     pub fn alive(&self) -> Vec<(ShardedId, P)> {
         let mut out = Vec::new();
-        for (shard, slot) in self.shards.iter().enumerate() {
+        let shards = self.shards();
+        for (shard, slot) in shards.iter().enumerate() {
             if slot.health() != ShardHealth::Healthy {
                 continue;
             }
@@ -882,7 +1089,7 @@ where
     /// quarantined shards report the zero default until they recover —
     /// recovery rebuilds the engine, which restarts its counters).
     pub fn shard_stats(&self) -> Vec<UpdateStats> {
-        self.shards
+        self.shards()
             .iter()
             .map(|s| {
                 if s.health() == ShardHealth::Healthy {
@@ -897,7 +1104,7 @@ where
     /// Exhaustively validates every healthy shard's cover invariants
     /// (test support; `O(n²)` per shard).
     pub fn validate(&self) {
-        for shard in &self.shards {
+        for shard in self.shards().iter() {
             if shard.health() == ShardHealth::Healthy {
                 shard.engine.read().validate();
             }
@@ -918,8 +1125,16 @@ where
         deadline: Option<Duration>,
     ) -> Extraction<P> {
         let started = Instant::now();
+        // One whole query runs against one snapshot: a rebalance
+        // mid-extraction swaps the pool's set, but this query keeps
+        // reading the generation it started on (the old shards stay
+        // alive behind the `Arc` until the last in-flight reader is
+        // done), so the merged certificate never mixes two partitions
+        // of the same points.
+        let shards = self.shards();
         let mut ex = Extraction {
-            artifacts: Vec::with_capacity(self.shards.len()),
+            shards_total: shards.len(),
+            artifacts: Vec::with_capacity(shards.len()),
             skipped: Vec::new(),
             total: 0,
             max_shard: 0,
@@ -930,7 +1145,7 @@ where
             ex.skipped.push(shard);
             ex.skipped_occupancy += slot.occupancy.load(Ordering::Acquire);
         };
-        for (shard, slot) in self.shards.iter().enumerate() {
+        for (shard, slot) in shards.iter().enumerate() {
             if slot.health() != ShardHealth::Healthy {
                 skip(&mut ex, shard, slot);
                 continue;
@@ -1094,7 +1309,7 @@ where
         if diversity_obs::enabled() {
             diversity_obs::observe("serve.extract_ns", (extract_secs * 1e9) as u64);
         }
-        let shards_total = self.shards.len();
+        let shards_total = ex.shards_total;
         let shards_answered = shards_total - ex.skipped.len();
         if shards_answered == 0 {
             return Err(DivError::PoolUnavailable {
@@ -1235,26 +1450,52 @@ where
     /// the checkpoint with the recovery's typed error.
     pub fn checkpoint(&self) -> Result<PoolState<P>, DivError> {
         let _span = diversity_obs::span("serve.checkpoint_ns");
-        let mut states = Vec::with_capacity(self.shards.len());
-        for shard in 0..self.shards.len() {
-            self.recover(shard)?;
-            let slot = &self.shards[shard];
-            let engine = slot.engine.read();
-            let state = engine.state();
-            // Refresh the recovery baseline under the engine lock so
-            // no acknowledged op can slip between state and log
-            // truncation.
-            let mut recovery = slot.recovery.lock();
-            recovery.base = state.clone();
-            recovery.log.clear();
-            drop(recovery);
-            drop(engine);
-            states.push(state);
+        'restart: loop {
+            let (shards, generation) = self.snapshot();
+            let mut states = Vec::with_capacity(shards.len());
+            for (shard, slot) in shards.iter().enumerate() {
+                self.recover(shard)?;
+                let engine = slot.engine.read();
+                if self.generation.load(Ordering::Acquire) != generation {
+                    // A rebalance landed mid-walk: states imaged so far
+                    // belong to the superseded partition and mixing
+                    // generations could snapshot a point twice. Start
+                    // over on the fresh set.
+                    drop(engine);
+                    continue 'restart;
+                }
+                let state = engine.state();
+                // Refresh the recovery baseline under the engine lock so
+                // no acknowledged op can slip between state and log
+                // truncation.
+                let mut recovery = slot.recovery.lock();
+                recovery.base = state.clone();
+                recovery.log.clear();
+                drop(recovery);
+                drop(engine);
+                states.push(state);
+            }
+            let mut router = self.router.checkpoint();
+            router.shards = states.len() as u64;
+            return Ok(PoolState {
+                shards: states,
+                router,
+                remap: self.remap_entries(),
+            });
         }
-        Ok(PoolState {
-            shards: states,
-            router: self.router.checkpoint(),
-        })
+    }
+
+    /// The live remap table as sorted [`RemapEntry`] rows (what
+    /// checkpoints persist).
+    fn remap_entries(&self) -> Vec<RemapEntry> {
+        let mut entries: Vec<RemapEntry> = self
+            .remap
+            .read()
+            .iter()
+            .map(|(&from, &to)| RemapEntry { from, to })
+            .collect();
+        entries.sort_by_key(|e| e.from);
+        entries
     }
 
     /// [`checkpoint`](Self::checkpoint) with **quiesced writers**: all
@@ -1274,34 +1515,227 @@ where
     /// refreshed (log folded in and truncated).
     pub fn checkpoint_consistent(&self) -> Result<PoolState<P>, DivError> {
         let _span = diversity_obs::span("serve.checkpoint_consistent_ns");
-        // Recovery needs the write lock itself, so run it before the
-        // global acquisition pass.
-        self.recover_all()?;
-        let mut guards = Vec::with_capacity(self.shards.len());
-        for slot in &self.shards {
-            guards.push(slot.engine.write());
+        loop {
+            let (shards, generation) = self.snapshot();
+            // Recovery needs the write lock itself, so run it before
+            // the global acquisition pass.
+            self.recover_all()?;
+            let mut guards = Vec::with_capacity(shards.len());
+            for slot in shards.iter() {
+                guards.push(slot.engine.write());
+            }
+            if self.generation.load(Ordering::Acquire) != generation {
+                // A rebalance swapped the set while we were acquiring:
+                // these locks fence the superseded shards. Retry on
+                // the fresh set.
+                drop(guards);
+                continue;
+            }
+            // Health transitions happen under shard write locks, all of
+            // which we now hold — but one may have slipped in between
+            // recover_all and our acquisition. Recover in place.
+            for (shard, guard) in guards.iter_mut().enumerate() {
+                if shards[shard].health() != ShardHealth::Healthy {
+                    self.recover_locked(&shards[shard], shard, &mut *guard)?;
+                }
+            }
+            let mut states = Vec::with_capacity(shards.len());
+            for (shard, guard) in guards.iter().enumerate() {
+                let state = guard.state();
+                let mut recovery = shards[shard].recovery.lock();
+                recovery.base = state.clone();
+                recovery.log.clear();
+                drop(recovery);
+                states.push(state);
+            }
+            diversity_obs::count("serve.checkpoints.consistent", 1);
+            let mut router = self.router.checkpoint();
+            router.shards = states.len() as u64;
+            return Ok(PoolState {
+                shards: states,
+                router,
+                remap: self.remap_entries(),
+            });
         }
-        // Health transitions happen under shard write locks, all of
-        // which we now hold — but one may have slipped in between
-        // recover_all and our acquisition. Recover in place.
-        for (shard, guard) in guards.iter_mut().enumerate() {
-            if self.shards[shard].health() != ShardHealth::Healthy {
-                self.recover_locked(shard, &mut *guard)?;
+    }
+
+    /// Rolling rebalance counters — committed rebalances plus the skew
+    /// the most recent one saw before/after (zeroes before the first).
+    /// This is what the network layer's `Stats` reply reports.
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        RebalanceStats {
+            rebalances: self.rebalances.load(Ordering::Acquire),
+            last_skew_before: f64::from_bits(self.last_skew_before.load(Ordering::Acquire)),
+            last_skew_after: f64::from_bits(self.last_skew_after.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Rebalances the pool unconditionally (no threshold or pacing
+    /// check — that is [`maybe_rebalance`](Self::maybe_rebalance)):
+    /// quiesce, re-partition, swap. See `rebalance_locked` for the
+    /// protocol and the soundness argument.
+    pub fn rebalance(&self) -> Result<RebalanceReport, DivError> {
+        let mut ctl = self.rebalance_ctl.lock();
+        self.rebalance_locked(&mut ctl)
+    }
+
+    /// Rebalances iff [`skew`](Self::skew) has reached
+    /// `config.threshold` **and** at least `config.min_interval_ms` has
+    /// passed since the last committed rebalance. `Ok(None)` when
+    /// either gate holds the pool back — the cheap, always-safe call a
+    /// serving loop makes after every write burst. Concurrent callers
+    /// serialize on the rebalance lock, so a churn storm triggers one
+    /// rebalance per interval, not one per caller.
+    pub fn maybe_rebalance(
+        &self,
+        config: &RebalanceConfig,
+    ) -> Result<Option<RebalanceReport>, DivError> {
+        let mut ctl = self.rebalance_ctl.lock();
+        if self.skew() < config.threshold {
+            return Ok(None);
+        }
+        if let Some(last) = ctl.last {
+            if last.elapsed() < Duration::from_millis(config.min_interval_ms) {
+                return Ok(None);
             }
         }
-        let mut states = Vec::with_capacity(self.shards.len());
-        for (shard, guard) in guards.iter().enumerate() {
-            let state = guard.state();
-            let mut recovery = self.shards[shard].recovery.lock();
-            recovery.base = state.clone();
-            recovery.log.clear();
-            drop(recovery);
-            states.push(state);
+        self.rebalance_locked(&mut ctl).map(Some)
+    }
+
+    /// The live rebalance protocol, under the rebalance lock:
+    ///
+    /// 1. **Quiesce** — recover every shard, then take every shard
+    ///    write lock in shard order (the `checkpoint_consistent`
+    ///    discipline), fencing writers. In-flight *readers* that
+    ///    already hold their snapshot keep extracting from the old
+    ///    shards — the old set stays alive behind its `Arc` until the
+    ///    last of them is done.
+    /// 2. **Cut** — image every shard into a consistent [`PoolState`].
+    /// 3. **Re-partition** — [`rebalance_state`]: greedy largest-first
+    ///    reassignment, rebuilt engines, composed remap table. Runs
+    ///    under `catch_unwind` with the [`faults::sites::REBALANCE`]
+    ///    injection point inside, and nothing observable mutates until
+    ///    step 5 — an injected panic (or any error) leaves the old pool
+    ///    serving bit-identical answers: rebalance is **all-or-nothing**.
+    /// 4. **Rebuild** — resume one engine per re-partitioned shard.
+    /// 5. **Commit** — under the outer `shards` write lock: swap the
+    ///    `Arc`, bump the swap generation (stale writers retry), fold
+    ///    the remap table, bump the mutation epoch (a coalesced
+    ///    follower can never be handed a pre-swap extraction), stamp
+    ///    the pacing clock, publish telemetry. Pure moves and atomic
+    ///    stores — this step cannot fail.
+    ///
+    /// ## Soundness (Definition 2)
+    ///
+    /// The paper states core-set composability for **arbitrary**
+    /// partitions: the union of per-shard core-sets is a lawful
+    /// core-set of the union of the shards, radius `max_i r_i`,
+    /// regardless of which shard holds which point. The cut taken in
+    /// step 2 is exact (all write locks held), the re-partition holds
+    /// the same multiset of points, and the rebuilt engines are
+    /// deterministic given the cut — so every quiescent query after the
+    /// swap answers bit-identically to a never-rebalanced pool restored
+    /// from the same cut, and its merged radius certificate certifies
+    /// the same ground truth. Only placement (and therefore skew)
+    /// changes.
+    fn rebalance_locked(&self, ctl: &mut RebalanceCtl) -> Result<RebalanceReport, DivError> {
+        let _span = diversity_obs::span("serve.rebalance_ns");
+        let skew_before = self.skew();
+        // Only a rebalance commit swaps the shard set, and we hold the
+        // rebalance lock — this snapshot cannot be superseded beneath us.
+        let shards = self.shards();
+        self.recover_all()?;
+        let mut guards = Vec::with_capacity(shards.len());
+        for slot in shards.iter() {
+            guards.push(slot.engine.write());
         }
-        diversity_obs::count("serve.checkpoints.consistent", 1);
-        Ok(PoolState {
+        // Writers are fenced from here to the commit: that scope is the
+        // pause the report charges to the rebalance.
+        let pause_started = Instant::now();
+        for (shard, guard) in guards.iter_mut().enumerate() {
+            if shards[shard].health() != ShardHealth::Healthy {
+                self.recover_locked(&shards[shard], shard, &mut *guard)?;
+            }
+        }
+        let mut states = Vec::with_capacity(shards.len());
+        for guard in guards.iter() {
+            states.push(guard.state());
+        }
+        let mut router = self.router.checkpoint();
+        router.shards = states.len() as u64;
+        let cut = PoolState {
             shards: states,
-            router: self.router.checkpoint(),
+            router,
+            remap: self.remap_entries(),
+        };
+        let repartitioned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faults::panic_point(faults::sites::REBALANCE);
+            rebalance_state(&self.metric, &cut)
+        }));
+        let (next, fresh) = match repartitioned {
+            Ok(result) => result?,
+            Err(_panic) => {
+                return Err(DivError::TransientFailure {
+                    site: faults::sites::REBALANCE.into(),
+                });
+            }
+        };
+        let mut new_shards = Vec::with_capacity(next.shards.len());
+        for (i, s) in next.shards.into_iter().enumerate() {
+            let engine = DynamicDiversity::resume(self.metric.clone(), s.clone()).map_err(|e| {
+                DivError::CorruptState {
+                    reason: format!("rebalanced shard {i}: {}", e.reason),
+                }
+            })?;
+            new_shards.push(Shard {
+                occupancy: AtomicUsize::new(engine.len()),
+                recovery: Mutex::new(RecoveryState {
+                    base: s,
+                    log: Vec::new(),
+                }),
+                engine: RwLock::new(engine),
+                health: AtomicU8::new(ShardHealth::Healthy as u8),
+            });
+        }
+        let occupancies: Vec<usize> = new_shards
+            .iter()
+            .map(|s| s.occupancy.load(Ordering::Relaxed))
+            .collect();
+        let skew_after = self.router.skew(&occupancies);
+
+        // Commit. Everything below is moves and atomic stores — no
+        // fallible operation may appear past this comment. The remap
+        // fold happens under the outer write lock so resolution and
+        // shard set can never be observed straddling the swap.
+        {
+            let mut live = self.shards.write();
+            *live = Arc::new(new_shards);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            let mut table = self.remap.write();
+            *table = next.remap.iter().map(|e| (e.from, e.to)).collect();
+            drop(table);
+            self.bump_epoch();
+        }
+        let pause = pause_started.elapsed();
+        drop(guards); // the superseded set; last in-flight reader frees it
+        ctl.last = Some(Instant::now());
+        self.rebalances.fetch_add(1, Ordering::AcqRel);
+        self.last_skew_before
+            .store(skew_before.to_bits(), Ordering::Release);
+        self.last_skew_after
+            .store(skew_after.to_bits(), Ordering::Release);
+        diversity_obs::count("serve.rebalances", 1);
+        diversity_obs::count("serve.ids_remapped", fresh.len() as u64);
+        if diversity_obs::enabled() {
+            for (shard, occupancy) in occupancies.iter().enumerate() {
+                diversity_obs::gauge_set(&self.gauge_names[shard], *occupancy as i64);
+            }
+        }
+        Ok(RebalanceReport {
+            skew_before,
+            skew_after,
+            ids_remapped: fresh.len(),
+            pause,
         })
     }
 }

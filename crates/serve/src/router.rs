@@ -38,16 +38,31 @@ pub struct RouterState {
     pub kind: String,
     /// Opaque cursor for stateful routers (`0` when unused).
     pub cursor: u64,
+    /// The shard count this router was routing over when the
+    /// checkpoint was taken. Routers themselves don't know it (the
+    /// count is a pool property, passed to every [`Router::route`]
+    /// call), so [`Router::checkpoint`] records `0` and the pool
+    /// overwrites it with the real count. `ShardPool::restore`
+    /// cross-checks it against the engine-state vector: a `HashRouter`
+    /// checkpointed over 4 shards mis-routes every stable-id placement
+    /// if silently restored over 3.
+    pub shards: u64,
 }
 
 /// `max / mean` of a shard-occupancy vector: `1.0` is perfectly
 /// balanced, larger means the fullest shard holds that multiple of its
-/// fair share; `0.0` for an empty (or all-empty) pool. This is the
-/// default [`Router::skew`] policy.
+/// fair share. An empty (or all-empty) pool also reports `1.0`: there
+/// is nothing to move, so it is as balanced as a pool can be. (It used
+/// to report `0.0`, which sat on the *opposite* side of every
+/// rebalance threshold from "balanced" — a threshold rebalancer would
+/// read an empty pool as maximally calm and a freshly-balanced one as
+/// infinitely calmer, an inversion that mattered the moment `skew()`
+/// started driving action.) This is the default [`Router::skew`]
+/// policy.
 pub fn occupancy_skew(occupancy: &[usize]) -> f64 {
     let total: usize = occupancy.iter().sum();
     if occupancy.is_empty() || total == 0 {
-        return 0.0;
+        return 1.0;
     }
     let max = *occupancy.iter().max().expect("non-empty") as f64;
     let mean = total as f64 / occupancy.len() as f64;
@@ -65,11 +80,14 @@ pub trait Router<P>: Send + Sync {
     fn kind(&self) -> &'static str;
 
     /// The router state to persist in a pool checkpoint. Stateless
-    /// routers record just their [`kind`](Self::kind).
+    /// routers record just their [`kind`](Self::kind). The
+    /// [`shards`](RouterState::shards) field is left `0` here — the
+    /// pool stamps the real count onto every checkpoint it emits.
     fn checkpoint(&self) -> RouterState {
         RouterState {
             kind: self.kind().to_string(),
             cursor: 0,
+            shards: 0,
         }
     }
 
@@ -119,6 +137,7 @@ impl<P> Router<P> for RoundRobin {
         RouterState {
             kind: Router::<P>::kind(self).to_string(),
             cursor: self.cursor.load(Ordering::Relaxed),
+            shards: 0,
         }
     }
 
@@ -189,6 +208,7 @@ mod tests {
         let foreign = RouterState {
             kind: "hash".into(),
             cursor: 9,
+            shards: 0,
         };
         assert!(!Router::<u32>::restore(&r, &foreign));
         // Nothing changed: the cursor still starts at shard 0.
@@ -218,11 +238,31 @@ mod tests {
     #[test]
     fn skew_is_max_over_mean() {
         let r = RoundRobin::new();
-        assert_eq!(Router::<u32>::skew(&r, &[]), 0.0);
-        assert_eq!(Router::<u32>::skew(&r, &[0, 0, 0]), 0.0);
         assert_eq!(Router::<u32>::skew(&r, &[5, 5, 5]), 1.0);
         // 12 points, 3 shards, fullest holds 8 = 2x its fair share.
         assert_eq!(Router::<u32>::skew(&r, &[8, 2, 2]), 2.0);
         assert_eq!(occupancy_skew(&[1]), 1.0);
+    }
+
+    /// Regression: empty and all-empty pools report `1.0` — the same
+    /// side of any rebalance threshold as "perfectly balanced". The
+    /// old `0.0` sentinel inverted the scale for exactly the state a
+    /// threshold rebalancer most needs to leave alone.
+    #[test]
+    fn empty_and_balanced_sit_on_the_same_side_of_any_threshold() {
+        let r = RoundRobin::new();
+        assert_eq!(Router::<u32>::skew(&r, &[]), 1.0);
+        assert_eq!(Router::<u32>::skew(&r, &[0, 0, 0]), 1.0);
+        assert_eq!(occupancy_skew(&[]), 1.0);
+        assert_eq!(occupancy_skew(&[0]), 1.0);
+        assert_eq!(occupancy_skew(&[0, 0, 0, 0]), 1.0);
+        // Every skewed pool strictly exceeds every balanced/empty one.
+        for balanced in [
+            occupancy_skew(&[]),
+            occupancy_skew(&[0, 0]),
+            occupancy_skew(&[7, 7]),
+        ] {
+            assert!(occupancy_skew(&[9, 1]) > balanced);
+        }
     }
 }

@@ -1,11 +1,12 @@
 //! Binary codec impls for the pool's checkpoint types
-//! ([`PoolState`], [`RouterState`]) — the serving layer's half of
-//! [`diversity::wire`]. A pool checkpoint written with
+//! ([`PoolState`], [`RouterState`], [`RemapEntry`]) — the serving
+//! layer's half of [`diversity::wire`]. A pool checkpoint written with
 //! [`diversity::wire::to_bytes`] is the dense on-disk/on-wire form the
 //! `divmax-serve` Checkpoint opcode ships; the JSON serde path remains
 //! the debuggable one.
 
 use crate::pool::PoolState;
+use crate::rebalance::RemapEntry;
 use crate::router::RouterState;
 use diversity::wire::{BinRead, BinReader, BinWrite, WireError};
 
@@ -13,6 +14,7 @@ impl BinWrite for RouterState {
     fn write_bin(&self, out: &mut Vec<u8>) {
         self.kind.write_bin(out);
         self.cursor.write_bin(out);
+        self.shards.write_bin(out);
     }
 }
 
@@ -21,6 +23,23 @@ impl BinRead for RouterState {
         Ok(RouterState {
             kind: BinRead::read_bin(r)?,
             cursor: BinRead::read_bin(r)?,
+            shards: BinRead::read_bin(r)?,
+        })
+    }
+}
+
+impl BinWrite for RemapEntry {
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.from.write_bin(out);
+        self.to.write_bin(out);
+    }
+}
+
+impl BinRead for RemapEntry {
+    fn read_bin(r: &mut BinReader<'_>) -> Result<Self, WireError> {
+        Ok(RemapEntry {
+            from: BinRead::read_bin(r)?,
+            to: BinRead::read_bin(r)?,
         })
     }
 }
@@ -29,6 +48,7 @@ impl<P: BinWrite> BinWrite for PoolState<P> {
     fn write_bin(&self, out: &mut Vec<u8>) {
         self.shards.write_bin(out);
         self.router.write_bin(out);
+        self.remap.write_bin(out);
     }
 }
 
@@ -37,6 +57,7 @@ impl<P: BinRead> BinRead for PoolState<P> {
         Ok(PoolState {
             shards: BinRead::read_bin(r)?,
             router: BinRead::read_bin(r)?,
+            remap: BinRead::read_bin(r)?,
         })
     }
 }
@@ -51,8 +72,22 @@ mod tests {
         let state = RouterState {
             kind: "round-robin".into(),
             cursor: 42,
+            shards: 4,
         };
         let back: RouterState = from_bytes(&to_bytes(&state)).unwrap();
         assert_eq!(back, state);
+    }
+
+    #[test]
+    fn remap_entries_roundtrip() {
+        let entries = vec![
+            RemapEntry { from: 0, to: 7 },
+            RemapEntry {
+                from: (3 << 48) | 5,
+                to: (1 << 48) | 900,
+            },
+        ];
+        let back: Vec<RemapEntry> = from_bytes(&to_bytes(&entries)).unwrap();
+        assert_eq!(back, entries);
     }
 }

@@ -285,6 +285,68 @@ fn chaos_churn_survives_and_stays_certified() {
     assert!(pool.healths().iter().all(|h| *h == ShardHealth::Healthy));
     pool.insert(gen_point(3, 4)).expect("healthy again");
 
+    // ---- live rebalance under the pinned fault plan -----------------
+    // Skew the pool hard onto shard 0, then rebalance while a panic
+    // injector is live: every failed attempt is a typed
+    // `TransientFailure` that leaves the old pool serving unchanged
+    // (all-or-nothing), and the eventual success strictly lowers the
+    // skew while keeping the answer inside the certified envelope. The
+    // exported snapshot then carries the `serve.rebalances` /
+    // `serve.ids_remapped` counters CI gates on.
+    let doubling = pool.len() as u64;
+    for i in 0..doubling {
+        pool.insert_to(0, gen_point(5, i)).expect("skew insert");
+    }
+    let skew_before = pool.skew();
+    assert!(
+        skew_before > 1.5,
+        "doubling the pool onto shard 0 must drive the trigger, got {skew_before}"
+    );
+    let len_before = pool.len();
+    faults::install(Arc::new(faults::FaultPlan::from_spec(faults::FaultSpec {
+        panic: 0.5,
+        ..faults::FaultSpec::from_seed(20170807)
+    })));
+    let mut refusals = 0usize;
+    let report = loop {
+        match pool.rebalance() {
+            Ok(report) => break report,
+            Err(DivError::TransientFailure { site }) => {
+                assert_eq!(site, "serve.rebalance");
+                assert_eq!(
+                    pool.len(),
+                    len_before,
+                    "a failed swap must leave the old pool intact"
+                );
+                assert_eq!(pool.skew(), skew_before, "and its skew untouched");
+                refusals += 1;
+                assert!(refusals < 200, "panic=0.5 cannot refuse forever");
+            }
+            Err(other) => panic!("rebalance under faults fails typed, got {other}"),
+        }
+    };
+    faults::uninstall();
+    assert!(
+        report.skew_after < skew_before,
+        "a committed rebalance strictly lowers the skew ({} -> {})",
+        report.skew_before,
+        report.skew_after
+    );
+    assert!(report.ids_remapped > 0, "live ids must be remapped");
+    assert_eq!(
+        pool.len(),
+        len_before,
+        "rebalancing moves points, never loses them"
+    );
+    let survivors: Vec<VecPoint> = pool.alive().into_iter().map(|(_, p)| p).collect();
+    let warm = pool.query(&task).expect("rebalanced pool answers in full");
+    let fresh = task.run_seq(&survivors, &Euclidean).expect("ground truth");
+    let loss = value_loss(problem, k, warm.coreset_radius.expect("certified"));
+    assert!(
+        alpha * warm.value + loss >= fresh.value - 1e-9,
+        "rebalanced answers keep the certified envelope"
+    );
+
     let snap = registry.snapshot_now();
     assert!(snap.counter("fault.injected").unwrap_or(0) > 0);
     assert!(snap.counter("fault.panic").unwrap_or(0) > 0);
@@ -294,6 +356,12 @@ fn chaos_churn_survives_and_stays_certified() {
         .histogram("serve.recovery_ns")
         .expect("recoveries were timed");
     assert!(recovery.count > 0 && recovery.p50() >= recovery.min);
+    assert!(snap.counter("serve.rebalances").unwrap_or(0) > 0);
+    assert!(snap.counter("serve.ids_remapped").unwrap_or(0) > 0);
+    let rebalance = snap
+        .histogram("serve.rebalance_ns")
+        .expect("rebalances were timed");
+    assert!(rebalance.count > 0);
 
     // Export for CI's `divmax-stats --assert-keys` gate.
     obs::export_to_env_path(&snap).expect("JSONL export must not fail");

@@ -234,7 +234,9 @@ fn corrupt_pool_checkpoints_are_rejected_typed() {
             router: RouterState {
                 kind: "round-robin".into(),
                 cursor: 0,
+                shards: 0,
             },
+            remap: vec![],
         },
     )
     .expect_err("no shards");

@@ -54,10 +54,14 @@ fn golden_point_and_router_bytes() {
     let router = RouterState {
         kind: "round-robin".into(),
         cursor: 7,
+        shards: 4,
     };
+    // Kind (varint length + bytes), cursor varint, shard-count varint
+    // (appended by the rebalancing PR — a protocol version bump).
     let mut expected = vec![11];
     expected.extend_from_slice(b"round-robin");
     expected.push(7);
+    expected.push(4);
     assert_eq!(to_bytes(&router), expected);
 }
 
